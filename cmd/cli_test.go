@@ -1,0 +1,225 @@
+// Package cmd_test builds the command-line tools and exercises them end
+// to end: generate a dataset, query it three ways, inspect a database
+// file, regenerate a figure with charts. These are the workflows the
+// README advertises.
+package cmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// binaries are built once per test run.
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+func buildTools(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "tsqbin")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binDir = dir
+		for _, tool := range []string{"tsgen", "tsquery", "tsbench", "tsinspect"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./"+tool)
+			cmd.Dir = "." // cmd/ directory
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildErr = err
+				t.Logf("building %s: %s", tool, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building tools: %v", buildErr)
+	}
+	return binDir
+}
+
+func runTool(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(buildTools(t), bin), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", bin, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIGenerateAndRangeQuery(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "stocks.csv")
+	out := runTool(t, "tsgen", "-kind", "stocks", "-count", "200", "-length", "128", "-out", data)
+	if !strings.Contains(out, "wrote 200 series") {
+		t.Fatalf("tsgen output: %q", out)
+	}
+	out = runTool(t, "tsquery", "-data", data, "-query", "stock0007", "-pipeline", "mv(5..20)", "-rho", "0.96")
+	for _, needle := range []string{"200 series of length 128", "16 transformations", "range query around stock0007", "stats:"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("tsquery range output missing %q:\n%s", needle, out)
+		}
+	}
+	// All three algorithms agree on the match count.
+	counts := map[string]string{}
+	for _, algo := range []string{"mt", "st", "seq"} {
+		o := runTool(t, "tsquery", "-data", data, "-query", "stock0007", "-pipeline", "mv(5..20)", "-rho", "0.96", "-algo", algo, "-max-print", "0")
+		for _, line := range strings.Split(o, "\n") {
+			if strings.Contains(line, "matches") {
+				counts[algo] = line[strings.Index(line, "):"):]
+			}
+		}
+	}
+	if counts["mt"] != counts["st"] || counts["mt"] != counts["seq"] {
+		t.Errorf("algorithms disagree: %v", counts)
+	}
+}
+
+func TestCLIJoinNNSubseqExplain(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "stocks.csv")
+	runTool(t, "tsgen", "-kind", "stocks", "-count", "120", "-length", "128", "-out", data)
+
+	join := runTool(t, "tsquery", "-data", data, "-join", "-pipeline", "mv(5..12)", "-rho", "0.99", "-max-print", "3")
+	if !strings.Contains(join, "join (MT-index") {
+		t.Errorf("join output:\n%s", join)
+	}
+	nn := runTool(t, "tsquery", "-data", data, "-query", "7", "-pipeline", "mv(1..10)", "-nn", "3")
+	if !strings.Contains(nn, "3 nearest neighbors of stock0007") {
+		t.Errorf("nn output:\n%s", nn)
+	}
+	sub := runTool(t, "tsquery", "-data", data, "-query", "stock0003", "-subseq", "20", "-offset", "40", "-dist", "0.5")
+	if !strings.Contains(sub, "subsequence search: window 20") {
+		t.Errorf("subseq output:\n%s", sub)
+	}
+	expl := runTool(t, "tsquery", "-data", data, "-query", "stock0003", "-pipeline", "mv(5..20)", "-rho", "0.96", "-explain")
+	if !strings.Contains(expl, "chosen:") || !strings.Contains(expl, "seqscan") {
+		t.Errorf("explain output:\n%s", expl)
+	}
+	info := runTool(t, "tsquery", "-data", data, "-info")
+	if !strings.Contains(info, "tree height") {
+		t.Errorf("info output:\n%s", info)
+	}
+}
+
+func TestCLIBenchWithCharts(t *testing.T) {
+	dir := t.TempDir()
+	out := runTool(t, "tsbench", "-fig", "8", "-queries", "2", "-stocks", "150", "-out", dir)
+	if !strings.Contains(out, "Figure 8") {
+		t.Errorf("tsbench output:\n%s", out)
+	}
+	for _, f := range []string{"fig8-time.svg", "fig8-disk.svg", "fig8-time.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", f)
+		}
+	}
+	svg, _ := os.ReadFile(filepath.Join(dir, "fig8-time.svg"))
+	if !strings.Contains(string(svg), "<svg") || !strings.Contains(string(svg), "polyline") {
+		t.Error("fig8-time.svg is not a chart")
+	}
+	// Figures 3/4 are textual.
+	out = runTool(t, "tsbench", "-fig", "3")
+	if !strings.Contains(out, "mult-MBR") {
+		t.Errorf("fig3 output:\n%s", out)
+	}
+}
+
+func TestCLIInspect(t *testing.T) {
+	// Build a database through the library, then inspect it as a user
+	// would.
+	dir := t.TempDir()
+	data := filepath.Join(dir, "stocks.csv")
+	runTool(t, "tsgen", "-kind", "stocks", "-count", "80", "-length", "64", "-out", data)
+
+	// tsquery has no "create file" mode; drive CreateFile via a tiny
+	// helper program compiled on the fly.
+	helper := filepath.Join(dir, "mkdb.go")
+	prog := `package main
+
+import (
+	"encoding/csv"
+	"os"
+	"strconv"
+
+	"tsq"
+)
+
+func main() {
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		panic(err)
+	}
+	rows, err := csv.NewReader(f).ReadAll()
+	f.Close()
+	if err != nil {
+		panic(err)
+	}
+	var names []string
+	var ss []tsq.Series
+	for _, row := range rows {
+		names = append(names, row[0])
+		s := make(tsq.Series, len(row)-1)
+		for i, field := range row[1:] {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				panic(err)
+			}
+			s[i] = v
+		}
+		ss = append(ss, s)
+	}
+	db, err := tsq.CreateFile(os.Args[2], ss, names, tsq.Options{})
+	if err != nil {
+		panic(err)
+	}
+	if err := db.Close(); err != nil {
+		panic(err)
+	}
+}
+`
+	if err := os.WriteFile(helper, []byte(prog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dbPath := filepath.Join(dir, "db.tsq")
+	cmd := exec.Command("go", "run", helper, data, dbPath)
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("mkdb: %v\n%s", err, out)
+	}
+
+	out := runTool(t, "tsinspect", dbPath)
+	for _, needle := range []string{"80 series of length 64", "paged storage: true", "tree levels", "integrity check... ok"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("tsinspect output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	bin := buildTools(t)
+	// Unknown algorithm fails loudly with nonzero status.
+	cmd := exec.Command(filepath.Join(bin, "tsquery"), "-data", "/nonexistent.csv")
+	if err := cmd.Run(); err == nil {
+		t.Error("tsquery accepted a missing data file")
+	}
+	cmd = exec.Command(filepath.Join(bin, "tsgen"), "-kind", "nope")
+	if err := cmd.Run(); err == nil {
+		t.Error("tsgen accepted an unknown kind")
+	}
+	cmd = exec.Command(filepath.Join(bin, "tsinspect"), "/nonexistent.tsq")
+	if err := cmd.Run(); err == nil {
+		t.Error("tsinspect accepted a missing file")
+	}
+}

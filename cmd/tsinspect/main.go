@@ -1,0 +1,84 @@
+// Command tsinspect examines a tsq database file: the superblock, the
+// shape of the R*-tree level by level, heap statistics, and a full
+// integrity check (tree invariants, index/record agreement, record-page
+// consistency) — the moral equivalent of a database analyzer tool.
+//
+// Usage:
+//
+//	tsinspect market.tsq
+//	tsinspect -verify=false market.tsq     # skip the integrity scan
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tsq"
+)
+
+func main() {
+	verify := flag.Bool("verify", true, "run the full integrity check")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tsinspect [-verify=false] <file.tsq>")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *verify); err != nil {
+		fmt.Fprintf(os.Stderr, "tsinspect: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, verify bool) error {
+	db, err := tsq.OpenFile(path)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	info, err := db.Info()
+	if err != nil {
+		return err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d bytes, %d pages of %d bytes\n", path, st.Size(), info.Pages, info.PageSize)
+	fmt.Printf("records: %d series of length %d (paged storage: %v)\n",
+		info.Series, info.SeriesLength, info.Paged)
+	fmt.Printf("index: %d DFT coefficients (%d dimensions), R*-tree height %d, avg leaf capacity %.1f\n",
+		info.IndexedK, 2+2*info.IndexedK, info.TreeHeight, info.LeafCapacity)
+
+	levels, err := db.TreeLevels()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\ntree levels (1 = leaves):")
+	for _, l := range levels {
+		fmt.Printf("  level %d: %5d nodes, avg extents %v\n", l.Level, l.Nodes, formatExtents(l.AvgSide))
+	}
+
+	if !verify {
+		return nil
+	}
+	fmt.Print("\nintegrity check... ")
+	if err := db.Verify(); err != nil {
+		fmt.Println("FAILED")
+		return err
+	}
+	fmt.Println("ok")
+	return nil
+}
+
+func formatExtents(side []float64) string {
+	out := "["
+	for i, v := range side {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.3g", v)
+	}
+	return out + "]"
+}

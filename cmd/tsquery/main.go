@@ -1,0 +1,265 @@
+// Command tsquery runs similarity queries over a CSV dataset: range
+// queries (Query 1), self-joins (Query 2), and nearest-neighbor queries,
+// under a transformation pipeline, with a choice of algorithm.
+//
+// Usage:
+//
+//	tsquery -data stocks.csv -query stock0007 -pipeline "mv(5..34)" -rho 0.96
+//	tsquery -data stocks.csv -join -pipeline "mv(5..34)" -rho 0.99 -algo mt
+//	tsquery -data stocks.csv -query 12 -pipeline "shift(0..5) | mv(1..20)" -nn 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"tsq"
+	"tsq/internal/csvio"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "tsquery: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		data      = flag.String("data", "", "input CSV dataset (this or -db is required)")
+		dbPath    = flag.String("db", "", "query an existing .tsq database file instead of a CSV")
+		save      = flag.String("save", "", "build a .tsq database file from -data and exit")
+		queryArg  = flag.String("query", "", "query series: a name or a numeric id from the dataset")
+		pipeline  = flag.String("pipeline", "id", `transformation pipeline, e.g. "shift(0..10) | mv(1..40)"`)
+		rho       = flag.Float64("rho", 0, "correlation threshold (exclusive with -dist)")
+		dist      = flag.Float64("dist", 0, "distance threshold on normal forms")
+		algo      = flag.String("algo", "mt", "algorithm: mt | st | seq")
+		perMBR    = flag.Int("per-mbr", 0, "transformations per MBR (0 = all in one)")
+		clustered = flag.Bool("cluster", false, "cluster transformations before building MBRs")
+		paperRect = flag.Bool("paper-rect", false, "use the paper's plain eps-box query rectangle")
+		ordering  = flag.Bool("ordering", false, "binary-search evaluation for orderable (scale) sets")
+		join      = flag.Bool("join", false, "run the self-join (Query 2) instead of a range query")
+		nn        = flag.Int("nn", 0, "run a k-nearest-neighbor query with this k")
+		subseq    = flag.Int("subseq", 0, "subsequence matching with this window length (query gives the pattern source)")
+		offset    = flag.Int("offset", 0, "pattern offset within the query series (with -subseq)")
+		maxPrint  = flag.Int("max-print", 25, "maximum result rows to print")
+		info      = flag.Bool("info", false, "print database shape information and exit")
+		explain   = flag.Bool("explain", false, "print the planner's cost comparison instead of running the query")
+	)
+	flag.Parse()
+	var db *tsq.DB
+	var names []string
+	switch {
+	case *data != "" && *dbPath != "":
+		return fmt.Errorf("-data and -db are exclusive")
+	case *dbPath != "":
+		var err error
+		db, err = tsq.OpenFile(*dbPath)
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		names = make([]string, db.Len())
+		for i := range names {
+			names[i] = db.Name(int64(i))
+		}
+	case *data != "":
+		var ss []tsq.Series
+		var err error
+		names, ss, err = csvio.ReadFile(*data)
+		if err != nil {
+			return err
+		}
+		if *save != "" {
+			db, err = tsq.CreateFile(*save, ss, names, tsq.Options{})
+			if err != nil {
+				return err
+			}
+			defer db.Close()
+			fmt.Printf("wrote %d series to %s\n", db.Len(), *save)
+			return nil
+		}
+		db, err = tsq.Open(ss, names, tsq.Options{})
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("-data or -db is required")
+	}
+	n := db.SeriesLength()
+	p, err := tsq.ParsePipeline(*pipeline, n)
+	if err != nil {
+		return err
+	}
+	ts := p.Flatten()
+	fmt.Printf("dataset: %d series of length %d; pipeline %q -> %d transformations\n",
+		db.Len(), n, *pipeline, len(ts))
+	if *info {
+		meta, err := db.Info()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("index: k=%d, tree height %d, %d pages of %d bytes, avg leaf capacity %.1f, paged=%v\n",
+			meta.IndexedK, meta.TreeHeight, meta.Pages, meta.PageSize, meta.LeafCapacity, meta.Paged)
+		return nil
+	}
+
+	var thr tsq.Threshold
+	switch {
+	case *rho != 0 && *dist != 0:
+		return fmt.Errorf("-rho and -dist are exclusive")
+	case *rho != 0:
+		thr = tsq.Correlation(*rho)
+	case *dist != 0:
+		thr = tsq.Distance(*dist)
+	default:
+		thr = tsq.Correlation(0.96)
+	}
+
+	opts := tsq.QueryOptions{
+		TransformsPerMBR: *perMBR,
+		ClusterPartition: *clustered,
+		PaperQueryRect:   *paperRect,
+		UseOrdering:      *ordering,
+	}
+	switch *algo {
+	case "mt":
+		opts.Algorithm = tsq.MTIndex
+	case "st":
+		opts.Algorithm = tsq.STIndex
+	case "seq":
+		opts.Algorithm = tsq.SeqScan
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+
+	if *explain {
+		q := db.Get(0)
+		if *queryArg != "" {
+			id, err := resolveQuery(db, names, *queryArg)
+			if err != nil {
+				return err
+			}
+			q = db.Get(id)
+		}
+		text, err := db.Explain(q, ts, thr)
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+		return nil
+	}
+
+	if *join {
+		matches, st, err := db.Join(ts, thr, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("join (%v, %v): %d matches\n", opts.Algorithm, thr, len(matches))
+		for i, m := range matches {
+			if i >= *maxPrint {
+				fmt.Printf("... %d more\n", len(matches)-i)
+				break
+			}
+			fmt.Printf("  %-12s ~ %-12s via %-8s dist %.4f\n",
+				db.Name(m.IDA), db.Name(m.IDB), ts[m.TransformIdx].Name, m.Distance)
+		}
+		printStats(st)
+		return nil
+	}
+
+	id, err := resolveQuery(db, names, *queryArg)
+	if err != nil {
+		return err
+	}
+	if *subseq > 0 {
+		w := *subseq
+		src := db.Get(id)
+		if *offset < 0 || *offset+w > len(src) {
+			return fmt.Errorf("pattern [%d, %d) out of range for series of length %d", *offset, *offset+w, len(src))
+		}
+		pattern := src[*offset : *offset+w]
+		all := make([]tsq.Series, db.Len())
+		for i := range all {
+			all[i] = db.Get(int64(i))
+		}
+		ix, err := tsq.NewSubsequenceIndex(all, tsq.SubseqOptions{Window: w})
+		if err != nil {
+			return err
+		}
+		eps := thr.Epsilon(w)
+		matches, sst, err := ix.Search(pattern, eps)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("subsequence search: window %d of %s at offset %d, eps %.3f: %d occurrences\n",
+			w, db.Name(id), *offset, eps, len(matches))
+		for i, m := range matches {
+			if i >= *maxPrint {
+				fmt.Printf("... %d more\n", len(matches)-i)
+				break
+			}
+			fmt.Printf("  %-12s offset %4d dist %.4f\n", names[m.Seq], m.Offset, m.Distance)
+		}
+		fmt.Printf("stats: %d node accesses, %d windows verified\n", sst.NodeAccesses, sst.Candidates)
+		return nil
+	}
+	if *nn > 0 {
+		matches, st, err := db.NearestNeighbors(db.Get(id), ts, *nn, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d nearest neighbors of %s (%v):\n", *nn, db.Name(id), opts.Algorithm)
+		for _, m := range matches {
+			fmt.Printf("  %-12s via %-8s dist %.4f (rho %.4f)\n",
+				db.Name(m.RecordID), ts[m.TransformIdx].Name, m.Distance,
+				1-m.Distance*m.Distance/(2*float64(n-1)))
+		}
+		printStats(st)
+		return nil
+	}
+
+	matches, st, err := db.RangeByID(id, ts, thr, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("range query around %s (%v, %v): %d matches\n",
+		db.Name(id), opts.Algorithm, thr, len(matches))
+	for i, m := range matches {
+		if i >= *maxPrint {
+			fmt.Printf("... %d more\n", len(matches)-i)
+			break
+		}
+		d := "not computed (ordering)"
+		if m.Distance >= 0 {
+			d = fmt.Sprintf("%.4f", m.Distance)
+		}
+		fmt.Printf("  %-12s via %-8s dist %s\n", db.Name(m.RecordID), ts[m.TransformIdx].Name, d)
+	}
+	printStats(st)
+	return nil
+}
+
+// resolveQuery interprets the -query argument as a name or numeric id.
+func resolveQuery(db *tsq.DB, names []string, arg string) (int64, error) {
+	if arg == "" {
+		return 0, fmt.Errorf("-query is required for range and NN queries")
+	}
+	for i, name := range names {
+		if name == arg {
+			return int64(i), nil
+		}
+	}
+	id, err := strconv.ParseInt(arg, 10, 64)
+	if err != nil || db.Get(id) == nil {
+		return 0, fmt.Errorf("no series named or numbered %q in the dataset", arg)
+	}
+	return id, nil
+}
+
+func printStats(st tsq.Stats) {
+	fmt.Printf("stats: %d index searches, %d node accesses (%d leaf), %d candidates, %d comparisons\n",
+		st.IndexSearches, st.DAAll, st.DALeaf, st.Candidates, st.Comparisons)
+}

@@ -1,0 +1,154 @@
+package tsq_test
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"tsq"
+)
+
+// wave builds a deterministic test series.
+func wave(n int, f func(i int) float64) tsq.Series {
+	s := make(tsq.Series, n)
+	for i := range s {
+		s[i] = f(i)
+	}
+	return s
+}
+
+// Example shows the core loop: index a few series, then ask which of them
+// match a query under some moving average.
+func Example() {
+	const n = 64
+	base := func(i int) float64 { return math.Sin(2 * math.Pi * float64(i) / 32) }
+	db, err := tsq.Open([]tsq.Series{
+		wave(n, base),
+		wave(n, func(i int) float64 { return 100*base(i) + 1000 }), // scaled + shifted
+		wave(n, func(i int) float64 { return float64(i % 7) }),     // unrelated
+	}, []string{"wave", "scaled", "sawtooth"}, tsq.Options{})
+	if err != nil {
+		panic(err)
+	}
+	ts := tsq.MovingAverages(n, 1, 10)
+	matches, _, err := db.Range(db.Get(0), ts, tsq.Correlation(0.99), tsq.QueryOptions{})
+	if err != nil {
+		panic(err)
+	}
+	seen := map[int64]bool{}
+	for _, m := range matches {
+		if !seen[m.RecordID] {
+			seen[m.RecordID] = true
+			fmt.Println(db.Name(m.RecordID))
+		}
+	}
+	// Output:
+	// wave
+	// scaled
+}
+
+// ExampleParsePipeline rewrites a sequence of transformation sets into a
+// single flat set by composition (the paper's Sec. 3.3).
+func ExampleParsePipeline() {
+	p, err := tsq.ParsePipeline("shift(0..10) | mv(1..40)", 128)
+	if err != nil {
+		panic(err)
+	}
+	ts := p.Flatten()
+	fmt.Println(len(ts), ts[0].Name)
+	// Output:
+	// 440 mv1(shift0)
+}
+
+// ExampleDistanceForCorrelation shows the Eq. 9 threshold translation the
+// paper uses to turn "correlation at least 0.96" into a distance bound.
+func ExampleDistanceForCorrelation() {
+	fmt.Printf("%.2f\n", tsq.DistanceForCorrelation(128, 0.96))
+	// Output:
+	// 3.19
+}
+
+// ExampleCompose builds "shift two days, then smooth" as one
+// transformation (Eq. 10).
+func ExampleCompose() {
+	const n = 128
+	t := tsq.Compose(tsq.MovingAverage(n, 10), tsq.TimeShift(n, 2))
+	fmt.Println(t.Name)
+	// Output:
+	// mv10(shift2)
+}
+
+// ExampleDB_NearestNeighbors finds the best-aligning shift between two
+// series with a one-sided query (a shift applied to both sides would
+// cancel).
+func ExampleDB_NearestNeighbors() {
+	const n = 64
+	base := wave(n, func(i int) float64 { return math.Sin(2*math.Pi*float64(i)/16) + 0.3*math.Cos(2*math.Pi*float64(i)/9) })
+	shifted := tsq.TimeShift(n, 3).ApplySeries(base)
+	db, err := tsq.Open([]tsq.Series{base}, []string{"base"}, tsq.Options{})
+	if err != nil {
+		panic(err)
+	}
+	nn, _, err := db.NearestNeighbors(shifted, tsq.TimeShifts(n, 0, 7), 1,
+		tsq.QueryOptions{OneSided: true})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s %.4f\n", tsq.TimeShifts(n, 0, 7)[nn[0].TransformIdx].Name, nn[0].Distance)
+	// Output:
+	// shift3 0.0000
+}
+
+// ExampleCreateFile persists a database to a single page file and reopens
+// it without rebuilding the index.
+func ExampleCreateFile() {
+	dir, err := os.MkdirTemp("", "tsq")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "waves.tsq")
+
+	const n = 64
+	base := func(i int) float64 { return math.Sin(2 * math.Pi * float64(i) / 16) }
+	db, err := tsq.CreateFile(path, []tsq.Series{
+		wave(n, base),
+		wave(n, func(i int) float64 { return 3 * base(i) }),
+	}, []string{"a", "b"}, tsq.Options{})
+	if err != nil {
+		panic(err)
+	}
+	if err := db.Close(); err != nil {
+		panic(err)
+	}
+
+	re, err := tsq.OpenFile(path)
+	if err != nil {
+		panic(err)
+	}
+	defer re.Close()
+	fmt.Println(re.Len(), re.Name(1))
+	// Output:
+	// 2 b
+}
+
+// ExampleNewSubsequenceIndex finds where a short pattern occurs inside
+// longer stored sequences.
+func ExampleNewSubsequenceIndex() {
+	long := wave(200, func(i int) float64 { return math.Sin(2*math.Pi*float64(i)/40) + float64(i)/100 })
+	ix, err := tsq.NewSubsequenceIndex([]tsq.Series{long}, tsq.SubseqOptions{Window: 25})
+	if err != nil {
+		panic(err)
+	}
+	pattern := long[60:85]
+	matches, _, err := ix.Search(pattern, 1e-9)
+	if err != nil {
+		panic(err)
+	}
+	for _, m := range matches {
+		fmt.Println(m.Seq, m.Offset)
+	}
+	// Output:
+	// 0 60
+}

@@ -1,0 +1,111 @@
+// Hedging demonstrates the introduction's "stocks that behave in
+// approximately the opposite way (for hedging)". Because the similarity
+// predicate applies the same transformation to both sides, negating both
+// sides cancels — the way to ask for opposite behaviour is to negate the
+// query: D(mv(s), mv(-q)) is small exactly when s moves against q under
+// that moving average. One range query finds trackers, a second with the
+// mirrored query finds hedges; both run through the MT-index.
+//
+// (The inverted transformations of the paper's Sec. 5.2 — inv composed
+// with mv — serve there as a two-cluster performance workload; see
+// cmd/tsbench -fig 9 and the cluster-aware partitioner.)
+//
+// Run with: go run ./examples/hedging
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tsq"
+	"tsq/internal/datagen"
+)
+
+const n = 128
+
+func main() {
+	stocks := datagen.StockMarket(2024, 800, n, datagen.DefaultMarketOptions())
+	names := make([]string, 0, len(stocks)+3)
+	for i := range stocks {
+		names = append(names, fmt.Sprintf("stock%04d", i))
+	}
+	// Plant a few short positions: series that mirror existing stocks
+	// around their mean price (inverse ETFs, roughly).
+	const target = 7
+	for i, base := range []int{target, 100, 250} {
+		stocks = append(stocks, mirror(stocks[base]))
+		names = append(names, fmt.Sprintf("inverse%d", i))
+	}
+
+	db, err := tsq.Open(stocks, names, tsq.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := tsq.MovingAverages(n, 1, 20)
+	thr := tsq.Correlation(0.98)
+	q := db.Get(target)
+
+	trackers, stats1, err := db.Range(q, ts, thr, tsq.QueryOptions{TransformsPerMBR: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hedges, stats2, err := db.Range(mirror(q), ts, thr, tsq.QueryOptions{TransformsPerMBR: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("relative to %s, under some MV(1..20), |rho| >= 0.98:\n\n", db.Name(target))
+	report := func(kind string, ms []tsq.Match) int {
+		best := map[int64]tsq.Match{}
+		for _, m := range ms {
+			if m.RecordID == target {
+				continue
+			}
+			if cur, ok := best[m.RecordID]; !ok || m.Distance < cur.Distance {
+				best[m.RecordID] = m
+			}
+		}
+		shown := 0
+		for id := int64(0); id < int64(db.Len()); id++ {
+			m, ok := best[id]
+			if !ok {
+				continue
+			}
+			if shown < 8 {
+				fmt.Printf("  %s %-12s via %-6s dist %.3f\n", kind, db.Name(id), ts[m.TransformIdx].Name, m.Distance)
+			}
+			shown++
+		}
+		return shown
+	}
+	nT := report("tracks", trackers)
+	fmt.Println()
+	nH := report("hedges", hedges)
+	fmt.Printf("\n%d trackers, %d hedge candidates (inverse0 mirrors the target and must appear)\n", nT, nH)
+	fmt.Printf("work: %d+%d node accesses across %d+%d rectangle traversals\n",
+		stats1.DAAll, stats2.DAAll, stats1.IndexSearches, stats2.IndexSearches)
+
+	found := false
+	for _, m := range hedges {
+		if db.Name(m.RecordID) == "inverse0" {
+			found = true
+		}
+	}
+	if !found {
+		fmt.Println("WARNING: planted inverse0 not found among hedges")
+	}
+}
+
+// mirror reflects a series around its mean.
+func mirror(s tsq.Series) tsq.Series {
+	var mean float64
+	for _, v := range s {
+		mean += v
+	}
+	mean /= float64(len(s))
+	out := make(tsq.Series, len(s))
+	for i, v := range s {
+		out[i] = 2*mean - v
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+// Patternsearch demonstrates subsequence matching (the Faloutsos et al.
+// extension of the indexing technique, built here as tsq's
+// SubsequenceIndex): take the last 20 days of one stock and find every
+// place in the whole market's history where that shape occurred, at any
+// offset of any stock.
+//
+// Run with: go run ./examples/patternsearch
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"tsq"
+	"tsq/internal/datagen"
+)
+
+func main() {
+	const n, window = 128, 20
+	stocks := datagen.StockMarket(31, 400, n, datagen.DefaultMarketOptions())
+	names := make([]string, len(stocks))
+	for i := range names {
+		names[i] = fmt.Sprintf("stock%04d", i)
+	}
+	// Search in shape space: normalize every stock so a pattern can match
+	// regardless of price level and volatility.
+	norms := make([]tsq.Series, len(stocks))
+	for i, s := range stocks {
+		norms[i], _, _ = tsq.Normalize(s)
+	}
+	// Plant three past occurrences of the pattern we will search for (a
+	// noisy copy of stock0042's final 20 days) elsewhere in the market,
+	// so there is something to find besides the pattern itself.
+	const target = 42
+	shape := norms[target][n-window:]
+	for i, plant := range []struct{ seq, off int }{{7, 30}, {199, 80}, {333, 5}} {
+		dst := norms[plant.seq][plant.off : plant.off+window]
+		for t := range dst {
+			dst[t] = shape[t] + 0.02*float64(t%5)*float64(i+1)/10
+		}
+	}
+
+	start := time.Now()
+	ix, err := tsq.NewSubsequenceIndex(norms, tsq.SubseqOptions{Window: window})
+	if err != nil {
+		log.Fatal(err)
+	}
+	buildTime := time.Since(start)
+
+	// The pattern: the last 20 days of stock0042's normal form.
+	pattern := norms[target][n-window:]
+
+	start = time.Now()
+	matches, stats, err := ix.Search(pattern, 0.6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	searchTime := time.Since(start)
+
+	sort.Slice(matches, func(i, j int) bool { return matches[i].Distance < matches[j].Distance })
+	fmt.Printf("pattern: last %d days of %s; searching %d stocks x %d offsets\n\n",
+		window, names[target], len(stocks), n-window+1)
+	fmt.Printf("%d occurrences within distance 0.6 (in normal-form units):\n", len(matches))
+	for i, m := range matches {
+		if i >= 10 {
+			fmt.Printf("  ... and %d more\n", len(matches)-i)
+			break
+		}
+		self := ""
+		if m.Seq == target && m.Offset == n-window {
+			self = "  (the pattern itself)"
+		}
+		fmt.Printf("  %-10s days %3d-%3d  distance %.3f%s\n",
+			names[m.Seq], m.Offset, m.Offset+window-1, m.Distance, self)
+	}
+
+	// Confirm against the brute-force scan and report the work saved.
+	scan := tsq.ScanSubsequences(norms, pattern, 0.6)
+	totalWindows := len(stocks) * (n - window + 1)
+	fmt.Printf("\nindex: %d of %d windows verified (%d node accesses); scan agrees with %d matches\n",
+		stats.Candidates, totalWindows, stats.NodeAccesses, len(scan))
+	fmt.Printf("build %.0fms, search %.2fms\n",
+		buildTime.Seconds()*1000, searchTime.Seconds()*1000)
+}

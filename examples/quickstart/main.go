@@ -1,0 +1,71 @@
+// Quickstart: index a handful of series and run one similarity range
+// query under a set of moving averages.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"tsq"
+)
+
+func main() {
+	// Build a tiny dataset: a slow sine wave, the same wave with noise,
+	// the same wave scaled and shifted in value, and pure noise.
+	const n = 128
+	mk := func(f func(i int) float64) tsq.Series {
+		s := make(tsq.Series, n)
+		for i := range s {
+			s[i] = f(i)
+		}
+		return s
+	}
+	noise := func(i int) float64 { // deterministic pseudo-noise
+		x := math.Sin(float64(i)*12.9898) * 43758.5453
+		return x - math.Floor(x) - 0.5
+	}
+	base := func(i int) float64 { return math.Sin(2 * math.Pi * float64(i) / 64) }
+	ss := []tsq.Series{
+		mk(base),
+		mk(func(i int) float64 { return base(i) + 0.35*noise(i) }),
+		mk(func(i int) float64 { return 250*base(i) + 1000 }),
+		mk(func(i int) float64 { return 2 * noise(i*7) }),
+	}
+	names := []string{"wave", "noisy-wave", "scaled-wave", "noise"}
+
+	db, err := tsq.Open(ss, names, tsq.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// "Find every series that matches the clean wave under some m-day
+	// moving average, m in 1..20, with correlation at least 0.96."
+	ts := tsq.MovingAverages(n, 1, 20)
+	matches, stats, err := db.Range(ss[0], ts, tsq.Correlation(0.96), tsq.QueryOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("query: which series match %q under MV(1..20), rho >= 0.96?\n\n", names[0])
+	best := map[int64]tsq.Match{}
+	for _, m := range matches {
+		if cur, ok := best[m.RecordID]; !ok || m.Distance < cur.Distance {
+			best[m.RecordID] = m
+		}
+	}
+	for id := int64(0); id < int64(db.Len()); id++ {
+		if m, ok := best[id]; ok {
+			fmt.Printf("  %-12s matches via %-5s (distance %.3f)\n",
+				db.Name(id), ts[m.TransformIdx].Name, m.Distance)
+		} else {
+			fmt.Printf("  %-12s no match\n", db.Name(id))
+		}
+	}
+	fmt.Printf("\nnormalization makes %q match despite the x250 scale and +1000 shift;\n", names[2])
+	fmt.Printf("the moving average smooths %q into a match; %q stays out.\n", names[1], names[3])
+	fmt.Printf("\nwork done: %d index traversal(s), %d node accesses, %d of %d series verified\n",
+		stats.IndexSearches, stats.DAAll, stats.Candidates, db.Len())
+}

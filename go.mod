@@ -1,0 +1,3 @@
+module tsq
+
+go 1.22

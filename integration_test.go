@@ -1,0 +1,215 @@
+package tsq
+
+// Cross-configuration integration tests: the answer to a similarity query
+// is defined by the data, the transformation set and the threshold — not
+// by page sizes, buffer pools, partitioning, coefficient counts, paged
+// record storage, or the query rectangle mode. Every configuration must
+// return exactly the same (record, transformation) sets.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tsq/internal/datagen"
+)
+
+type rangeConfig struct {
+	name string
+	open func(t *testing.T, ss []Series) *DB
+	opts QueryOptions
+}
+
+func TestRangeAnswersInvariantAcrossConfigurations(t *testing.T) {
+	const n = 64
+	ss := datagen.StockMarket(90, 250, n, datagen.DefaultMarketOptions())
+	ts := MovingAverages(n, 4, 18)
+	thr := Correlation(0.93)
+
+	mem := func(opts Options) func(*testing.T, []Series) *DB {
+		return func(t *testing.T, ss []Series) *DB {
+			db, err := Open(ss, nil, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return db
+		}
+	}
+	configs := []rangeConfig{
+		{"baseline", mem(Options{}), QueryOptions{}},
+		{"small-pages", mem(Options{PageSize: 512}), QueryOptions{}},
+		{"large-pages", mem(Options{PageSize: 8192}), QueryOptions{}},
+		{"k1", mem(Options{K: 1}), QueryOptions{}},
+		{"k4", mem(Options{K: 4}), QueryOptions{}},
+		{"no-symmetry", mem(Options{DisableSymmetry: true}), QueryOptions{}},
+		{"buffered", mem(Options{BufferPages: 64}), QueryOptions{}},
+		{"bulk-loaded", mem(Options{BulkLoad: true}), QueryOptions{}},
+		{"seqscan", mem(Options{}), QueryOptions{Algorithm: SeqScan}},
+		{"st-index", mem(Options{}), QueryOptions{Algorithm: STIndex}},
+		{"grouped-3", mem(Options{}), QueryOptions{TransformsPerMBR: 3}},
+		{"clustered", mem(Options{}), QueryOptions{ClusterPartition: true, TransformsPerMBR: 5}},
+		{"file-backed", func(t *testing.T, ss []Series) *DB {
+			db, err := CreateFile(filepath.Join(t.TempDir(), "x.tsq"), ss, nil, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { db.Close() })
+			return db
+		}, QueryOptions{}},
+	}
+
+	type key struct {
+		rec int64
+		tr  int
+	}
+	var want map[key]bool
+	queries := []int64{0, 17, 123, 249}
+	answers := func(db *DB, opts QueryOptions) map[key]bool {
+		out := make(map[key]bool)
+		for _, q := range queries {
+			ms, _, err := db.RangeByID(q, ts, thr, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range ms {
+				out[key{m.RecordID*1000 + q, m.TransformIdx}] = true
+			}
+		}
+		return out
+	}
+	for i, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			db := cfg.open(t, ss)
+			got := answers(db, cfg.opts)
+			if i == 0 {
+				want = got
+				if len(want) == 0 {
+					t.Fatal("baseline produced no matches; test is vacuous")
+				}
+				return
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s: %d matches, baseline %d", cfg.name, len(got), len(want))
+			}
+			for k := range want {
+				if !got[k] {
+					t.Fatalf("%s: missing %v", cfg.name, k)
+				}
+			}
+		})
+	}
+
+	// The paper's plain eps-box is the one configuration that may dismiss
+	// matches (phases are not coordinates of an isometric embedding). It
+	// must never fabricate any; on this workload it does in fact drop a
+	// small fraction — the false-dismissal risk the safe rectangle
+	// removes.
+	t.Run("paper-rect-subset", func(t *testing.T) {
+		db := mem(Options{})(t, ss)
+		got := answers(db, QueryOptions{PaperQueryRect: true})
+		for k := range got {
+			if !want[k] {
+				t.Fatalf("paper rect fabricated %v", k)
+			}
+		}
+		if missing := len(want) - len(got); missing > 0 {
+			t.Logf("paper rect dismissed %d of %d matches (expected hazard of the plain box)", missing, len(want))
+		}
+	})
+}
+
+func TestPipelineEqualsManualComposition(t *testing.T) {
+	// Rewriting "shift | mv" into a flat set (Sec. 3.3) must answer like
+	// evaluating the two-stage predicate by hand.
+	const n = 64
+	ss := datagen.RandomWalks(91, 150, n)
+	db, err := Open(ss, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParsePipeline("shift(0..3) | mv(2..6)", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := p.Flatten()
+	thr := Correlation(0.9)
+	got, _, err := db.RangeByID(5, flat, thr, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manual: for each record and (s, m) combination, compose explicitly.
+	var manual int
+	eps := thr.Epsilon(n)
+	for id := int64(0); id < int64(db.Len()); id++ {
+		r := db.NormalForm(id)
+		q := db.NormalForm(5)
+		for s := 0; s <= 3; s++ {
+			for m := 2; m <= 6; m++ {
+				tr := Compose(MovingAverage(n, m), TimeShift(n, s))
+				a := tr.ApplySeries(r)
+				b := tr.ApplySeries(q)
+				if EuclideanDistance(a, b) <= eps {
+					manual++
+				}
+			}
+		}
+	}
+	if len(got) != manual {
+		t.Fatalf("pipeline answered %d, manual composition %d", len(got), manual)
+	}
+}
+
+func TestStatsAreConsistent(t *testing.T) {
+	ss := datagen.RandomWalks(92, 400, 64)
+	db, err := Open(ss, nil, Options{PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := MovingAverages(64, 5, 16)
+	for _, opts := range []QueryOptions{
+		{Algorithm: MTIndex},
+		{Algorithm: MTIndex, TransformsPerMBR: 4},
+		{Algorithm: STIndex},
+	} {
+		_, st, err := db.RangeByID(3, ts, Correlation(0.9), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.DALeaf > st.DAAll {
+			t.Errorf("%+v: leaf accesses %d exceed total %d", opts, st.DALeaf, st.DAAll)
+		}
+		if st.Comparisons < st.Candidates {
+			t.Errorf("%+v: comparisons %d below candidates %d", opts, st.Comparisons, st.Candidates)
+		}
+		if st.IndexSearches < 1 {
+			t.Errorf("%+v: no index searches recorded", opts)
+		}
+	}
+}
+
+func TestLargeScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale smoke test")
+	}
+	// The Fig. 5 upper point end to end: 12000 sequences.
+	ss := datagen.RandomWalks(93, 12000, 128)
+	db, err := Open(ss, nil, Options{PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := MovingAverages(128, 10, 25)
+	thr := Correlation(0.96)
+	mt, stMT, err := db.RangeByID(999, ts, thr, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, _, err := db.RangeByID(999, ts, thr, QueryOptions{Algorithm: SeqScan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mt) != len(seq) {
+		t.Fatalf("MT %d vs seqscan %d at scale", len(mt), len(seq))
+	}
+	if stMT.Candidates >= db.Len()/2 {
+		t.Errorf("MT verified %d of %d records; index not filtering at scale", stMT.Candidates, db.Len())
+	}
+}

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// Small configurations keep the test suite fast; the full sweeps run via
+// cmd/tsbench and the root-level testing.B benchmarks.
+func tinyConfig() Config {
+	return Config{Queries: 3, Seed: 7, StockCount: 300, Length: 128}
+}
+
+func TestFig5ShapeTiny(t *testing.T) {
+	rows, err := Fig5(tinyConfig(), []int{200, 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.SeqScanSec <= 0 || r.STSec <= 0 || r.MTSec <= 0 {
+			t.Errorf("non-positive timing in %+v", r)
+		}
+		if r.MTDiskAccesses >= r.STDiskAccesses {
+			t.Errorf("MT accesses %.1f not below ST %.1f", r.MTDiskAccesses, r.STDiskAccesses)
+		}
+		if r.AvgOutput < 1 {
+			t.Errorf("average output %.2f < 1 (self-match must appear)", r.AvgOutput)
+		}
+	}
+	if rows[1].SeqScanSec < rows[0].SeqScanSec {
+		t.Logf("note: seqscan did not grow with N on tiny sizes (%.4fs vs %.4fs)", rows[0].SeqScanSec, rows[1].SeqScanSec)
+	}
+}
+
+func TestFig6ShapeTiny(t *testing.T) {
+	rows, err := Fig6(tinyConfig(), []int{4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.MTDiskAccesses >= r.STDiskAccesses {
+			t.Errorf("nt=%d: MT accesses %.1f not below ST %.1f", r.X, r.MTDiskAccesses, r.STDiskAccesses)
+		}
+	}
+	// ST disk accesses grow roughly linearly with |T|; MT's stay flat.
+	stGrowth := rows[1].STDiskAccesses / rows[0].STDiskAccesses
+	mtGrowth := rows[1].MTDiskAccesses / rows[0].MTDiskAccesses
+	if stGrowth < 2 {
+		t.Errorf("ST accesses grew only %.2fx from 4 to 16 transforms", stGrowth)
+	}
+	if mtGrowth > stGrowth {
+		t.Errorf("MT accesses grew faster (%.2fx) than ST (%.2fx)", mtGrowth, stGrowth)
+	}
+	t.Logf("fig6 tiny: %+v", rows)
+}
+
+func TestFig7ShapeTiny(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.StockCount = 150
+	rows, err := Fig7(cfg, []int{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.SeqScanSec <= 0 || r.MTSec <= 0 {
+			t.Errorf("non-positive join timing: %+v", r)
+		}
+	}
+	if rows[1].OutputSize < rows[0].OutputSize {
+		t.Errorf("join output shrank with more transforms: %+v", rows)
+	}
+}
+
+func TestFig8ShapeTiny(t *testing.T) {
+	rows, err := Fig8(tinyConfig(), []int{1, 8, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Pure disk accesses are minimized by the single rectangle (last row)
+	// and maximized by singletons (first row).
+	if rows[2].DiskAccesses > rows[0].DiskAccesses {
+		t.Errorf("all-in-one rectangle cost more accesses than singletons: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.CostFn <= 0 {
+			t.Errorf("non-positive cost: %+v", r)
+		}
+	}
+	// The big Eq. 20 win comes from packing: the middle packing beats
+	// singletons by a wide margin and is within a few percent of the
+	// best. (The strict interior minimum appears at full 1068-stock
+	// scale — see EXPERIMENTS.md — but is within noise at this tiny one.)
+	if rows[1].CostFn >= rows[0].CostFn {
+		t.Errorf("packing did not beat singletons: %+v", rows)
+	}
+	minCost := rows[0].CostFn
+	for _, r := range rows {
+		if r.CostFn < minCost {
+			minCost = r.CostFn
+		}
+	}
+	if rows[1].CostFn > 1.1*minCost {
+		t.Errorf("middle packing %0.f not within 10%% of best %0.f", rows[1].CostFn, minCost)
+	}
+	t.Logf("fig8 tiny: %+v", rows)
+}
+
+func TestFig9TwoClusterBump(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.StockCount = 1068 // the bump needs a tree deep enough to prune
+	rows, err := Fig9(cfg, []int{12, 16, 24, 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPer := map[int]MBRRow{}
+	for _, r := range rows {
+		byPer[r.PerMBR] = r
+	}
+	// Packing one third (16) of the 48 transformations per rectangle makes
+	// the middle rectangle span the inter-cluster gap: disk accesses and
+	// the cost function bump above the cluster-aligned 12-per-rectangle
+	// packing despite using fewer rectangles. Same for all-in-one (48)
+	// versus the cluster-aligned 24.
+	// The raw access counts can go either way depending on the query (the
+	// spanning packing uses fewer traversals); the robust signal — and
+	// what drives the paper's running-time bumps — is the cost function.
+	if byPer[16].CostFn <= byPer[12].CostFn {
+		t.Errorf("no one-third cost bump: %.1f vs %.1f", byPer[16].CostFn, byPer[12].CostFn)
+	}
+	// The all-in-one packing also spans the gap; its index accesses are
+	// minimal by construction, but the verification work (and hence the
+	// cost function and running time) bumps above the cluster-aligned
+	// 24-per-rectangle packing.
+	if byPer[48].CostFn <= byPer[24].CostFn {
+		t.Errorf("no all-in-one cost bump: %.1f vs %.1f", byPer[48].CostFn, byPer[24].CostFn)
+	}
+	t.Logf("fig9 tiny: %+v", rows)
+}
+
+func TestFig3And4Printouts(t *testing.T) {
+	f3 := Fig3(128)
+	if !strings.Contains(f3, "mult-MBR") || !strings.Contains(f3, "add-MBR") {
+		t.Errorf("Fig3 output missing MBR summary:\n%s", f3)
+	}
+	// The phase offsets of MV(1..40) at f=1 lie in (-1, 0].
+	if !strings.Contains(f3, "phase multiplier = 1") {
+		t.Error("Fig3 missing the horizontal-line observation")
+	}
+	f4 := Fig4(128)
+	if !strings.Contains(f4, "transformed rectangle") {
+		t.Errorf("Fig4 output malformed:\n%s", f4)
+	}
+}

@@ -1,0 +1,191 @@
+// Package cluster implements the CURE-style agglomerative clustering the
+// paper suggests (Sec. 4.3, citing Guha et al.) for grouping
+// transformations into bounding rectangles: hierarchical merging by
+// closest representative pair, with each cluster summarized by a handful
+// of well-scattered representatives shrunk toward the centroid. The
+// full CURE system includes sampling and partitioning for large inputs;
+// transformation sets hold at most a few dozen points, so the in-memory
+// hierarchical core is the relevant part and is what is built here.
+package cluster
+
+import (
+	"math"
+
+	"tsq/internal/geom"
+)
+
+// Options configures the clustering.
+type Options struct {
+	// NumRepresentatives is the number of scattered points that summarize
+	// a cluster (CURE's c). Default 4.
+	NumRepresentatives int
+	// Shrink is the fraction by which representatives move toward the
+	// centroid (CURE's alpha). Default 0.3.
+	Shrink float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.NumRepresentatives == 0 {
+		o.NumRepresentatives = 4
+	}
+	if o.Shrink == 0 {
+		o.Shrink = 0.3
+	}
+	return o
+}
+
+type clusterState struct {
+	members []int
+	reps    []geom.Point
+}
+
+// Agglomerative clusters points into exactly k clusters and returns the
+// member indices of each cluster, ordered by smallest member index.
+// It panics if k < 1 or k > len(points).
+func Agglomerative(points []geom.Point, k int, opts Options) [][]int {
+	if k < 1 || k > len(points) {
+		panic("cluster: k out of range")
+	}
+	clusters, _ := run(points, k, math.Inf(1), opts.withDefaults())
+	return membersOf(clusters)
+}
+
+// Detect clusters points without a preset k: it keeps merging while the
+// closest pair of clusters is within jumpFactor times the largest merge
+// distance seen so far, and stops at the first distance jump (or at one
+// cluster). A jumpFactor around 3 separates the paper's Sec. 5.2 setting
+// (moving averages plus their inversions) into its two natural clusters.
+func Detect(points []geom.Point, jumpFactor float64, opts Options) [][]int {
+	if len(points) == 0 {
+		return nil
+	}
+	if jumpFactor <= 1 {
+		jumpFactor = 3
+	}
+	clusters, _ := run(points, 1, jumpFactor, opts.withDefaults())
+	return membersOf(clusters)
+}
+
+// run merges until k clusters remain or a merge would jump by more than
+// jumpFactor relative to the largest merge so far.
+func run(points []geom.Point, k int, jumpFactor float64, opts Options) ([]clusterState, []float64) {
+	clusters := make([]clusterState, len(points))
+	for i, p := range points {
+		clusters[i] = clusterState{members: []int{i}, reps: []geom.Point{p.Clone()}}
+	}
+	var mergeDists []float64
+	maxMerge := 0.0
+	for len(clusters) > k {
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				if d := repDist(clusters[i], clusters[j]); d < best {
+					bi, bj, best = i, j, d
+				}
+			}
+		}
+		if maxMerge > 0 && best > jumpFactor*maxMerge {
+			break
+		}
+		if best > maxMerge {
+			maxMerge = best
+		}
+		mergeDists = append(mergeDists, best)
+		merged := merge(points, clusters[bi], clusters[bj], opts)
+		clusters[bi] = merged
+		clusters = append(clusters[:bj], clusters[bj+1:]...)
+	}
+	return clusters, mergeDists
+}
+
+// repDist is the CURE inter-cluster distance: the minimum distance over
+// representative pairs.
+func repDist(a, b clusterState) float64 {
+	best := math.Inf(1)
+	for _, p := range a.reps {
+		for _, q := range b.reps {
+			if d := geom.Dist(p, q); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// merge combines two clusters and rebuilds the representative set: pick
+// the c most scattered members (farthest-point heuristic starting from the
+// point farthest from the centroid), then shrink them toward the centroid.
+func merge(points []geom.Point, a, b clusterState, opts Options) clusterState {
+	members := append(append([]int{}, a.members...), b.members...)
+	dim := len(points[0])
+	centroid := make(geom.Point, dim)
+	for _, m := range members {
+		for d := range centroid {
+			centroid[d] += points[m][d]
+		}
+	}
+	for d := range centroid {
+		centroid[d] /= float64(len(members))
+	}
+
+	c := opts.NumRepresentatives
+	if c > len(members) {
+		c = len(members)
+	}
+	var scattered []geom.Point
+	chosen := make(map[int]bool)
+	for len(scattered) < c {
+		bestIdx, bestDist := -1, -1.0
+		for _, m := range members {
+			if chosen[m] {
+				continue
+			}
+			// Distance to the nearest already-chosen representative, or to
+			// the centroid for the first pick.
+			d := math.Inf(1)
+			if len(scattered) == 0 {
+				d = geom.Dist(points[m], centroid)
+			} else {
+				for _, s := range scattered {
+					if dd := geom.Dist(points[m], s); dd < d {
+						d = dd
+					}
+				}
+			}
+			if d > bestDist {
+				bestIdx, bestDist = m, d
+			}
+		}
+		chosen[bestIdx] = true
+		scattered = append(scattered, points[bestIdx].Clone())
+	}
+	// Shrink toward the centroid.
+	for _, p := range scattered {
+		for d := range p {
+			p[d] += opts.Shrink * (centroid[d] - p[d])
+		}
+	}
+	return clusterState{members: members, reps: scattered}
+}
+
+// membersOf extracts sorted member groups ordered by first member.
+func membersOf(clusters []clusterState) [][]int {
+	out := make([][]int, len(clusters))
+	for i, c := range clusters {
+		g := append([]int(nil), c.members...)
+		// Insertion sort: groups are tiny.
+		for a := 1; a < len(g); a++ {
+			for b := a; b > 0 && g[b] < g[b-1]; b-- {
+				g[b], g[b-1] = g[b-1], g[b]
+			}
+		}
+		out[i] = g
+	}
+	// Order groups by first member for deterministic output.
+	for a := 1; a < len(out); a++ {
+		for b := a; b > 0 && out[b][0] < out[b-1][0]; b-- {
+			out[b], out[b-1] = out[b-1], out[b]
+		}
+	}
+	return out
+}

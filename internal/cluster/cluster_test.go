@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"tsq/internal/geom"
+)
+
+// twoBlobs returns points forming two well-separated clusters: indices
+// 0..n1-1 around (0,0), n1..n1+n2-1 around (100,100).
+func twoBlobs(rng *rand.Rand, n1, n2 int) []geom.Point {
+	pts := make([]geom.Point, 0, n1+n2)
+	for i := 0; i < n1; i++ {
+		pts = append(pts, geom.Point{rng.NormFloat64(), rng.NormFloat64()})
+	}
+	for i := 0; i < n2; i++ {
+		pts = append(pts, geom.Point{100 + rng.NormFloat64(), 100 + rng.NormFloat64()})
+	}
+	return pts
+}
+
+func TestAgglomerativeTwoBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := twoBlobs(rng, 12, 12)
+	groups := Agglomerative(pts, 2, Options{})
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups", len(groups))
+	}
+	for _, g := range groups {
+		blob := g[0] < 12
+		for _, m := range g {
+			if (m < 12) != blob {
+				t.Fatalf("group %v mixes the two blobs", g)
+			}
+		}
+	}
+	// All points assigned exactly once.
+	seen := make(map[int]bool)
+	for _, g := range groups {
+		for _, m := range g {
+			if seen[m] {
+				t.Fatalf("point %d assigned twice", m)
+			}
+			seen[m] = true
+		}
+	}
+	if len(seen) != 24 {
+		t.Fatalf("assigned %d of 24 points", len(seen))
+	}
+}
+
+func TestAgglomerativeKExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := twoBlobs(rng, 5, 5)
+	one := Agglomerative(pts, 1, Options{})
+	if len(one) != 1 || len(one[0]) != 10 {
+		t.Errorf("k=1: %v", one)
+	}
+	all := Agglomerative(pts, 10, Options{})
+	if len(all) != 10 {
+		t.Errorf("k=n returned %d groups", len(all))
+	}
+}
+
+func TestDetectFindsTwoClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := twoBlobs(rng, 10, 14)
+	groups := Detect(pts, 3, Options{})
+	if len(groups) != 2 {
+		t.Fatalf("Detect found %d clusters, want 2", len(groups))
+	}
+}
+
+func TestDetectSingleCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := make([]geom.Point, 20)
+	for i := range pts {
+		pts[i] = geom.Point{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	groups := Detect(pts, 3, Options{})
+	if len(groups) != 1 {
+		t.Errorf("Detect split a single blob into %d clusters", len(groups))
+	}
+}
+
+func TestDetectEmptyAndSingleton(t *testing.T) {
+	if got := Detect(nil, 3, Options{}); got != nil {
+		t.Errorf("Detect(nil) = %v", got)
+	}
+	got := Detect([]geom.Point{{1, 2}}, 3, Options{})
+	if len(got) != 1 || len(got[0]) != 1 {
+		t.Errorf("Detect(singleton) = %v", got)
+	}
+}
+
+func TestAgglomerativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for k=0")
+		}
+	}()
+	Agglomerative([]geom.Point{{1}}, 0, Options{})
+}
+
+func TestOutliersDoNotBridgeClusters(t *testing.T) {
+	// The shrink step should keep a midpoint outlier from chaining the
+	// two blobs together before the blobs themselves merge.
+	rng := rand.New(rand.NewSource(5))
+	pts := twoBlobs(rng, 10, 10)
+	pts = append(pts, geom.Point{50, 50}) // lone outlier halfway
+	groups := Agglomerative(pts, 3, Options{})
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups", len(groups))
+	}
+	// One group should be exactly the outlier.
+	foundLone := false
+	for _, g := range groups {
+		if len(g) == 1 && g[0] == 20 {
+			foundLone = true
+		}
+	}
+	if !foundLone {
+		t.Errorf("outlier was absorbed: %v", groups)
+	}
+}
+
+func TestCustomOptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts := twoBlobs(rng, 15, 15)
+	// More representatives and stronger shrink still separate the blobs.
+	groups := Agglomerative(pts, 2, Options{NumRepresentatives: 8, Shrink: 0.6})
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups", len(groups))
+	}
+	for _, g := range groups {
+		blob := g[0] < 15
+		for _, m := range g {
+			if (m < 15) != blob {
+				t.Fatalf("group %v mixes blobs", g)
+			}
+		}
+	}
+	// A single representative degenerates to centroid-ish linkage but
+	// must still produce a valid partition.
+	groups = Agglomerative(pts, 3, Options{NumRepresentatives: 1, Shrink: 0.01})
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	if total != 30 {
+		t.Fatalf("partition covers %d of 30", total)
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+
+	"tsq/internal/geom"
+	"tsq/internal/rtree"
+)
+
+// This file implements an analytical disk-access estimator of the
+// Theodoridis-Sellis family that the paper's Sec. 4.3 discusses: the
+// expected number of nodes a range query touches is modeled per level as
+//
+//	N_l * prod_d min(1, (s_{l,d} + q_d) / W_d)
+//
+// where N_l is the node count at level l, s_{l,d} the average node extent
+// in dimension d, q_d the query extent, and W_d the data-space extent.
+// The model uses only *extents* — it is blind to where the query and the
+// node rectangles actually sit. That blindness is precisely the paper's
+// point: with it, DA(q, r_i) is (nearly) independent of which
+// transformations rectangle r_i holds, the first term of Eq. 20 grows
+// linearly in the number of rectangles, and the model concludes a single
+// rectangle is always best — which measurement refutes (Fig. 8). The
+// estimator is kept here to reproduce that argument; the planner uses
+// measured probes instead.
+
+// LevelStats summarizes one tree level for the analytical model.
+type LevelStats struct {
+	Level   int // 1 = leaf
+	Nodes   int
+	AvgSide []float64 // average node-rectangle extent per dimension
+}
+
+// TreeStats collects per-level statistics and the data-space extent.
+func (ix *Index) TreeStats() ([]LevelStats, geom.Rect, error) {
+	height := ix.tree.Height()
+	stats := make([]LevelStats, height)
+	for i := range stats {
+		stats[i] = LevelStats{Level: height - i, AvgSide: make([]float64, ix.dim)}
+	}
+	var world geom.Rect
+	first := true
+	err := ix.tree.Visit(func(n *rtree.Node, level int) error {
+		s := &stats[height-level]
+		s.Nodes++
+		var mbr geom.Rect
+		if len(n.Entries) > 0 {
+			rects := make([]geom.Rect, len(n.Entries))
+			for i, e := range n.Entries {
+				rects[i] = e.Rect
+			}
+			mbr = geom.MBRRects(rects)
+			for d := 0; d < ix.dim; d++ {
+				s.AvgSide[d] += mbr.Hi[d] - mbr.Lo[d]
+			}
+			if first {
+				world = mbr.Clone()
+				first = false
+			} else {
+				world = world.Union(mbr)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, geom.Rect{}, err
+	}
+	for i := range stats {
+		if stats[i].Nodes > 0 {
+			for d := range stats[i].AvgSide {
+				stats[i].AvgSide[d] /= float64(stats[i].Nodes)
+			}
+		}
+	}
+	return stats, world, nil
+}
+
+// AnalyticalAccessEstimate returns the model's expected node accesses for
+// a query rectangle. Only the query's per-dimension extents enter the
+// formula; its position is deliberately ignored (see the file comment).
+// Unbounded query dimensions count as covering the whole data space.
+func (ix *Index) AnalyticalAccessEstimate(qrect geom.Rect) (float64, error) {
+	stats, world, err := ix.TreeStats()
+	if err != nil {
+		return 0, err
+	}
+	total := 1.0 // the root is always read
+	for li, s := range stats {
+		if li == 0 || s.Nodes == 0 {
+			continue // root handled above
+		}
+		p := 1.0
+		for d := 0; d < ix.dim; d++ {
+			w := world.Hi[d] - world.Lo[d]
+			if w <= 0 {
+				continue
+			}
+			qd := qrect.Hi[d] - qrect.Lo[d]
+			if math.IsInf(qd, 1) || math.IsNaN(qd) {
+				continue // unconstrained dimension: probability 1
+			}
+			p *= math.Min(1, (s.AvgSide[d]+qd)/w)
+		}
+		total += float64(s.Nodes) * p
+	}
+	return total, nil
+}

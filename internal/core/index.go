@@ -1,0 +1,518 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"tsq/internal/geom"
+	"tsq/internal/heapfile"
+	"tsq/internal/rtree"
+	"tsq/internal/series"
+	"tsq/internal/storage"
+	"tsq/internal/transform"
+)
+
+// QRectMode selects how the MT-index query rectangle is built.
+type QRectMode int
+
+const (
+	// QRectSafe (the default) widens phase dimensions by a provable bound
+	// on the angular difference of two complex numbers within the
+	// per-coefficient distance, falling back to the full phase range when
+	// the interval would wrap across +-pi. With it, the index filter
+	// provably admits every qualifying sequence (no false dismissals).
+	QRectSafe QRectMode = iota
+	// QRectPaper is the paper's construction: a plain eps-width box in
+	// every indexed dimension. Phases are not true coordinates of an
+	// isometric embedding, so in adversarial cases (coefficients with
+	// near-zero magnitude) this can miss matches; on the evaluation
+	// workloads it behaves identically and filters slightly better.
+	QRectPaper
+)
+
+// IndexOptions configures BuildIndex.
+type IndexOptions struct {
+	// K is the number of DFT coefficients indexed (coefficients 1..K of
+	// the normal form). The paper uses 2, giving a 6-dimensional index
+	// with the mean and std dimensions. Default 2.
+	K int
+	// PageSize is the storage page size; storage.DefaultPageSize if zero.
+	PageSize int
+	// BufferPages enables an LRU buffer pool of that many pages. Zero
+	// (default) counts every node fetch as a disk access, the paper's
+	// convention.
+	BufferPages int
+	// UseSymmetry applies the DFT symmetry property (Eq. 6): the mirror
+	// coefficient n-f duplicates the energy of coefficient f, shrinking
+	// the per-coefficient search bound by sqrt(2). Default true (set by
+	// BuildIndex when the zero value is passed through DefaultIndexOptions).
+	// Sound for the built-in transformations, which act symmetrically on
+	// mirror coefficients.
+	UseSymmetry bool
+	// Paged stores full records in a heap file on the same storage
+	// manager, so candidate verification retrieves pages — the Eq. 18
+	// "find and retrieve" accounting becomes a real I/O path. Required
+	// for persistence.
+	Paged bool
+	// Manager, when non-nil, supplies the storage manager (e.g. a
+	// file-backed one for persistence) instead of a fresh in-memory one.
+	Manager *storage.Manager
+	// BulkLoad builds the R*-tree with Sort-Tile-Recursive packing
+	// instead of repeated insertion: faster to build and near-full nodes
+	// (fewer disk accesses per query). The tree remains fully updatable.
+	BulkLoad bool
+}
+
+// DefaultIndexOptions returns the paper's configuration.
+func DefaultIndexOptions() IndexOptions {
+	return IndexOptions{K: 2, PageSize: storage.DefaultPageSize, UseSymmetry: true}
+}
+
+// Index is the multidimensional feature index of Sec. 5: an R*-tree over
+// [mean, std, |F_1|, angle(F_1), ..., |F_k|, angle(F_k)].
+type Index struct {
+	ds    *Dataset
+	opts  IndexOptions
+	mgr   *storage.Manager
+	tree  *rtree.Tree
+	heap  *heapfile.File // non-nil when Paged
+	comps []int          // polar component ids of the transform-sensitive dims
+	dim   int
+}
+
+// BuildIndex constructs the feature index over the dataset.
+func BuildIndex(ds *Dataset, opts IndexOptions) (*Index, error) {
+	if opts.K == 0 {
+		opts.K = 2
+	}
+	if opts.PageSize == 0 {
+		opts.PageSize = storage.DefaultPageSize
+	}
+	if opts.K < 1 || 2*opts.K >= ds.N {
+		return nil, fmt.Errorf("core: k=%d out of range for series length %d", opts.K, ds.N)
+	}
+	mgr := opts.Manager
+	if mgr == nil {
+		mgr = storage.NewManager(storage.Options{PageSize: opts.PageSize, BufferPages: opts.BufferPages})
+	}
+	ix := &Index{ds: ds, opts: opts, mgr: mgr, dim: 2 + 2*opts.K}
+	for f := 1; f <= opts.K; f++ {
+		ix.comps = append(ix.comps, 2*f, 2*f+1)
+	}
+	if opts.Paged {
+		heap, err := heapfile.Create(mgr, ds.N)
+		if err != nil {
+			return nil, err
+		}
+		ix.heap = heap
+		for _, r := range ds.Records {
+			rec, err := heap.Append(recordToHeap(r))
+			if err != nil {
+				return nil, err
+			}
+			if rec != r.ID {
+				return nil, fmt.Errorf("core: heap record %d for id %d", rec, r.ID)
+			}
+		}
+		if err := heap.Sync(); err != nil {
+			return nil, err
+		}
+	}
+	if opts.BulkLoad {
+		items := make([]rtree.BulkItem, len(ds.Records))
+		for i, r := range ds.Records {
+			items[i] = rtree.BulkItem{Rect: geom.PointRect(r.Feature(opts.K)), Rec: r.ID}
+		}
+		tree, err := rtree.BulkLoad(mgr, ix.dim, items)
+		if err != nil {
+			return nil, err
+		}
+		ix.tree = tree
+		return ix, nil
+	}
+	tree, err := rtree.New(mgr, ix.dim)
+	if err != nil {
+		return nil, err
+	}
+	ix.tree = tree
+	for _, r := range ds.Records {
+		if err := tree.InsertPoint(r.Feature(opts.K), r.ID); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// OpenIndex attaches to an existing paged index: the R*-tree rooted at
+// treeMeta and the record heap at heapDir, both on mgr. The dataset is
+// reconstructed from the heap.
+func OpenIndex(mgr *storage.Manager, treeMeta, heapDir storage.PageID, n int, opts IndexOptions) (*Index, error) {
+	if opts.K == 0 {
+		opts.K = 2
+	}
+	opts.Paged = true
+	opts.Manager = mgr
+	heap, err := heapfile.Open(mgr, heapDir, n)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := rtree.Open(mgr, treeMeta)
+	if err != nil {
+		return nil, err
+	}
+	if tree.Dim() != 2+2*opts.K {
+		return nil, fmt.Errorf("core: tree dimension %d does not match k=%d", tree.Dim(), opts.K)
+	}
+	ds := &Dataset{N: n}
+	for i := 0; i < heap.Len(); i++ {
+		hr, err := heap.Read(int64(i))
+		if err != nil {
+			return nil, err
+		}
+		if hr == nil { // tombstoned record; keep ids aligned
+			ds.Records = append(ds.Records, nil)
+			continue
+		}
+		ds.Records = append(ds.Records, heapToRecord(int64(i), hr))
+	}
+	ix := &Index{ds: ds, opts: opts, mgr: mgr, tree: tree, heap: heap, dim: 2 + 2*opts.K}
+	for f := 1; f <= opts.K; f++ {
+		ix.comps = append(ix.comps, 2*f, 2*f+1)
+	}
+	return ix, nil
+}
+
+// recordToHeap converts a Record for heap storage.
+func recordToHeap(r *Record) *heapfile.Rec {
+	return &heapfile.Rec{
+		Name: r.Name,
+		Mean: r.Mean,
+		Std:  r.Std,
+		Raw:  r.Raw, Mags: r.Mags, Phases: r.Phases,
+	}
+}
+
+// heapToRecord rebuilds a Record from heap storage (the normal form is
+// recomputed from the raw series and statistics).
+func heapToRecord(id int64, hr *heapfile.Rec) *Record {
+	norm := make(series.Series, len(hr.Raw))
+	if hr.Std != 0 {
+		for i, v := range hr.Raw {
+			norm[i] = (v - hr.Mean) / hr.Std
+		}
+	}
+	return &Record{
+		ID:   id,
+		Name: hr.Name,
+		Raw:  series.Series(hr.Raw),
+		Norm: norm,
+		Mean: hr.Mean,
+		Std:  hr.Std,
+		Mags: hr.Mags, Phases: hr.Phases,
+	}
+}
+
+// fetch retrieves the full record for verification. In paged mode this
+// reads (and counts) one record page, the Eq. 18 retrieval; otherwise it
+// returns the in-memory record. A nil result with nil error marks a
+// deleted record.
+func (ix *Index) fetch(id int64) (*Record, error) {
+	if ix.heap == nil {
+		return ix.ds.Record(id), nil
+	}
+	if r := ix.ds.Record(id); r == nil {
+		return nil, nil // deleted
+	}
+	hr, err := ix.heap.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	if hr == nil {
+		return nil, nil
+	}
+	return heapToRecord(id, hr), nil
+}
+
+// Insert adds a new series to the dataset, the heap (when paged) and the
+// tree, returning its id.
+func (ix *Index) Insert(name string, s series.Series) (int64, error) {
+	if len(s) != ix.ds.N {
+		return 0, fmt.Errorf("core: inserting series of length %d into dataset of length %d", len(s), ix.ds.N)
+	}
+	id := int64(len(ix.ds.Records))
+	r := NewRecord(id, name, s)
+	if ix.heap != nil {
+		rec, err := ix.heap.Append(recordToHeap(r))
+		if err != nil {
+			return 0, err
+		}
+		if rec != id {
+			return 0, fmt.Errorf("core: heap record %d for id %d", rec, id)
+		}
+		if err := ix.heap.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	if err := ix.tree.InsertPoint(r.Feature(ix.opts.K), id); err != nil {
+		return 0, err
+	}
+	ix.ds.Records = append(ix.ds.Records, r)
+	return id, nil
+}
+
+// Delete removes series id from the index and marks its record deleted
+// (the heap page, if any, is left in place).
+func (ix *Index) Delete(id int64) error {
+	r := ix.ds.Record(id)
+	if r == nil {
+		return fmt.Errorf("core: no record %d", id)
+	}
+	if err := ix.tree.Delete(geom.PointRect(r.Feature(ix.opts.K)), id); err != nil {
+		return err
+	}
+	if ix.heap != nil {
+		if err := ix.heap.Delete(id); err != nil {
+			return err
+		}
+	}
+	ix.ds.Records[id] = nil
+	return nil
+}
+
+// Manager returns the storage manager backing the index.
+func (ix *Index) Manager() *storage.Manager { return ix.mgr }
+
+// Heap returns the record heap (nil unless paged).
+func (ix *Index) Heap() *heapfile.File { return ix.heap }
+
+// Dataset returns the indexed dataset.
+func (ix *Index) Dataset() *Dataset { return ix.ds }
+
+// Options returns the build options.
+func (ix *Index) Options() IndexOptions { return ix.opts }
+
+// Tree exposes the underlying R*-tree (read-only use).
+func (ix *Index) Tree() *rtree.Tree { return ix.tree }
+
+// DiskStats returns the storage counters accumulated so far.
+func (ix *Index) DiskStats() storage.Stats { return ix.mgr.Stats() }
+
+// ResetDiskStats zeroes the storage counters.
+func (ix *Index) ResetDiskStats() { ix.mgr.ResetStats() }
+
+// DropBuffer empties the buffer pool (no-op without one).
+func (ix *Index) DropBuffer() { ix.mgr.DropBuffer() }
+
+// fullMBRs lifts the transformation MBRs of the given transforms to index
+// dimensionality: the mean and std dimensions are untouched by
+// transformations (identity), the DFT dimensions carry the mult-/add-MBR
+// of Sec. 4.1.
+func (ix *Index) fullMBRs(ts []transform.Transform) (mult, add geom.Rect) {
+	m, a := transform.MBRs(ts, ix.comps)
+	mult = geom.Rect{Lo: make(geom.Point, ix.dim), Hi: make(geom.Point, ix.dim)}
+	add = geom.Rect{Lo: make(geom.Point, ix.dim), Hi: make(geom.Point, ix.dim)}
+	mult.Lo[0], mult.Hi[0] = 1, 1
+	mult.Lo[1], mult.Hi[1] = 1, 1
+	for d := 0; d < 2*ix.opts.K; d++ {
+		mult.Lo[2+d], mult.Hi[2+d] = m.Lo[d], m.Hi[d]
+		add.Lo[2+d], add.Hi[2+d] = a.Lo[d], a.Hi[d]
+	}
+	return mult, add
+}
+
+// queryRect builds the search region for one transformation group: the
+// bounding box of the transformed query features {t(q)}, expanded per
+// dimension by the per-coefficient distance bound — eps/sqrt(2) on
+// magnitudes (symmetry), and either the same (QRectPaper) or the provable
+// angular bound (QRectSafe) on phases. The mean and std dimensions are
+// unconstrained: the predicate is on normal forms (Sec. 3.2), so the
+// originals' statistics must not filter.
+func (ix *Index) queryRect(q *Record, ts []transform.Transform, eps float64, mode QRectMode) geom.Rect {
+	epsC := epsScale(eps, ix.opts.UseSymmetry)
+	lo := make(geom.Point, ix.dim)
+	hi := make(geom.Point, ix.dim)
+	lo[0], hi[0] = math.Inf(-1), math.Inf(1)
+	lo[1], hi[1] = math.Inf(-1), math.Inf(1)
+	for j := 1; j <= ix.opts.K; j++ {
+		magDim, phDim := 2*j, 2*j+1
+		qm, qp := q.Mags[j], q.Phases[j]
+		// Transformed query magnitude and phase spans over the group.
+		mLo, mHi := math.Inf(1), math.Inf(-1)
+		pLo, pHi := math.Inf(1), math.Inf(-1)
+		bLo, bHi := math.Inf(1), math.Inf(-1)
+		for _, t := range ts {
+			mv := t.A[2*j]*qm + t.B[2*j]
+			pv := t.A[2*j+1]*qp + t.B[2*j+1]
+			mLo, mHi = math.Min(mLo, mv), math.Max(mHi, mv)
+			pLo, pHi = math.Min(pLo, pv), math.Max(pHi, pv)
+			bLo, bHi = math.Min(bLo, t.B[2*j+1]), math.Max(bHi, t.B[2*j+1])
+		}
+		lo[magDim], hi[magDim] = mLo-epsC, mHi+epsC
+
+		g := epsC // paper mode: plain box
+		if mode == QRectSafe {
+			g = phaseBound(epsC, mLo)
+		}
+		if mode == QRectSafe && (g >= math.Pi || qp+g > math.Pi || qp-g < -math.Pi) {
+			// The acceptance interval wraps across the branch cut; admit
+			// the full phase range shifted by the group's additive span.
+			lo[phDim], hi[phDim] = bLo-math.Pi, bHi+math.Pi
+		} else {
+			lo[phDim], hi[phDim] = pLo-g, pHi+g
+		}
+	}
+	return geom.Rect{Lo: lo, Hi: hi}
+}
+
+// oneSidedQueryRect builds the search region for the one-sided semantics
+// (the literal Algorithm 1: find s with D(t(s), q) <= eps for some t in
+// the rectangle): a box around the query's own features — the paper's
+// "search rectangle of width eps around q" — with the per-coefficient
+// bounds on magnitudes and phases. It also reports which dimensions are
+// phases, because the transformed data-side phase values are unwrapped
+// and must be compared modulo 2*pi (see intersectsModular).
+func (ix *Index) oneSidedQueryRect(q *Record, eps float64, mode QRectMode) (qrect geom.Rect, phaseDims []bool) {
+	epsC := epsScale(eps, ix.opts.UseSymmetry)
+	lo := make(geom.Point, ix.dim)
+	hi := make(geom.Point, ix.dim)
+	phaseDims = make([]bool, ix.dim)
+	lo[0], hi[0] = math.Inf(-1), math.Inf(1)
+	lo[1], hi[1] = math.Inf(-1), math.Inf(1)
+	for j := 1; j <= ix.opts.K; j++ {
+		qm, qp := q.Mags[j], q.Phases[j]
+		lo[2*j], hi[2*j] = qm-epsC, qm+epsC
+		g := epsC
+		if mode == QRectSafe {
+			g = phaseBound(epsC, qm)
+		}
+		lo[2*j+1], hi[2*j+1] = qp-g, qp+g
+		phaseDims[2*j+1] = true
+	}
+	return geom.Rect{Lo: lo, Hi: hi}, phaseDims
+}
+
+// intersectsModular reports whether the rectangles intersect when phase
+// dimensions are interpreted modulo 2*pi: transformed data phases are
+// unwrapped linear values (raw phase plus the additive span of the
+// transformation rectangle), so a data interval may match the query
+// interval only after a +-2*pi (or +-4*pi) translation.
+func intersectsModular(data, query geom.Rect, phaseDims []bool) bool {
+	const twoPi = 2 * math.Pi
+	for d := range data.Lo {
+		if !phaseDims[d] {
+			if data.Lo[d] > query.Hi[d] || query.Lo[d] > data.Hi[d] {
+				return false
+			}
+			continue
+		}
+		ok := false
+		for k := -2.0; k <= 2.0; k++ {
+			shift := k * twoPi
+			if data.Lo[d]+shift <= query.Hi[d] && query.Lo[d] <= data.Hi[d]+shift {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// phaseBound returns a bound on the angular difference between two complex
+// numbers u, v with |u - v| <= epsC and |v| >= magLo: both magnitudes are
+// then at least m = magLo - epsC, and for fixed angle delta the chord is
+// at least 2*m*sin(delta/2), so delta <= 2*asin(epsC/(2m)). Returns pi
+// (no information) when m <= epsC/2... i.e. whenever the asin argument
+// reaches 1 or the magnitudes may vanish.
+func phaseBound(epsC, magLo float64) float64 {
+	m := magLo - epsC
+	if m <= 0 {
+		return math.Pi
+	}
+	arg := epsC / (2 * m)
+	if arg >= 1 {
+		return math.Pi
+	}
+	return 2 * math.Asin(arg)
+}
+
+// Verify performs a full integrity check of the index and record store:
+// R*-tree structural invariants, agreement between the tree's leaf
+// entries and the records (every live record indexed exactly once, at
+// exactly its feature point, and no entry referencing a missing record),
+// and — in paged mode — that every live heap record decodes and matches
+// the in-memory dataset. It returns the first problem found.
+func (ix *Index) Verify() error {
+	if err := ix.tree.CheckInvariants(); err != nil {
+		return err
+	}
+	// Collect every leaf entry.
+	type entryInfo struct {
+		count int
+		pt    geom.Point
+	}
+	indexed := make(map[int64]entryInfo)
+	err := ix.tree.Visit(func(n *rtree.Node, level int) error {
+		if level != 1 {
+			return nil
+		}
+		for _, e := range n.Entries {
+			info := indexed[e.Rec]
+			info.count++
+			info.pt = e.Rect.Lo
+			indexed[e.Rec] = info
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	live := 0
+	for _, r := range ix.ds.Records {
+		if r == nil {
+			continue
+		}
+		live++
+		info, ok := indexed[r.ID]
+		if !ok {
+			return fmt.Errorf("core: record %d missing from the index", r.ID)
+		}
+		if info.count != 1 {
+			return fmt.Errorf("core: record %d indexed %d times", r.ID, info.count)
+		}
+		feat := r.Feature(ix.opts.K)
+		for d := range feat {
+			if feat[d] != info.pt[d] {
+				return fmt.Errorf("core: record %d feature dim %d: index has %v, record computes %v", r.ID, d, info.pt[d], feat[d])
+			}
+		}
+	}
+	if len(indexed) != live {
+		return fmt.Errorf("core: index holds %d entries for %d live records", len(indexed), live)
+	}
+	if ix.heap != nil {
+		for _, r := range ix.ds.Records {
+			if r == nil {
+				continue
+			}
+			hr, err := ix.heap.Read(r.ID)
+			if err != nil {
+				return fmt.Errorf("core: heap record %d: %w", r.ID, err)
+			}
+			if hr == nil {
+				return fmt.Errorf("core: live record %d tombstoned in the heap", r.ID)
+			}
+			if hr.Name != r.Name || hr.Mean != r.Mean || hr.Std != r.Std || len(hr.Raw) != len(r.Raw) {
+				return fmt.Errorf("core: heap record %d diverges from the dataset", r.ID)
+			}
+			for i := range hr.Raw {
+				if hr.Raw[i] != r.Raw[i] || hr.Mags[i] != r.Mags[i] || hr.Phases[i] != r.Phases[i] {
+					return fmt.Errorf("core: heap record %d corrupted at sample %d", r.ID, i)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tsq/internal/geom"
+	"tsq/internal/rtree"
+	"tsq/internal/storage"
+	"tsq/internal/transform"
+)
+
+// JoinMatch is one answer of a transformed spatial join (Query 2): a pair
+// of records and a transformation bringing them within the threshold.
+// IDA < IDB always.
+type JoinMatch struct {
+	IDA, IDB     int64
+	TransformIdx int
+	Distance     float64
+}
+
+// SeqScanJoin answers Query 2 by evaluating the predicate on every pair of
+// records and every transformation.
+func SeqScanJoin(ds *Dataset, ts []transform.Transform, eps float64) ([]JoinMatch, QueryStats) {
+	var st QueryStats
+	var out []JoinMatch
+	for i := 0; i < len(ds.Records); i++ {
+		for j := i + 1; j < len(ds.Records); j++ {
+			a, b := ds.Records[i], ds.Records[j]
+			if a == nil || b == nil { // deleted
+				continue
+			}
+			st.Candidates++
+			for ti, t := range ts {
+				st.Comparisons++
+				if d := t.DistancePolar(a.Mags, a.Phases, b.Mags, b.Phases); d <= eps {
+					out = append(out, JoinMatch{IDA: a.ID, IDB: b.ID, TransformIdx: ti, Distance: d})
+				}
+			}
+		}
+	}
+	return out, st
+}
+
+// STIndexJoin runs the index join once per transformation (singleton
+// groups).
+func (ix *Index) STIndexJoin(ts []transform.Transform, eps float64, opts RangeOptions) ([]JoinMatch, QueryStats, error) {
+	groups := make([][]int, len(ts))
+	for i := range ts {
+		groups[i] = []int{i}
+	}
+	opts.Groups = groups
+	return ix.MTIndexJoin(ts, eps, opts)
+}
+
+// MTIndexJoin answers Query 2 with a synchronized self-join of the R*-tree
+// in which the transformation rectangle is applied to both data
+// rectangles before the overlap test (Sec. 4.1). Candidate pairs are
+// verified exactly against every transformation in the rectangle.
+func (ix *Index) MTIndexJoin(ts []transform.Transform, eps float64, opts RangeOptions) ([]JoinMatch, QueryStats, error) {
+	if len(ts) == 0 {
+		return nil, QueryStats{}, nil
+	}
+	groups := opts.Groups
+	if groups == nil {
+		groups = [][]int{identityIndexes(len(ts))}
+	}
+	var st QueryStats
+	var out []JoinMatch
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		sub := make([]transform.Transform, len(g))
+		for i, idx := range g {
+			if idx < 0 || idx >= len(ts) {
+				return nil, st, fmt.Errorf("core: group index %d out of range", idx)
+			}
+			sub[i] = ts[idx]
+		}
+		mult, add := ix.fullMBRs(sub)
+		bounds := ix.joinBounds(sub, eps, opts.Mode)
+		st.IndexSearches++
+
+		pairs := make(map[[2]int64]bool)
+		if err := ix.joinWalk(ix.tree.Root(), ix.tree.Root(), mult, add, bounds, &st, pairs); err != nil {
+			return nil, st, err
+		}
+		// Verify each candidate pair, deterministically ordered.
+		keys := make([][2]int64, 0, len(pairs))
+		for k := range pairs {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
+		for _, k := range keys {
+			a, err := ix.fetch(k[0])
+			if err != nil {
+				return nil, st, err
+			}
+			b, err := ix.fetch(k[1])
+			if err != nil {
+				return nil, st, err
+			}
+			if a == nil || b == nil { // deleted
+				continue
+			}
+			st.Candidates++
+			for i, t := range sub {
+				st.Comparisons++
+				if d := t.DistancePolar(a.Mags, a.Phases, b.Mags, b.Phases); d <= eps {
+					out = append(out, JoinMatch{IDA: a.ID, IDB: b.ID, TransformIdx: g[i], Distance: d})
+				}
+			}
+		}
+	}
+	return out, st, nil
+}
+
+// joinBounds holds the per-dimension gap limits used by the join filter:
+// two transformed rectangles can contain a qualifying pair only if, in
+// every dimension, the gap between their intervals is at most the bound.
+type joinBounds struct {
+	perDim []float64
+	epsC   float64
+}
+
+// joinBounds computes per-dimension gap limits for the transformed join:
+// mean/std unconstrained; magnitudes within epsC; phases within epsC
+// (paper mode) or within the safe angular bound (resolved per node pair
+// with the magnitude information available there, so here only the mode
+// and epsC are recorded via sentinel values).
+func (ix *Index) joinBounds(ts []transform.Transform, eps float64, mode QRectMode) joinBounds {
+	epsC := epsScale(eps, ix.opts.UseSymmetry)
+	jb := joinBounds{perDim: make([]float64, ix.dim)}
+	jb.perDim[0], jb.perDim[1] = math.Inf(1), math.Inf(1)
+	for j := 1; j <= ix.opts.K; j++ {
+		jb.perDim[2*j] = epsC
+		if mode == QRectSafe {
+			// Resolved per pair of rectangles in joinGapOK; the sentinel
+			// NaN requests the magnitude-aware, wrap-aware bound.
+			jb.perDim[2*j+1] = math.NaN()
+		} else {
+			jb.perDim[2*j+1] = epsC
+		}
+	}
+	jb.epsC = epsC
+	return jb
+}
+
+// joinGapOK reports whether two transformed rectangles may contain a
+// qualifying pair.
+func (ix *Index) joinGapOK(a, b geom.Rect, jb joinBounds) bool {
+	for d := 0; d < ix.dim; d++ {
+		bound := jb.perDim[d]
+		if math.IsInf(bound, 1) {
+			continue
+		}
+		gap := intervalGap(a.Lo[d], a.Hi[d], b.Lo[d], b.Hi[d])
+		if math.IsNaN(bound) {
+			// Safe phase bound from the corresponding magnitude dimension
+			// (d-1): both sides' transformed magnitudes are at least their
+			// interval lows.
+			magLo := math.Min(a.Lo[d-1], b.Lo[d-1])
+			bound = phaseBound(jb.epsC, magLo)
+			if bound >= math.Pi {
+				continue
+			}
+			// A qualifying pair has angular difference <= bound, which in
+			// the unwrapped linear values means a difference <= bound or
+			// >= 2*pi - bound (branch-cut wrap). Prune only when no pair
+			// of interval values can land in either region: the closest
+			// pair is farther than bound AND the farthest pair is closer
+			// than 2*pi - bound.
+			maxDiff := math.Max(a.Hi[d]-b.Lo[d], b.Hi[d]-a.Lo[d])
+			if gap > bound && maxDiff < 2*math.Pi-bound {
+				return false
+			}
+			continue
+		}
+		if gap > bound {
+			return false
+		}
+	}
+	return true
+}
+
+func intervalGap(alo, ahi, blo, bhi float64) float64 {
+	switch {
+	case ahi < blo:
+		return blo - ahi
+	case bhi < alo:
+		return alo - bhi
+	default:
+		return 0
+	}
+}
+
+// joinWalk synchronously traverses the tree against itself, applying the
+// transformation rectangle to both sides before the gap test.
+func (ix *Index) joinWalk(a, b storage.PageID, mult, add geom.Rect, jb joinBounds, st *QueryStats, pairs map[[2]int64]bool) error {
+	na, err := ix.tree.Load(a)
+	if err != nil {
+		return err
+	}
+	st.DAAll++
+	if na.Leaf {
+		st.DALeaf++
+	}
+	nb := na
+	if a != b {
+		nb, err = ix.tree.Load(b)
+		if err != nil {
+			return err
+		}
+		st.DAAll++
+		if nb.Leaf {
+			st.DALeaf++
+		}
+	}
+	ta := ix.transformEntries(na, mult, add)
+	tb := ta
+	if a != b {
+		tb = ix.transformEntries(nb, mult, add)
+	}
+	switch {
+	case na.Leaf && nb.Leaf:
+		for i := range na.Entries {
+			jStart := 0
+			if a == b {
+				jStart = i + 1
+			}
+			for j := jStart; j < len(nb.Entries); j++ {
+				ra, rb := na.Entries[i].Rec, nb.Entries[j].Rec
+				if ra == rb {
+					continue
+				}
+				if ix.joinGapOK(ta[i], tb[j], jb) {
+					if ra > rb {
+						ra, rb = rb, ra
+					}
+					pairs[[2]int64{ra, rb}] = true
+				}
+			}
+		}
+	case !na.Leaf && !nb.Leaf:
+		for i := range na.Entries {
+			jStart := 0
+			if a == b {
+				jStart = i
+			}
+			for j := jStart; j < len(nb.Entries); j++ {
+				if ix.joinGapOK(ta[i], tb[j], jb) {
+					if err := ix.joinWalk(na.Entries[i].Child, nb.Entries[j].Child, mult, add, jb, st, pairs); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	case na.Leaf: // internal b
+		for j := range nb.Entries {
+			if err := ix.joinWalk(a, nb.Entries[j].Child, mult, add, jb, st, pairs); err != nil {
+				return err
+			}
+		}
+	default: // internal a, leaf b
+		for i := range na.Entries {
+			if err := ix.joinWalk(na.Entries[i].Child, b, mult, add, jb, st, pairs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// transformEntries applies the transformation rectangle to every entry of
+// a node.
+func (ix *Index) transformEntries(n *rtree.Node, mult, add geom.Rect) []geom.Rect {
+	out := make([]geom.Rect, len(n.Entries))
+	for i, e := range n.Entries {
+		out[i] = transform.ApplyMBRs(mult, add, e.Rect)
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"tsq/internal/geom"
+	"tsq/internal/storage"
+	"tsq/internal/transform"
+)
+
+// NNMatch is one answer of a transformed nearest-neighbor query: the
+// record, the transformation minimizing the distance to the query, and
+// that distance.
+type NNMatch struct {
+	RecordID     int64
+	TransformIdx int
+	Distance     float64
+}
+
+// SeqScanNN returns the k records whose best transformed distance
+// min_{t in ts} D(t(r), t(q)) (or D(t(r), q) when oneSided) is smallest,
+// by exhaustive scan.
+func SeqScanNN(ds *Dataset, q *Record, ts []transform.Transform, k int, oneSided bool) ([]NNMatch, QueryStats) {
+	var st QueryStats
+	best := make([]NNMatch, 0, len(ds.Records))
+	for _, r := range ds.Records {
+		if r == nil || r.ID == q.ID {
+			continue
+		}
+		st.Candidates++
+		m := NNMatch{RecordID: r.ID, Distance: math.Inf(1)}
+		for i, t := range ts {
+			st.Comparisons++
+			if d := distancePred(t, r, q, oneSided); d < m.Distance {
+				m.Distance, m.TransformIdx = d, i
+			}
+		}
+		best = append(best, m)
+	}
+	sort.Slice(best, func(i, j int) bool { return best[i].Distance < best[j].Distance })
+	if k < len(best) {
+		best = best[:k]
+	}
+	return best, st
+}
+
+// nnEntry is a priority-queue element of the transformed NN search.
+type nnEntry struct {
+	bound float64
+	page  storage.PageID
+}
+
+type nnHeap []nnEntry
+
+func (h nnHeap) Len() int            { return len(h) }
+func (h nnHeap) Less(i, j int) bool  { return h[i].bound < h[j].bound }
+func (h nnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x interface{}) { *h = append(*h, x.(nnEntry)) }
+func (h *nnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// MTIndexNN answers the transformed nearest-neighbor query (Sec. 4.1's
+// sketch) with a best-first traversal: index rectangles are transformed by
+// the MBR of ts on the fly, a provable lower bound on the transformed
+// distance prunes subtrees (a MINDIST analogue restricted to the magnitude
+// dimensions, which lower-bound the true distance; phase dimensions do not
+// and are excluded from the bound), and leaf candidates are resolved
+// exactly. Results are exact.
+func (ix *Index) MTIndexNN(q *Record, ts []transform.Transform, k int, oneSided bool) ([]NNMatch, QueryStats, error) {
+	var st QueryStats
+	if k <= 0 || len(ts) == 0 {
+		return nil, st, nil
+	}
+	mult, add := ix.fullMBRs(ts)
+	st.IndexSearches++
+	// Transformed query magnitude intervals per coefficient.
+	qMagLo := make([]float64, ix.opts.K+1)
+	qMagHi := make([]float64, ix.opts.K+1)
+	for j := 1; j <= ix.opts.K; j++ {
+		if oneSided {
+			// The query is compared untransformed.
+			qMagLo[j], qMagHi[j] = q.Mags[j], q.Mags[j]
+			continue
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, t := range ts {
+			v := t.A[2*j]*q.Mags[j] + t.B[2*j]
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		qMagLo[j], qMagHi[j] = lo, hi
+	}
+	symFactor := 1.0
+	if ix.opts.UseSymmetry {
+		symFactor = math.Sqrt2
+	}
+	// lower bound for a transformed rectangle: sqrt(sum of squared gaps
+	// between its magnitude intervals and the query magnitude intervals),
+	// scaled by the symmetry factor.
+	lowerBound := func(y geom.Rect) float64 {
+		var ss float64
+		for j := 1; j <= ix.opts.K; j++ {
+			gap := intervalGap(y.Lo[2*j], y.Hi[2*j], qMagLo[j], qMagHi[j])
+			ss += gap * gap
+		}
+		return symFactor * math.Sqrt(ss)
+	}
+
+	var results []NNMatch
+	worst := math.Inf(1)
+	h := &nnHeap{{bound: 0, page: ix.tree.Root()}}
+	for h.Len() > 0 {
+		e := heap.Pop(h).(nnEntry)
+		if len(results) == k && e.bound > worst {
+			break
+		}
+		n, err := ix.tree.Load(e.page)
+		if err != nil {
+			return nil, st, err
+		}
+		st.DAAll++
+		if n.Leaf {
+			st.DALeaf++
+		}
+		for _, ent := range n.Entries {
+			y := transform.ApplyMBRs(mult, add, ent.Rect)
+			lb := lowerBound(y)
+			if len(results) == k && lb > worst {
+				continue
+			}
+			if !n.Leaf {
+				heap.Push(h, nnEntry{bound: lb, page: ent.Child})
+				continue
+			}
+			r, err := ix.fetch(ent.Rec)
+			if err != nil {
+				return nil, st, err
+			}
+			if r == nil || r.ID == q.ID {
+				continue
+			}
+			st.Candidates++
+			m := NNMatch{RecordID: r.ID, Distance: math.Inf(1)}
+			for i, t := range ts {
+				st.Comparisons++
+				if d := distancePred(t, r, q, oneSided); d < m.Distance {
+					m.Distance, m.TransformIdx = d, i
+				}
+			}
+			results = append(results, m)
+			sort.Slice(results, func(a, b int) bool { return results[a].Distance < results[b].Distance })
+			if len(results) > k {
+				results = results[:k]
+			}
+			if len(results) == k {
+				worst = results[k-1].Distance
+			}
+		}
+	}
+	return results, st, nil
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"tsq/internal/transform"
+)
+
+// verifyParallel shards the verification of one transformation
+// rectangle's candidates across opts.Workers goroutines.
+func (ix *Index) verifyParallel(candidates []int64, sub []transform.Transform, g []int, q *Record, eps float64, ordered *orderedSet, opts RangeOptions) ([]Match, QueryStats, error) {
+	workers := opts.Workers
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+	type shard struct {
+		matches []Match
+		stats   QueryStats
+		err     error
+	}
+	shards := make([]shard, workers)
+	var wg sync.WaitGroup
+	chunk := (len(candidates) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(candidates))
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			sh := &shards[w]
+			for _, recID := range candidates[lo:hi] {
+				r, err := ix.fetch(recID)
+				if err != nil {
+					sh.err = err
+					return
+				}
+				if r == nil {
+					continue
+				}
+				sh.stats.Candidates++
+				if ordered != nil {
+					sh.matches = appendOrderedMatches(sh.matches, ordered, r, q, eps, &sh.stats, g)
+					continue
+				}
+				for i, t := range sub {
+					sh.stats.Comparisons++
+					d := distancePred(t, r, q, opts.OneSided)
+					if d <= eps {
+						sh.matches = append(sh.matches, Match{RecordID: r.ID, TransformIdx: g[i], Distance: d})
+					}
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var out []Match
+	var st QueryStats
+	for _, sh := range shards {
+		if sh.err != nil {
+			return nil, st, sh.err
+		}
+		out = append(out, sh.matches...)
+		st.Add(sh.stats)
+	}
+	return out, st, nil
+}
+
+// SeqScanRangeParallel evaluates the sequential scan across the given
+// number of worker goroutines (0 or 1 means GOMAXPROCS). The answer and
+// the aggregate statistics equal the serial SeqScanRange; matches are
+// returned in record order. Sequential scans are embarrassingly parallel
+// — each record's verification is independent — so this is the natural
+// way to use a multicore machine when no index helps.
+func SeqScanRangeParallel(ds *Dataset, q *Record, ts []transform.Transform, eps float64, opts RangeOptions, workers int) ([]Match, QueryStats) {
+	if workers <= 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := len(ds.Records)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return SeqScanRange(ds, q, ts, eps, opts)
+	}
+	ordered := orderedPrefix(ts, opts.UseOrdering && !opts.OneSided)
+
+	type shard struct {
+		matches []Match
+		stats   QueryStats
+	}
+	shards := make([]shard, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			sh := &shards[w]
+			for _, r := range ds.Records[lo:hi] {
+				if r == nil {
+					continue
+				}
+				sh.stats.Candidates++
+				if ordered != nil {
+					sh.matches = appendOrderedMatches(sh.matches, ordered, r, q, eps, &sh.stats, identityIndexes(len(ts)))
+					continue
+				}
+				for i, t := range ts {
+					sh.stats.Comparisons++
+					d := distancePred(t, r, q, opts.OneSided)
+					if d <= eps {
+						sh.matches = append(sh.matches, Match{RecordID: r.ID, TransformIdx: i, Distance: d})
+					}
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	var out []Match
+	var st QueryStats
+	for _, sh := range shards {
+		out = append(out, sh.matches...)
+		st.Add(sh.stats)
+	}
+	return out, st
+}

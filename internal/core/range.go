@@ -1,0 +1,293 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tsq/internal/geom"
+	"tsq/internal/storage"
+	"tsq/internal/transform"
+)
+
+// Match is one answer of a similarity range query: record r and
+// transformation index ti (into the query's transformation set) such that
+// D(t(r), t(q)) <= eps.
+type Match struct {
+	RecordID     int64
+	TransformIdx int
+	// Distance is the exact distance, or -1 when the match was certified
+	// by the ordering property (Sec. 4.4) without computing it.
+	Distance float64
+}
+
+// QueryStats reports the work a query performed, in the units of the
+// paper's cost model (Eq. 18/20).
+type QueryStats struct {
+	// DAAll counts index node accesses at all levels (DA_all).
+	DAAll int
+	// DALeaf counts leaf node accesses (DA_leaf).
+	DALeaf int
+	// Candidates counts candidate records retrieved for verification.
+	Candidates int
+	// Comparisons counts full-record distance evaluations.
+	Comparisons int
+	// IndexSearches counts index traversals (|T| for ST-index, the number
+	// of transformation rectangles for MT-index).
+	IndexSearches int
+}
+
+// Add accumulates other into s.
+func (s *QueryStats) Add(other QueryStats) {
+	s.DAAll += other.DAAll
+	s.DALeaf += other.DALeaf
+	s.Candidates += other.Candidates
+	s.Comparisons += other.Comparisons
+	s.IndexSearches += other.IndexSearches
+}
+
+// RangeOptions tunes the index-based range algorithms.
+type RangeOptions struct {
+	// Mode selects the query rectangle construction (safe or paper).
+	Mode QRectMode
+	// Groups partitions the transformation set (by index) into one MBR
+	// per group, the Sec. 4.3 improvement. Nil means a single group
+	// containing every transformation.
+	Groups [][]int
+	// UseOrdering enables the Sec. 4.4 binary search when a group is a
+	// pure scale set orderable per Definition 1. Ignored in one-sided
+	// mode (Definition 1 is a statement about the two-sided predicate).
+	UseOrdering bool
+	// Workers parallelizes candidate verification (and the sequential
+	// scan, via SeqScanRangeParallel) across that many goroutines when
+	// above 1. Answers are identical to serial evaluation.
+	Workers int
+	// OneSided switches the predicate from the symmetric Query-1 form
+	// D(t(s), t(q)) to the literal Algorithm-1 form D(t(s), q): the
+	// transformation is applied to the stored sequence only. This is the
+	// useful semantics for alignment transformations such as time shifts,
+	// which are unitary and cancel when applied to both sides. The query
+	// is compared as given; pre-transform it (e.g. by a momentum) with
+	// Record.ApplyTransform when the predicate calls for it.
+	OneSided bool
+}
+
+// SeqScanRange answers Query 1 by scanning the whole relation: for every
+// record and transformation, evaluate the distance predicate. With
+// UseOrdering and an orderable set, each record costs O(log |T|)
+// comparisons instead of |T|. Only the UseOrdering and OneSided options
+// apply.
+func SeqScanRange(ds *Dataset, q *Record, ts []transform.Transform, eps float64, opts RangeOptions) ([]Match, QueryStats) {
+	var st QueryStats
+	var out []Match
+	ordered := orderedPrefix(ts, opts.UseOrdering && !opts.OneSided)
+	for _, r := range ds.Records {
+		if r == nil { // deleted
+			continue
+		}
+		st.Candidates++
+		if ordered != nil {
+			out = appendOrderedMatches(out, ordered, r, q, eps, &st, identityIndexes(len(ts)))
+			continue
+		}
+		for i, t := range ts {
+			st.Comparisons++
+			d := distancePred(t, r, q, opts.OneSided)
+			if d <= eps {
+				out = append(out, Match{RecordID: r.ID, TransformIdx: i, Distance: d})
+			}
+		}
+	}
+	return out, st
+}
+
+// distancePred evaluates the query predicate distance for one record and
+// transformation under either semantics.
+func distancePred(t transform.Transform, r, q *Record, oneSided bool) float64 {
+	if oneSided {
+		return t.DistancePolarLeft(r.Mags, r.Phases, q.Mags, q.Phases)
+	}
+	return t.DistancePolar(r.Mags, r.Phases, q.Mags, q.Phases)
+}
+
+// STIndexRange answers Query 1 with one index traversal per transformation
+// (the ST-index algorithm): equivalent to MT-index with singleton groups.
+func (ix *Index) STIndexRange(q *Record, ts []transform.Transform, eps float64, opts RangeOptions) ([]Match, QueryStats, error) {
+	groups := make([][]int, len(ts))
+	for i := range ts {
+		groups[i] = []int{i}
+	}
+	opts.Groups = groups
+	return ix.MTIndexRange(q, ts, eps, opts)
+}
+
+// MTIndexRange answers Query 1 with Algorithm 1: build the transformation
+// MBR(s), traverse the index once per MBR applying Eq. 12 to every index
+// rectangle, and verify candidates against every transformation in the
+// rectangle (binary search when ordered).
+func (ix *Index) MTIndexRange(q *Record, ts []transform.Transform, eps float64, opts RangeOptions) ([]Match, QueryStats, error) {
+	if len(ts) == 0 {
+		return nil, QueryStats{}, nil
+	}
+	groups := opts.Groups
+	if groups == nil {
+		groups = [][]int{identityIndexes(len(ts))}
+	}
+	var st QueryStats
+	var out []Match
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		sub := make([]transform.Transform, len(g))
+		for i, idx := range g {
+			if idx < 0 || idx >= len(ts) {
+				return nil, st, fmt.Errorf("core: group index %d out of range", idx)
+			}
+			sub[i] = ts[idx]
+		}
+		mult, add := ix.fullMBRs(sub)
+		var qrect geom.Rect
+		var phaseDims []bool
+		if opts.OneSided {
+			qrect, phaseDims = ix.oneSidedQueryRect(q, eps, opts.Mode)
+		} else {
+			qrect = ix.queryRect(q, sub, eps, opts.Mode)
+		}
+		st.IndexSearches++
+
+		candidates, err := ix.filter(mult, add, qrect, phaseDims, &st)
+		if err != nil {
+			return nil, st, err
+		}
+		ordered := orderedPrefix(sub, opts.UseOrdering && !opts.OneSided)
+		if opts.Workers > 1 && len(candidates) > 1 {
+			matches, vst, err := ix.verifyParallel(candidates, sub, g, q, eps, ordered, opts)
+			if err != nil {
+				return nil, st, err
+			}
+			out = append(out, matches...)
+			st.Add(vst)
+			continue
+		}
+		for _, recID := range candidates {
+			r, err := ix.fetch(recID)
+			if err != nil {
+				return nil, st, err
+			}
+			if r == nil { // deleted since the entry was written
+				continue
+			}
+			st.Candidates++
+			if ordered != nil {
+				out = appendOrderedMatches(out, ordered, r, q, eps, &st, g)
+				continue
+			}
+			for i, t := range sub {
+				st.Comparisons++
+				d := distancePred(t, r, q, opts.OneSided)
+				if d <= eps {
+					out = append(out, Match{RecordID: r.ID, TransformIdx: g[i], Distance: d})
+				}
+			}
+		}
+	}
+	return out, st, nil
+}
+
+// filter runs the Algorithm 1 traversal for one transformation rectangle,
+// returning candidate record ids. phaseDims, when non-nil, selects
+// modulo-2*pi comparison for the marked dimensions (one-sided mode).
+func (ix *Index) filter(mult, add, qrect geom.Rect, phaseDims []bool, st *QueryStats) ([]int64, error) {
+	var out []int64
+	var walk func(id storage.PageID) error
+	walk = func(id storage.PageID) error {
+		n, err := ix.tree.Load(id)
+		if err != nil {
+			return err
+		}
+		st.DAAll++
+		if n.Leaf {
+			st.DALeaf++
+		}
+		for _, e := range n.Entries {
+			y := transform.ApplyMBRs(mult, add, e.Rect)
+			if phaseDims != nil {
+				if !intersectsModular(y, qrect, phaseDims) {
+					continue
+				}
+			} else if !y.Intersects(qrect) {
+				continue
+			}
+			if n.Leaf {
+				out = append(out, e.Rec)
+			} else if err := walk(e.Child); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(ix.tree.Root()); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// orderedPrefix returns an ordered set over ts when ordering is requested
+// and ts is a pure positive scale set (Lemma 2); nil otherwise. The
+// returned set's transforms are ts in ascending-factor order along with
+// the permutation back into ts.
+type orderedSet struct {
+	set  transform.OrderedSet
+	perm []int // perm[i] = index into the original slice
+}
+
+func orderedPrefix(ts []transform.Transform, useOrdering bool) *orderedSet {
+	if !useOrdering {
+		return nil
+	}
+	factors, ok := transform.OrderableAsScales(ts)
+	if !ok {
+		return nil
+	}
+	perm := identityIndexes(len(ts))
+	sort.Slice(perm, func(a, b int) bool { return factors[perm[a]] < factors[perm[b]] })
+	sorted := make([]transform.Transform, len(ts))
+	for i, p := range perm {
+		sorted[i] = ts[p]
+	}
+	return &orderedSet{set: transform.OrderedSet{Transforms: sorted}, perm: perm}
+}
+
+// appendOrderedMatches finds the largest qualifying scale by binary search
+// (Definition 1 guarantees all smaller scales qualify) and appends one
+// match per qualifying transformation. groupIdx maps local positions to
+// the caller's transformation indices.
+func appendOrderedMatches(out []Match, o *orderedSet, r, q *Record, eps float64, st *QueryStats, groupIdx []int) []Match {
+	k := o.set.LargestQualifying(func(t transform.Transform) bool {
+		st.Comparisons++
+		return t.DistancePolar(r.Mags, r.Phases, q.Mags, q.Phases) <= eps
+	})
+	for i := 0; i <= k; i++ {
+		out = append(out, Match{RecordID: r.ID, TransformIdx: groupIdx[o.perm[i]], Distance: -1})
+	}
+	return out
+}
+
+func identityIndexes(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// SortMatches orders matches by record id then transformation index, for
+// deterministic comparison in tests and tools.
+func SortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].RecordID != ms[j].RecordID {
+			return ms[i].RecordID < ms[j].RecordID
+		}
+		return ms[i].TransformIdx < ms[j].TransformIdx
+	})
+}

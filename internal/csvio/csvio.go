@@ -1,0 +1,96 @@
+// Package csvio reads and writes time-series datasets as CSV, the
+// interchange format of the command-line tools: one row per series, the
+// first column a name, the remaining columns the values.
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"tsq/internal/series"
+)
+
+// Write emits one row per series: name followed by values.
+func Write(w io.Writer, names []string, ss []series.Series) error {
+	if len(names) != len(ss) {
+		return fmt.Errorf("csvio: %d names for %d series", len(names), len(ss))
+	}
+	cw := csv.NewWriter(w)
+	row := make([]string, 0, 64)
+	for i, s := range ss {
+		row = row[:0]
+		row = append(row, names[i])
+		for _, v := range s {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("csvio: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Read parses rows written by Write. All series must have the same length.
+func Read(r io.Reader) (names []string, ss []series.Series, err error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated manually for a better message
+	rowLen := -1
+	for i := 0; ; i++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("csvio: row %d: %w", i, err)
+		}
+		if len(rec) < 2 {
+			return nil, nil, fmt.Errorf("csvio: row %d has %d fields, want a name and at least one value", i, len(rec))
+		}
+		if rowLen == -1 {
+			rowLen = len(rec)
+		} else if len(rec) != rowLen {
+			return nil, nil, fmt.Errorf("csvio: row %d has %d fields, want %d", i, len(rec), rowLen)
+		}
+		s := make(series.Series, len(rec)-1)
+		for j, f := range rec[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("csvio: row %d field %d: %w", i, j+1, err)
+			}
+			s[j] = v
+		}
+		names = append(names, rec[0])
+		ss = append(ss, s)
+	}
+	if len(ss) == 0 {
+		return nil, nil, fmt.Errorf("csvio: empty input")
+	}
+	return names, ss, nil
+}
+
+// WriteFile writes the dataset to path.
+func WriteFile(path string, names []string, ss []series.Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("csvio: %w", err)
+	}
+	if err := Write(f, names, ss); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a dataset from path.
+func ReadFile(path string) (names []string, ss []series.Series, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("csvio: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

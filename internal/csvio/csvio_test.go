@@ -1,0 +1,73 @@
+package csvio
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tsq/internal/series"
+)
+
+func TestRoundTrip(t *testing.T) {
+	names := []string{"alpha", "beta"}
+	ss := []series.Series{{1, 2.5, -3e9}, {0.0001, 7, 42}}
+	var buf bytes.Buffer
+	if err := Write(&buf, names, ss); err != nil {
+		t.Fatal(err)
+	}
+	gotNames, gotSeries, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotNames) != 2 || gotNames[0] != "alpha" || gotNames[1] != "beta" {
+		t.Errorf("names = %v", gotNames)
+	}
+	for i := range ss {
+		if series.EuclideanDistance(ss[i], gotSeries[i]) != 0 {
+			t.Errorf("series %d corrupted: %v vs %v", i, ss[i], gotSeries[i])
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.csv")
+	names := []string{"x"}
+	ss := []series.Series{{3, 1, 4, 1, 5}}
+	if err := WriteFile(path, names, ss); err != nil {
+		t.Fatal(err)
+	}
+	gotNames, gotSeries, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotNames[0] != "x" || series.EuclideanDistance(gotSeries[0], ss[0]) != 0 {
+		t.Error("file roundtrip corrupted the data")
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []string{"a"}, nil); err == nil {
+		t.Error("mismatched names accepted")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	for name, text := range map[string]string{
+		"empty":     "",
+		"no values": "lonely\n",
+		"ragged":    "a,1,2\nb,1\n",
+		"bad float": "a,1,zap\n",
+	} {
+		if _, _, err := Read(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, _, err := ReadFile(filepath.Join(t.TempDir(), "nope.csv")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package csvio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks that arbitrary input never panics the reader and that
+// anything it accepts survives a write/read round trip.
+func FuzzRead(f *testing.F) {
+	f.Add("a,1,2\nb,3,4\n")
+	f.Add("x,1\n")
+	f.Add("")
+	f.Add("a,1,2\nb,3\n")
+	f.Add("q,NaN,Inf\n")
+	f.Add("\"quoted,name\",5,6\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		names, ss, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, names, ss); err != nil {
+			t.Fatalf("accepted input failed to re-serialize: %v", err)
+		}
+		names2, ss2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if len(names2) != len(names) || len(ss2) != len(ss) {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d", len(names2), len(ss2), len(names), len(ss))
+		}
+		for i := range ss {
+			if len(ss2[i]) != len(ss[i]) {
+				t.Fatalf("series %d length changed", i)
+			}
+			for j := range ss[i] {
+				a, b := ss[i][j], ss2[i][j]
+				if a != b && !(a != a && b != b) { // NaN-tolerant equality
+					t.Fatalf("series %d[%d] changed: %v vs %v", i, j, a, b)
+				}
+			}
+		}
+	})
+}

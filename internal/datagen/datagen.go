@@ -1,0 +1,239 @@
+// Package datagen generates the workloads of the paper's evaluation:
+// the synthetic random walks of Sec. 5 (x_t = x_{t-1} + z_t with z uniform
+// in [-500, 500]), a synthetic stock market standing in for the paper's
+// unavailable 1068-stock data set (see DESIGN.md, substitutions), and the
+// constructions behind the motivating examples of Sec. 1 (market indexes
+// revealed similar by moving averages; a pair of stocks whose momenta
+// align after a two-day shift).
+//
+// All generators are deterministic in their seed.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tsq/internal/series"
+)
+
+// RandomWalk returns one synthetic sequence of length n per the paper's
+// recipe: x_t = x_{t-1} + z_t, z_t uniform in [-500, 500], x_0 = 0.
+func RandomWalk(rng *rand.Rand, n int) series.Series {
+	s := make(series.Series, n)
+	var x float64
+	for i := 0; i < n; i++ {
+		x += rng.Float64()*1000 - 500
+		s[i] = x
+	}
+	return s
+}
+
+// RandomWalks returns count random walks of length n seeded from seed.
+func RandomWalks(seed int64, count, n int) []series.Series {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]series.Series, count)
+	for i := range out {
+		out[i] = RandomWalk(rng, n)
+	}
+	return out
+}
+
+// MarketOptions tunes the synthetic stock market generator.
+type MarketOptions struct {
+	// Sectors is the number of sector factors stocks load on.
+	Sectors int
+	// TwinFraction is the fraction of stocks that track their sector
+	// closely (these create the close matches range queries find).
+	TwinFraction float64
+	// NoiseTwin and NoiseOther scale idiosyncratic daily noise relative to
+	// the sector move for twin and regular stocks respectively.
+	NoiseTwin, NoiseOther float64
+	// SpikeProb is the per-stock probability of one price spike.
+	SpikeProb float64
+	// GapProb is the per-stock probability of a short recording gap
+	// (values frozen for a few days, as in the PCL example).
+	GapProb float64
+}
+
+// DefaultMarketOptions are calibrated so a correlation-0.96 range query
+// with a moving-average set over 1068 stocks returns on the order of the
+// paper's reported output sizes (~11 matches).
+func DefaultMarketOptions() MarketOptions {
+	return MarketOptions{
+		Sectors:      12,
+		TwinFraction: 0.04,
+		NoiseTwin:    0.18,
+		NoiseOther:   1.1,
+		SpikeProb:    0.06,
+		GapProb:      0.05,
+	}
+}
+
+// StockMarket returns count daily-closing-price series of length n with a
+// sector-factor structure: each stock follows one of a few sector random
+// walks plus idiosyncratic noise, scaled to an arbitrary price level.
+// A small fraction of stocks ("twins") track their sector closely so that
+// similarity queries under moving averages have non-trivial answers.
+func StockMarket(seed int64, count, n int, opts MarketOptions) []series.Series {
+	rng := rand.New(rand.NewSource(seed))
+	sectors := make([]series.Series, opts.Sectors)
+	for s := range sectors {
+		sectors[s] = smoothWalk(rng, n, 1.0, 0.12)
+	}
+	out := make([]series.Series, count)
+	for i := range out {
+		sector := sectors[rng.Intn(opts.Sectors)]
+		twin := rng.Float64() < opts.TwinFraction
+		noise := opts.NoiseOther
+		if twin {
+			noise = opts.NoiseTwin
+		}
+		level := math.Exp(rng.Float64()*4 + 1) // price level in ~[2.7, 400]
+		beta := 0.7 + rng.Float64()*0.6
+		s := make(series.Series, n)
+		walk := 0.0
+		for t := 0; t < n; t++ {
+			walk += rng.NormFloat64() * noise
+			s[t] = level * (1 + 0.02*(beta*sector[t]+walk))
+		}
+		if rng.Float64() < opts.SpikeProb {
+			at := rng.Intn(n)
+			s[at] *= 1 + 0.2 + rng.Float64()*0.3
+		}
+		if rng.Float64() < opts.GapProb {
+			at := 1 + rng.Intn(n-4)
+			for g := 0; g < 3; g++ {
+				s[at+g] = s[at-1]
+			}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// smoothWalk returns a random walk with normal steps of the given scale,
+// smoothed by an exponential moving average with the given smoothing
+// factor, producing the low-frequency-dominated shape of market factors.
+func smoothWalk(rng *rand.Rand, n int, step, alpha float64) series.Series {
+	s := make(series.Series, n)
+	var x, ema float64
+	for i := 0; i < n; i++ {
+		x += rng.NormFloat64() * step
+		if i == 0 {
+			ema = x
+		} else {
+			ema = alpha*x + (1-alpha)*ema
+		}
+		s[i] = ema
+	}
+	return s
+}
+
+// MarketIndexes reproduces the setting of Example 1.1: three index series
+// (modeled on COMPV, NYV and DECL) that look dissimilar raw — wildly
+// different scales — but whose normal forms become similar under moving
+// averages: a short window (~9 days) suffices for the first pair, while
+// the third series carries higher-frequency noise so only a longer window
+// (~19 days) brings it within threshold of the first.
+func MarketIndexes(seed int64, n int) (compv, nyv, decl series.Series) {
+	rng := rand.New(rand.NewSource(seed))
+	base := smoothWalk(rng, n, 1.0, 0.10)
+	sigma := base.Std()
+	// Noise levels relative to the common signal: COMPV and NYV carry
+	// light noise (a ~9-day average suffices); DECL carries heavy
+	// higher-frequency noise (a ~19-day average is needed).
+	lightC := 0.55 * sigma
+	lightN := 0.55 * sigma
+	heavy := 1.05 * sigma
+	compv = make(series.Series, n)
+	nyv = make(series.Series, n)
+	decl = make(series.Series, n)
+	for t := 0; t < n; t++ {
+		compv[t] = 50 + 8*(base[t]+rng.NormFloat64()*lightC)
+		nyv[t] = 280 + 45*(base[t]+rng.NormFloat64()*lightN)
+		decl[t] = 1200 + 110*(base[t]+rng.NormFloat64()*heavy)
+	}
+	return compv, nyv, decl
+}
+
+// Temperatures generates daily temperature series for the introduction's
+// third motivating query ("years when the temperature patterns in two
+// regions of the world were similar"): one series per (region, year),
+// each a seasonal cycle with a region-specific mean level, amplitude and
+// phase (southern-hemisphere regions run half a period out of phase),
+// plus weather noise and a shared per-year climate anomaly, so some years
+// genuinely resemble each other across regions and most do not. Labels
+// returns "region/year" names aligned with the series.
+func Temperatures(seed int64, regions, years, days int) (ss []series.Series, labels []string) {
+	rng := rand.New(rand.NewSource(seed))
+	type region struct {
+		mean, amp, phase, noise float64
+	}
+	regs := make([]region, regions)
+	for r := range regs {
+		phase := 0.0
+		if r%2 == 1 { // southern hemisphere
+			phase = math.Pi
+		}
+		regs[r] = region{
+			mean:  rng.Float64()*25 - 2,
+			amp:   6 + rng.Float64()*10,
+			phase: phase + rng.NormFloat64()*0.15,
+			noise: 1 + rng.Float64()*1.5,
+		}
+	}
+	anomaly := make([]float64, years) // shared climate signal per year
+	for y := range anomaly {
+		anomaly[y] = rng.NormFloat64() * 0.6
+	}
+	for y := 0; y < years; y++ {
+		for r, reg := range regs {
+			s := make(series.Series, days)
+			for d := 0; d < days; d++ {
+				season := reg.amp * math.Cos(2*math.Pi*float64(d)/float64(days)+reg.phase)
+				s[d] = reg.mean + season + anomaly[y]*reg.amp/8 + rng.NormFloat64()*reg.noise
+			}
+			ss = append(ss, s)
+			labels = append(labels, fmt.Sprintf("region%d/year%d", r, y))
+		}
+	}
+	return ss, labels
+}
+
+// SpikePair reproduces the setting of Example 1.2: two price series (PCG
+// and PCL stand-ins) with correlated day-to-day movements, where the first
+// has a price spike d days before the second (a recording gap caused the
+// offset in the original data). Their momenta are moderately far apart,
+// but shifting the first momentum d days right aligns the spikes and
+// shrinks the distance.
+func SpikePair(seed int64, n, d int) (pcg, pcl series.Series) {
+	if d < 0 || d >= n/2 {
+		panic(fmt.Sprintf("datagen: spike offset %d out of range for length %d", d, n))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	common := make(series.Series, n) // shared daily returns (weak, as for
+	// two unrelated companies)
+	for t := range common {
+		common[t] = rng.NormFloat64() * 0.08
+	}
+	spikeAt := n/2 - d
+	pcg = make(series.Series, n)
+	pcl = make(series.Series, n)
+	var a, b float64
+	for t := 0; t < n; t++ {
+		ra := common[t] + rng.NormFloat64()*0.25
+		rb := common[t] + rng.NormFloat64()*0.25
+		if t == spikeAt {
+			ra += 6
+		}
+		if t == spikeAt+d {
+			rb += 6
+		}
+		a += ra
+		b += rb
+		pcg[t] = 30 + a
+		pcl[t] = 25 + b
+	}
+	return pcg, pcl
+}

@@ -1,0 +1,178 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tsq/internal/series"
+	"tsq/internal/transform"
+)
+
+func TestRandomWalkSpec(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := RandomWalk(rng, 128)
+	if len(s) != 128 {
+		t.Fatalf("len = %d", len(s))
+	}
+	// Steps must be bounded by 500 in absolute value.
+	prev := 0.0
+	for i, v := range s {
+		step := v - prev
+		if math.Abs(step) > 500 {
+			t.Fatalf("step %d = %v exceeds 500", i, step)
+		}
+		prev = v
+	}
+}
+
+func TestRandomWalksDeterministic(t *testing.T) {
+	a := RandomWalks(42, 5, 64)
+	b := RandomWalks(42, 5, 64)
+	if len(a) != 5 {
+		t.Fatalf("count = %d", len(a))
+	}
+	for i := range a {
+		if series.EuclideanDistance(a[i], b[i]) != 0 {
+			t.Fatalf("walk %d differs across runs with the same seed", i)
+		}
+	}
+	c := RandomWalks(43, 5, 64)
+	if series.EuclideanDistance(a[0], c[0]) == 0 {
+		t.Error("different seeds produced identical walks")
+	}
+}
+
+func TestStockMarketShape(t *testing.T) {
+	stocks := StockMarket(7, 200, 128, DefaultMarketOptions())
+	if len(stocks) != 200 {
+		t.Fatalf("count = %d", len(stocks))
+	}
+	for i, s := range stocks {
+		if len(s) != 128 {
+			t.Fatalf("stock %d has length %d", i, len(s))
+		}
+		for _, v := range s {
+			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("stock %d has non-positive or invalid price %v", i, v)
+			}
+		}
+	}
+}
+
+func TestStockMarketHasSimilarPairsUnderMA(t *testing.T) {
+	// The calibration property the substitution relies on: some pairs of
+	// distinct stocks become highly correlated after a moving average of
+	// their normal forms, and most pairs do not.
+	stocks := StockMarket(11, 300, 128, DefaultMarketOptions())
+	mv := 15
+	norms := make([]series.Series, len(stocks))
+	for i, s := range stocks {
+		n, _, _ := s.NormalForm()
+		norms[i] = series.CircularMovingAverage(n, mv)
+	}
+	eps := series.DistanceForCorrelation(128, 0.96)
+	close, far := 0, 0
+	for i := 0; i < len(norms); i++ {
+		for j := i + 1; j < len(norms); j++ {
+			ni, _, _ := norms[i].NormalForm()
+			nj, _, _ := norms[j].NormalForm()
+			_ = ni
+			_ = nj
+			if series.EuclideanDistance(norms[i], norms[j]) <= eps {
+				close++
+			} else {
+				far++
+			}
+		}
+	}
+	if close == 0 {
+		t.Error("no similar pairs under moving average; range queries would always be empty")
+	}
+	if close*20 > far {
+		t.Errorf("too many similar pairs (%d close vs %d far); queries would degenerate", close, far)
+	}
+}
+
+func TestMarketIndexesExample11(t *testing.T) {
+	// Example 1.1's qualitative claims: the raw series are far apart (very
+	// different scales), but normal forms under a short moving average
+	// bring COMPV and NYV together, while COMPV and DECL need a longer one.
+	compv, nyv, decl := MarketIndexes(3, 128)
+	if d := series.EuclideanDistance(compv, nyv); d < 100 {
+		t.Errorf("raw COMPV-NYV distance %v suspiciously small", d)
+	}
+	nc, _, _ := compv.NormalForm()
+	nn, _, _ := nyv.NormalForm()
+	nd, _, _ := decl.NormalForm()
+
+	shortest := func(a, b series.Series, eps float64) int {
+		for m := 1; m <= 40; m++ {
+			if series.EuclideanDistance(
+				series.CircularMovingAverage(a, m),
+				series.CircularMovingAverage(b, m)) < eps {
+				return m
+			}
+		}
+		return -1
+	}
+	mNYV := shortest(nc, nn, 3)
+	mDECL := shortest(nc, nd, 3)
+	if mNYV < 0 || mDECL < 0 {
+		t.Fatalf("no moving average brings the pairs within 3: NYV=%d DECL=%d", mNYV, mDECL)
+	}
+	if mNYV >= mDECL {
+		t.Errorf("expected COMPV-NYV to need a shorter MA than COMPV-DECL: %d vs %d", mNYV, mDECL)
+	}
+}
+
+func TestSpikePairExample12(t *testing.T) {
+	// Example 1.2's qualitative claim: momenta are far apart, but shifting
+	// one momentum d days right aligns the spikes and shrinks the distance
+	// substantially.
+	const d = 2
+	pcg, pcl := SpikePair(5, 128, d)
+	mg := series.CircularMomentum(pcg)
+	ml := series.CircularMomentum(pcl)
+	before := series.EuclideanDistance(mg, ml)
+	n := len(mg)
+	shifted := transform.TimeShift(n, d).ApplySeries(mg)
+	after := series.EuclideanDistance(shifted, ml)
+	if after >= before/1.5 {
+		t.Errorf("shifting did not help: before=%v after=%v", before, after)
+	}
+}
+
+func TestSpikePairPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for oversized offset")
+		}
+	}()
+	SpikePair(1, 16, 8)
+}
+
+func TestTemperatures(t *testing.T) {
+	ss, labels := Temperatures(7, 4, 3, 64)
+	if len(ss) != 12 || len(labels) != 12 {
+		t.Fatalf("got %d series, %d labels", len(ss), len(labels))
+	}
+	if labels[0] != "region0/year0" || labels[11] != "region3/year2" {
+		t.Errorf("labels: %q ... %q", labels[0], labels[11])
+	}
+	// Same region across years correlates strongly (shared seasonal
+	// cycle); opposite-hemisphere regions anti-correlate.
+	sameRegion := series.Correlation(ss[0], ss[4]) // region0 year0 vs year1
+	crossHemisphere := series.Correlation(ss[0], ss[1])
+	if sameRegion < 0.5 {
+		t.Errorf("same-region correlation %v too low", sameRegion)
+	}
+	if crossHemisphere > -0.3 {
+		t.Errorf("cross-hemisphere correlation %v not negative", crossHemisphere)
+	}
+	// Deterministic in the seed.
+	ss2, _ := Temperatures(7, 4, 3, 64)
+	if series.EuclideanDistance(ss[5], ss2[5]) != 0 {
+		t.Error("not deterministic")
+	}
+}

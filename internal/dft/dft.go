@@ -1,0 +1,307 @@
+// Package dft implements the discrete Fourier transform machinery the
+// similarity engine is built on: a unitary DFT/IDFT pair, fast transforms
+// for arbitrary lengths (radix-2 Cooley-Tukey plus Bluestein's algorithm),
+// circular convolution, signal energy, and helpers for the polar
+// (magnitude/phase) representation used by the transformation algebra.
+//
+// The transform follows the convention of the paper's Eq. (1):
+//
+//	X_f = 1/sqrt(n) * sum_t x_t * exp(-j*2*pi*t*f/n)
+//
+// With the 1/sqrt(n) factor the transform is unitary, so Parseval's
+// relation holds exactly: E(x) = E(X), and the Euclidean distance between
+// two signals is identical in the time and frequency domains (Eq. 8).
+package dft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Transform returns the unitary DFT of x. The input is not modified.
+// Any length is accepted; powers of two use the radix-2 FFT directly and
+// other lengths go through Bluestein's algorithm, so the cost is
+// O(n log n) in all cases.
+func Transform(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlace(out, false)
+	scale := complex(1/math.Sqrt(float64(len(x))), 0)
+	for i := range out {
+		out[i] *= scale
+	}
+	return out
+}
+
+// Inverse returns the unitary inverse DFT of X.
+func Inverse(X []complex128) []complex128 {
+	out := make([]complex128, len(X))
+	copy(out, X)
+	fftInPlace(out, true)
+	scale := complex(1/math.Sqrt(float64(len(X))), 0)
+	for i := range out {
+		out[i] *= scale
+	}
+	return out
+}
+
+// TransformReal returns the unitary DFT of a real-valued signal. For
+// even power-of-two lengths it uses the packed real-input algorithm — one
+// complex FFT of half the length plus an O(n) unpacking pass — which
+// roughly halves the work; other lengths fall back to the general path.
+func TransformReal(x []float64) []complex128 {
+	n := len(x)
+	if n >= 4 && n%2 == 0 && (n/2)&(n/2-1) == 0 {
+		return realFFT(x)
+	}
+	cx := make([]complex128, n)
+	for i, v := range x {
+		cx[i] = complex(v, 0)
+	}
+	fftInPlace(cx, false)
+	scale := complex(1/math.Sqrt(float64(n)), 0)
+	for i := range cx {
+		cx[i] *= scale
+	}
+	return cx
+}
+
+// realFFT computes the unitary DFT of a real signal of even power-of-two
+// length n by packing even samples into the real parts and odd samples
+// into the imaginary parts of a length-n/2 complex signal, running one
+// half-length FFT, and disentangling with the split/twiddle identities:
+//
+//	E_f = (Z_f + conj(Z_{m-f}))/2, O_f = -i*(Z_f - conj(Z_{m-f}))/2
+//	X_f = E_f + e^{-2*pi*i*f/n} * O_f, X_{f+m} = E_f - e^{-2*pi*i*f/n} * O_f
+func realFFT(x []float64) []complex128 {
+	n := len(x)
+	m := n / 2
+	z := make([]complex128, m)
+	for i := 0; i < m; i++ {
+		z[i] = complex(x[2*i], x[2*i+1])
+	}
+	radix2(z, false)
+	out := make([]complex128, n)
+	scale := complex(1/math.Sqrt(float64(n)), 0)
+	step := cmplx.Exp(complex(0, -2*math.Pi/float64(n)))
+	w := complex(1, 0)
+	for f := 0; f < m; f++ {
+		zf := z[f]
+		zc := cmplx.Conj(z[(m-f)%m])
+		e := (zf + zc) / 2
+		o := (zf - zc) / complex(0, 2)
+		out[f] = (e + w*o) * scale
+		out[f+m] = (e - w*o) * scale
+		w *= step
+	}
+	return out
+}
+
+// InverseReal inverts a spectrum known to come from a real signal and
+// returns the real part of the reconstruction. Tiny imaginary residue from
+// rounding is discarded.
+func InverseReal(X []complex128) []float64 {
+	t := Inverse(X)
+	out := make([]float64, len(t))
+	for i, v := range t {
+		out[i] = real(v)
+	}
+	return out
+}
+
+// Energy returns the energy of the signal per the paper's Eq. (2):
+// sum of squared magnitudes.
+func Energy(x []complex128) float64 {
+	var e float64
+	for _, v := range x {
+		e += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return e
+}
+
+// EnergyReal returns the energy of a real-valued signal.
+func EnergyReal(x []float64) float64 {
+	var e float64
+	for _, v := range x {
+		e += v * v
+	}
+	return e
+}
+
+// Distance returns the Euclidean distance between two equal-length complex
+// vectors. By Parseval (Eq. 8) this is the same number whether the vectors
+// are time-domain signals or their unitary spectra.
+func Distance(a, b []complex128) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("dft: distance of mismatched lengths %d and %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += real(d)*real(d) + imag(d)*imag(d)
+	}
+	return math.Sqrt(s)
+}
+
+// Convolve returns the circular convolution of two equal-length real
+// signals (the paper's Eq. 3), computed through the frequency domain.
+// Because the DFT here is unitary, the convolution-multiplication rule
+// picks up a sqrt(n) factor: conv(x,y) <-> sqrt(n) * X.Y. Convolve accounts
+// for it and returns the plain time-domain circular convolution.
+func Convolve(x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("dft: convolution of mismatched lengths %d and %d", len(x), len(y)))
+	}
+	n := len(x)
+	X := TransformReal(x)
+	Y := TransformReal(y)
+	scale := complex(math.Sqrt(float64(n)), 0)
+	for i := range X {
+		X[i] *= Y[i] * scale
+	}
+	return InverseReal(X)
+}
+
+// ConvolveDirect returns the circular convolution computed by the O(n^2)
+// definition. It exists as an oracle for testing Convolve.
+func ConvolveDirect(x, y []float64) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for k := 0; k < n; k++ {
+			s += x[k] * y[((i-k)%n+n)%n]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Polar holds one DFT coefficient in polar form. Phase is in radians in
+// (-pi, pi].
+type Polar struct {
+	Mag   float64
+	Phase float64
+}
+
+// ToPolar converts a spectrum to its polar representation.
+func ToPolar(X []complex128) []Polar {
+	out := make([]Polar, len(X))
+	for i, v := range X {
+		out[i] = Polar{Mag: cmplx.Abs(v), Phase: cmplx.Phase(v)}
+	}
+	return out
+}
+
+// FromPolar converts a polar representation back to complex form.
+func FromPolar(p []Polar) []complex128 {
+	out := make([]complex128, len(p))
+	for i, v := range p {
+		out[i] = cmplx.Rect(v.Mag, v.Phase)
+	}
+	return out
+}
+
+// SymmetryHolds reports whether the spectrum satisfies the real-signal
+// symmetry property |X_{n-f}| = |X_f| (Eq. 6) within tolerance tol.
+func SymmetryHolds(X []complex128, tol float64) bool {
+	n := len(X)
+	for f := 1; f < n; f++ {
+		if math.Abs(cmplx.Abs(X[n-f])-cmplx.Abs(X[f])) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// fftInPlace computes an unnormalized DFT (or inverse DFT when inverse is
+// true) of x in place.
+func fftInPlace(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if n&(n-1) == 0 {
+		radix2(x, inverse)
+		return
+	}
+	bluestein(x, inverse)
+}
+
+// radix2 is the iterative Cooley-Tukey FFT for power-of-two lengths.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	// Bit-reversal permutation.
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+		mask := n >> 1
+		for ; j&mask != 0; mask >>= 1 {
+			j &^= mask
+		}
+		j |= mask
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := cmplx.Exp(complex(0, sign*2*math.Pi/float64(size)))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				u := x[start+k]
+				v := x[start+k+half] * w
+				x[start+k] = u + v
+				x[start+k+half] = u - v
+				w *= step
+			}
+		}
+	}
+}
+
+// bluestein computes a DFT of arbitrary length as a convolution of
+// power-of-two length (Bluestein's chirp-z algorithm).
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp factors w_k = exp(sign * j*pi*k^2/n).
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k*k may overflow for huge n if done in int; use float math mod 2n.
+		kk := float64(k) * float64(k)
+		angle := sign * math.Pi * math.Mod(kk, 2*float64(n)) / float64(n)
+		chirp[k] = cmplx.Exp(complex(0, angle))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+	}
+	b[0] = cmplx.Conj(chirp[0])
+	for k := 1; k < n; k++ {
+		c := cmplx.Conj(chirp[k])
+		b[k] = c
+		b[m-k] = c
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	invM := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * invM * chirp[k]
+	}
+}

@@ -1,0 +1,323 @@
+package dft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-9
+
+func randSignal(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64() * 10
+	}
+	return x
+}
+
+func TestTransformKnownValues(t *testing.T) {
+	// DFT of a constant signal concentrates all energy in coefficient 0.
+	x := []float64{3, 3, 3, 3}
+	X := TransformReal(x)
+	if got, want := real(X[0]), 6.0; math.Abs(got-want) > tol {
+		t.Errorf("X[0] = %v, want %v", got, want)
+	}
+	for f := 1; f < 4; f++ {
+		if cmplx.Abs(X[f]) > tol {
+			t.Errorf("X[%d] = %v, want 0", f, X[f])
+		}
+	}
+}
+
+func TestTransformSingleFrequency(t *testing.T) {
+	// cos(2*pi*t*2/8) has spikes at coefficients 2 and 6 only.
+	n := 8
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(2 * math.Pi * float64(i) * 2 / float64(n))
+	}
+	X := TransformReal(x)
+	for f := 0; f < n; f++ {
+		mag := cmplx.Abs(X[f])
+		if f == 2 || f == 6 {
+			if math.Abs(mag-math.Sqrt(float64(n))/2) > tol {
+				t.Errorf("|X[%d]| = %v, want %v", f, mag, math.Sqrt(float64(n))/2)
+			}
+		} else if mag > tol {
+			t.Errorf("|X[%d]| = %v, want 0", f, mag)
+		}
+	}
+}
+
+func TestRoundTripPowerOfTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 64, 128, 1024} {
+		x := randSignal(rng, n)
+		y := InverseReal(TransformReal(x))
+		for i := range x {
+			if math.Abs(x[i]-y[i]) > 1e-8 {
+				t.Fatalf("n=%d: roundtrip mismatch at %d: %v vs %v", n, i, x[i], y[i])
+			}
+		}
+	}
+}
+
+func TestRoundTripArbitraryLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{3, 5, 6, 7, 12, 100, 127, 129, 365, 1000} {
+		x := randSignal(rng, n)
+		y := InverseReal(TransformReal(x))
+		for i := range x {
+			if math.Abs(x[i]-y[i]) > 1e-7 {
+				t.Fatalf("n=%d: roundtrip mismatch at %d: %v vs %v", n, i, x[i], y[i])
+			}
+		}
+	}
+}
+
+func TestBluesteinMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{3, 5, 7, 11, 13, 31, 97} {
+		x := randSignal(rng, n)
+		got := TransformReal(x)
+		want := naiveDFT(x)
+		for f := range got {
+			if cmplx.Abs(got[f]-want[f]) > 1e-7 {
+				t.Fatalf("n=%d f=%d: %v vs naive %v", n, f, got[f], want[f])
+			}
+		}
+	}
+}
+
+func naiveDFT(x []float64) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for f := 0; f < n; f++ {
+		var s complex128
+		for tt := 0; tt < n; tt++ {
+			angle := -2 * math.Pi * float64(tt) * float64(f) / float64(n)
+			s += complex(x[tt], 0) * cmplx.Exp(complex(0, angle))
+		}
+		out[f] = s / complex(math.Sqrt(float64(n)), 0)
+	}
+	return out
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// Parseval's relation (Eq. 7): unitary DFT preserves energy.
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		x := randSignal(rand.New(rand.NewSource(seed)), n)
+		X := TransformReal(x)
+		return math.Abs(EnergyReal(x)-Energy(X)) < 1e-6*(1+EnergyReal(x))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistancePreservedProperty(t *testing.T) {
+	// Eq. 8: Euclidean distance identical in both domains.
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%200 + 2
+		rng := rand.New(rand.NewSource(seed))
+		x := randSignal(rng, n)
+		y := randSignal(rng, n)
+		cx := make([]complex128, n)
+		cy := make([]complex128, n)
+		for i := range x {
+			cx[i], cy[i] = complex(x[i], 0), complex(y[i], 0)
+		}
+		dt := Distance(cx, cy)
+		df := Distance(TransformReal(x), TransformReal(y))
+		return math.Abs(dt-df) < 1e-6*(1+dt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearityProperty(t *testing.T) {
+	// Eq. 4: DFT(a*x + b*y) = a*X + b*Y.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 64
+		x := randSignal(rng, n)
+		y := randSignal(rng, n)
+		a := rng.NormFloat64()
+		b := rng.NormFloat64()
+		comb := make([]float64, n)
+		for i := range comb {
+			comb[i] = a*x[i] + b*y[i]
+		}
+		lhs := TransformReal(comb)
+		X := TransformReal(x)
+		Y := TransformReal(y)
+		for f := range lhs {
+			rhs := complex(a, 0)*X[f] + complex(b, 0)*Y[f]
+			if cmplx.Abs(lhs[f]-rhs) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymmetryProperty(t *testing.T) {
+	// Eq. 6: real signals have |X_{n-f}| = |X_f|.
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{8, 13, 128, 100} {
+		x := randSignal(rng, n)
+		if !SymmetryHolds(TransformReal(x), 1e-8) {
+			t.Errorf("n=%d: symmetry violated for real signal", n)
+		}
+	}
+	// A genuinely complex signal should not satisfy it in general.
+	cx := []complex128{1 + 2i, 3 - 1i, 0 + 5i, 2 + 0i, -1 - 1i}
+	if SymmetryHolds(Transform(cx), 1e-8) {
+		t.Error("symmetry unexpectedly held for a complex signal")
+	}
+}
+
+func TestConvolutionTheorem(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{4, 7, 16, 30, 128} {
+		x := randSignal(rng, n)
+		y := randSignal(rng, n)
+		got := Convolve(x, y)
+		want := ConvolveDirect(x, y)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-6*(1+math.Abs(want[i])) {
+				t.Fatalf("n=%d i=%d: %v vs direct %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestConvolutionCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := randSignal(rng, 32)
+	y := randSignal(rng, 32)
+	a := Convolve(x, y)
+	b := Convolve(y, x)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-8 {
+			t.Fatalf("conv not commutative at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPolarRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	X := Transform([]complex128{
+		complex(rng.NormFloat64(), rng.NormFloat64()),
+		complex(rng.NormFloat64(), rng.NormFloat64()),
+		complex(rng.NormFloat64(), rng.NormFloat64()),
+		complex(rng.NormFloat64(), rng.NormFloat64()),
+	})
+	back := FromPolar(ToPolar(X))
+	for i := range X {
+		if cmplx.Abs(X[i]-back[i]) > 1e-12 {
+			t.Fatalf("polar roundtrip mismatch at %d", i)
+		}
+	}
+}
+
+func TestDistanceMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for mismatched lengths")
+		}
+	}()
+	Distance(make([]complex128, 3), make([]complex128, 4))
+}
+
+func TestConvolveMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for mismatched lengths")
+		}
+	}()
+	Convolve(make([]float64, 3), make([]float64, 4))
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if got := TransformReal(nil); len(got) != 0 {
+		t.Errorf("empty transform returned %d values", len(got))
+	}
+	one := TransformReal([]float64{5})
+	if len(one) != 1 || math.Abs(real(one[0])-5) > tol {
+		t.Errorf("singleton transform = %v, want [5]", one)
+	}
+}
+
+func BenchmarkTransform128(b *testing.B) {
+	x := randSignal(rand.New(rand.NewSource(8)), 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		TransformReal(x)
+	}
+}
+
+func BenchmarkTransform1000Bluestein(b *testing.B) {
+	x := randSignal(rand.New(rand.NewSource(9)), 1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		TransformReal(x)
+	}
+}
+
+func TestRealFFTMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, n := range []int{4, 8, 16, 64, 128, 256} {
+		x := randSignal(rng, n)
+		got := TransformReal(x) // real-input fast path
+		want := naiveDFT(x)
+		for f := range got {
+			if cmplx.Abs(got[f]-want[f]) > 1e-7*(1+cmplx.Abs(want[f])) {
+				t.Fatalf("n=%d f=%d: %v vs naive %v", n, f, got[f], want[f])
+			}
+		}
+	}
+}
+
+func TestRealFFTFallbackLengths(t *testing.T) {
+	// Lengths that do not qualify for the packed path still work.
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{2, 3, 6, 10, 12, 100} {
+		x := randSignal(rng, n)
+		got := TransformReal(x)
+		want := naiveDFT(x)
+		for f := range got {
+			if cmplx.Abs(got[f]-want[f]) > 1e-7*(1+cmplx.Abs(want[f])) {
+				t.Fatalf("n=%d f=%d: %v vs naive %v", n, f, got[f], want[f])
+			}
+		}
+	}
+}
+
+func BenchmarkTransformReal128(b *testing.B) {
+	x := randSignal(rand.New(rand.NewSource(12)), 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		TransformReal(x)
+	}
+}
+
+func BenchmarkTransformComplex128(b *testing.B) {
+	x := randSignal(rand.New(rand.NewSource(13)), 128)
+	cx := make([]complex128, len(x))
+	for i, v := range x {
+		cx[i] = complex(v, 0)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Transform(cx)
+	}
+}

@@ -1,0 +1,276 @@
+// Package heapfile implements the paged record store that holds the full
+// database records (name, statistics, raw series, and the polar spectrum
+// used by distance verification). One record occupies one page, so
+// retrieving a candidate during query postprocessing costs exactly one
+// page access — the "find and retrieve all candidate data items"
+// accounting of the paper's Eq. 18 — and goes through the same storage
+// manager (and optional buffer pool) as the index.
+//
+// The file keeps a directory of record pages as a chain of directory
+// pages, so a heap written to a file-backed manager can be reopened.
+package heapfile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"tsq/internal/storage"
+)
+
+// Rec is one stored record.
+type Rec struct {
+	Name      string
+	Mean, Std float64
+	Raw       []float64
+	Mags      []float64
+	Phases    []float64
+}
+
+// File is a heap of fixed-length records.
+type File struct {
+	mgr      *storage.Manager
+	n        int              // series length
+	dirPages []storage.PageID // directory chain, head first
+	pages    []storage.PageID // record pages, record i on pages[i]
+	dirDirty bool
+}
+
+// Record page layout (little endian):
+//
+//	offset 0: magic 'R' (1 byte), reserved (1 byte)
+//	offset 2: name length (uint16)
+//	offset 4: series length n (uint32)
+//	offset 8: CRC32 (IEEE) of the page with this field zeroed (uint32)
+//	offset 12: reserved (uint32)
+//	offset 16: mean, std (2 float64)
+//	offset 32: raw[n], mags[n], phases[n] (3n float64)
+//	then: name bytes
+const recHeaderSize = 32
+
+// recSize returns the encoded size of a record.
+func recSize(n, nameLen int) int { return recHeaderSize + 24*n + nameLen }
+
+// MaxSeriesLength returns the longest series a record page can hold given
+// a name length budget.
+func MaxSeriesLength(pageSize, nameLen int) int {
+	return (pageSize - recHeaderSize - nameLen) / 24
+}
+
+// Directory page layout:
+//
+//	offset 0: magic "HDIR" (4 bytes)
+//	offset 4: entry count in this page (uint32)
+//	offset 8: next directory page (uint32, NilPage terminates)
+//	offset 12: record page ids (uint32 each)
+var dirMagic = [4]byte{'H', 'D', 'I', 'R'}
+
+const dirHeaderSize = 12
+
+// Create allocates an empty heap on mgr for series of length n.
+// Records must fit in one page: 24 bytes of header, 24 bytes per sample
+// and the name.
+func Create(mgr *storage.Manager, n int) (*File, error) {
+	if recSize(n, 0) > mgr.PageSize() {
+		return nil, fmt.Errorf("heapfile: series length %d does not fit a %d-byte page", n, mgr.PageSize())
+	}
+	head, err := mgr.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	f := &File{mgr: mgr, n: n, dirPages: []storage.PageID{head}}
+	if err := f.writeDirectory(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Open loads an existing heap whose directory starts at dirHead.
+func Open(mgr *storage.Manager, dirHead storage.PageID, n int) (*File, error) {
+	f := &File{mgr: mgr, n: n}
+	buf := make([]byte, mgr.PageSize())
+	id := dirHead
+	perPage := (mgr.PageSize() - dirHeaderSize) / 4
+	for id != storage.NilPage {
+		if err := mgr.Read(id, buf); err != nil {
+			return nil, err
+		}
+		if [4]byte(buf[:4]) != dirMagic {
+			return nil, fmt.Errorf("heapfile: bad directory magic on page %d", id)
+		}
+		f.dirPages = append(f.dirPages, id)
+		count := int(binary.LittleEndian.Uint32(buf[4:]))
+		if count > perPage {
+			return nil, fmt.Errorf("heapfile: corrupt directory page %d: count %d", id, count)
+		}
+		next := storage.PageID(binary.LittleEndian.Uint32(buf[8:]))
+		for i := 0; i < count; i++ {
+			f.pages = append(f.pages, storage.PageID(binary.LittleEndian.Uint32(buf[dirHeaderSize+4*i:])))
+		}
+		id = next
+	}
+	return f, nil
+}
+
+// DirHead returns the first directory page (needed to Open the heap).
+func (f *File) DirHead() storage.PageID { return f.dirPages[0] }
+
+// Len returns the number of stored records.
+func (f *File) Len() int { return len(f.pages) }
+
+// SeriesLength returns the series length.
+func (f *File) SeriesLength() int { return f.n }
+
+// Append stores a record and returns its record number.
+func (f *File) Append(r *Rec) (int64, error) {
+	if len(r.Raw) != f.n || len(r.Mags) != f.n || len(r.Phases) != f.n {
+		return 0, fmt.Errorf("heapfile: record arrays %d/%d/%d, want %d", len(r.Raw), len(r.Mags), len(r.Phases), f.n)
+	}
+	if recSize(f.n, len(r.Name)) > f.mgr.PageSize() {
+		return 0, fmt.Errorf("heapfile: record %q does not fit a page", r.Name)
+	}
+	id, err := f.mgr.Alloc()
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, f.mgr.PageSize())
+	buf[0] = 'R'
+	binary.LittleEndian.PutUint16(buf[2:], uint16(len(r.Name)))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(f.n))
+	binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(r.Mean))
+	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(r.Std))
+	off := recHeaderSize
+	for _, arr := range [][]float64{r.Raw, r.Mags, r.Phases} {
+		for _, v := range arr {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+			off += 8
+		}
+	}
+	copy(buf[off:], r.Name)
+	binary.LittleEndian.PutUint32(buf[8:], crc32.ChecksumIEEE(buf))
+	if err := f.mgr.Write(id, buf); err != nil {
+		return 0, err
+	}
+	f.pages = append(f.pages, id)
+	f.dirDirty = true
+	return int64(len(f.pages) - 1), nil
+}
+
+// Read fetches record rec. Each call costs one page access (plus none
+// for the in-memory directory). A deleted record returns (nil, nil).
+func (f *File) Read(rec int64) (*Rec, error) {
+	if rec < 0 || rec >= int64(len(f.pages)) {
+		return nil, fmt.Errorf("heapfile: record %d out of range [0, %d)", rec, len(f.pages))
+	}
+	buf := make([]byte, f.mgr.PageSize())
+	if err := f.mgr.Read(f.pages[rec], buf); err != nil {
+		return nil, err
+	}
+	if buf[0] == 'D' {
+		return nil, nil // tombstone
+	}
+	if buf[0] != 'R' {
+		return nil, fmt.Errorf("heapfile: page %d is not a record page", f.pages[rec])
+	}
+	stored := binary.LittleEndian.Uint32(buf[8:])
+	binary.LittleEndian.PutUint32(buf[8:], 0)
+	if sum := crc32.ChecksumIEEE(buf); sum != stored {
+		return nil, fmt.Errorf("heapfile: record %d fails its checksum (page %d)", rec, f.pages[rec])
+	}
+	nameLen := int(binary.LittleEndian.Uint16(buf[2:]))
+	n := int(binary.LittleEndian.Uint32(buf[4:]))
+	if n != f.n {
+		return nil, fmt.Errorf("heapfile: record %d has length %d, heap expects %d", rec, n, f.n)
+	}
+	if recSize(n, nameLen) > len(buf) {
+		return nil, fmt.Errorf("heapfile: record %d overflows its page (name length %d)", rec, nameLen)
+	}
+	out := &Rec{
+		Mean:   math.Float64frombits(binary.LittleEndian.Uint64(buf[16:])),
+		Std:    math.Float64frombits(binary.LittleEndian.Uint64(buf[24:])),
+		Raw:    make([]float64, n),
+		Mags:   make([]float64, n),
+		Phases: make([]float64, n),
+	}
+	off := recHeaderSize
+	for _, arr := range [][]float64{out.Raw, out.Mags, out.Phases} {
+		for i := range arr {
+			arr[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+	}
+	out.Name = string(buf[off : off+nameLen])
+	return out, nil
+}
+
+// Delete tombstones record rec: subsequent reads return (nil, nil). The
+// page stays allocated so record numbers remain stable.
+func (f *File) Delete(rec int64) error {
+	if rec < 0 || rec >= int64(len(f.pages)) {
+		return fmt.Errorf("heapfile: record %d out of range [0, %d)", rec, len(f.pages))
+	}
+	buf := make([]byte, f.mgr.PageSize())
+	if err := f.mgr.Read(f.pages[rec], buf); err != nil {
+		return err
+	}
+	buf[0] = 'D'
+	return f.mgr.Write(f.pages[rec], buf)
+}
+
+// Sync writes the page directory; call after appends when the heap must
+// be reopenable.
+func (f *File) Sync() error {
+	if !f.dirDirty {
+		return nil
+	}
+	if err := f.writeDirectory(); err != nil {
+		return err
+	}
+	f.dirDirty = false
+	return nil
+}
+
+// writeDirectory rewrites the directory chain from f.pages, extending the
+// chain with fresh pages as it grows (the heap is append-only, so the
+// chain never shrinks).
+func (f *File) writeDirectory() error {
+	perPage := (f.mgr.PageSize() - dirHeaderSize) / 4
+	buf := make([]byte, f.mgr.PageSize())
+	remaining := f.pages
+	for slot := 0; ; slot++ {
+		count := len(remaining)
+		if count > perPage {
+			count = perPage
+		}
+		var next storage.PageID
+		if count < len(remaining) {
+			if slot+1 < len(f.dirPages) {
+				next = f.dirPages[slot+1]
+			} else {
+				var err error
+				next, err = f.mgr.Alloc()
+				if err != nil {
+					return err
+				}
+				f.dirPages = append(f.dirPages, next)
+			}
+		}
+		for i := range buf {
+			buf[i] = 0
+		}
+		copy(buf, dirMagic[:])
+		binary.LittleEndian.PutUint32(buf[4:], uint32(count))
+		binary.LittleEndian.PutUint32(buf[8:], uint32(next))
+		for i := 0; i < count; i++ {
+			binary.LittleEndian.PutUint32(buf[dirHeaderSize+4*i:], uint32(remaining[i]))
+		}
+		if err := f.mgr.Write(f.dirPages[slot], buf); err != nil {
+			return err
+		}
+		remaining = remaining[count:]
+		if next == storage.NilPage {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package heapfile
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tsq/internal/storage"
+)
+
+func randRec(rng *rand.Rand, n int, name string) *Rec {
+	mk := func() []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = rng.NormFloat64() * 100
+		}
+		return out
+	}
+	return &Rec{
+		Name: name,
+		Mean: rng.NormFloat64(),
+		Std:  rng.Float64() + 0.1,
+		Raw:  mk(), Mags: mk(), Phases: mk(),
+	}
+}
+
+func recsEqual(a, b *Rec) bool {
+	if a.Name != b.Name || a.Mean != b.Mean || a.Std != b.Std {
+		return false
+	}
+	for _, pair := range [][2][]float64{{a.Raw, b.Raw}, {a.Mags, b.Mags}, {a.Phases, b.Phases}} {
+		if len(pair[0]) != len(pair[1]) {
+			return false
+		}
+		for i := range pair[0] {
+			if pair[0][i] != pair[1][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	mgr := storage.NewManager(storage.Options{PageSize: 4096})
+	f, err := Create(mgr, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var want []*Rec
+	for i := 0; i < 200; i++ {
+		r := randRec(rng, 128, fmt.Sprintf("record-%03d", i))
+		rec, err := f.Append(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec != int64(i) {
+			t.Fatalf("record number %d, want %d", rec, i)
+		}
+		want = append(want, r)
+	}
+	if f.Len() != 200 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	for i, w := range want {
+		got, err := f.Read(int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !recsEqual(got, w) {
+			t.Fatalf("record %d corrupted", i)
+		}
+	}
+}
+
+func TestReadCostsOnePage(t *testing.T) {
+	mgr := storage.NewManager(storage.Options{PageSize: 4096})
+	f, _ := Create(mgr, 64)
+	rng := rand.New(rand.NewSource(2))
+	f.Append(randRec(rng, 64, "a"))
+	mgr.ResetStats()
+	if _, err := f.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := mgr.Stats().Reads; got != 1 {
+		t.Errorf("Read cost %d page accesses, want 1", got)
+	}
+}
+
+func TestPersistenceAcrossOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "heap.db")
+	fb, err := storage.NewFileBackend(path, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := storage.NewManager(storage.Options{PageSize: 1024, Backend: fb})
+	f, err := Create(mgr, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var want []*Rec
+	// Enough records to force a multi-page directory (1024-byte pages
+	// hold (1024-12)/4 = 253 entries; use 600).
+	for i := 0; i < 600; i++ {
+		r := randRec(rng, 30, fmt.Sprintf("r%d", i))
+		if _, err := f.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, r)
+	}
+	head := f.DirHead()
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fb2, err := storage.NewFileBackend(path, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr2 := storage.NewManager(storage.Options{PageSize: 1024, Backend: fb2})
+	defer mgr2.Close()
+	re, err := Open(mgr2, head, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 600 {
+		t.Fatalf("reopened Len = %d", re.Len())
+	}
+	for _, i := range []int64{0, 1, 252, 253, 599} {
+		got, err := re.Read(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !recsEqual(got, want[i]) {
+			t.Fatalf("record %d corrupted after reopen", i)
+		}
+	}
+	// The reopened heap can keep appending.
+	if _, err := re.Append(randRec(rng, 30, "late")); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncIdempotent(t *testing.T) {
+	mgr := storage.NewManager(storage.Options{PageSize: 1024})
+	f, _ := Create(mgr, 8)
+	rng := rand.New(rand.NewSource(4))
+	f.Append(randRec(rng, 8, "x"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	writes := mgr.Stats().Writes
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Stats().Writes != writes {
+		t.Error("second Sync wrote pages")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	mgr := storage.NewManager(storage.Options{PageSize: 256})
+	if _, err := Create(mgr, 100); err == nil {
+		t.Error("oversized series accepted")
+	}
+	f, err := Create(mgr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	short := randRec(rng, 4, "short")
+	if _, err := f.Append(short); err == nil {
+		t.Error("wrong-length record accepted")
+	}
+	long := randRec(rng, 8, strings.Repeat("n", 300))
+	if _, err := f.Append(long); err == nil {
+		t.Error("oversized name accepted")
+	}
+	if _, err := f.Read(0); err == nil {
+		t.Error("read of empty heap succeeded")
+	}
+	if _, err := f.Read(-1); err == nil {
+		t.Error("negative record accepted")
+	}
+}
+
+func TestMaxSeriesLength(t *testing.T) {
+	if got := MaxSeriesLength(4096, 0); got != (4096-24)/24 {
+		t.Errorf("MaxSeriesLength = %d", got)
+	}
+	// A record at exactly the bound fits.
+	mgr := storage.NewManager(storage.Options{PageSize: 4096})
+	n := MaxSeriesLength(4096, 4)
+	f, err := Create(mgr, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	if _, err := f.Append(randRec(rng, n, "abcd")); err != nil {
+		t.Errorf("bound-sized record rejected: %v", err)
+	}
+}
+
+func TestSpecialFloatValues(t *testing.T) {
+	mgr := storage.NewManager(storage.Options{PageSize: 1024})
+	f, _ := Create(mgr, 4)
+	r := &Rec{
+		Name:   "special",
+		Mean:   math.Inf(1),
+		Std:    math.SmallestNonzeroFloat64,
+		Raw:    []float64{0, -0.0, math.MaxFloat64, -math.MaxFloat64},
+		Mags:   []float64{1, 2, 3, 4},
+		Phases: []float64{-math.Pi, math.Pi, 0, 1e-300},
+	}
+	if _, err := f.Append(r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got.Mean, 1) || got.Raw[2] != math.MaxFloat64 || got.Phases[3] != 1e-300 {
+		t.Error("special values corrupted")
+	}
+}
+
+func TestOpenRejectsNonDirectory(t *testing.T) {
+	mgr := storage.NewManager(storage.Options{PageSize: 512})
+	f, err := Create(mgr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	rec, err := f.Append(randRec(rng, 8, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Opening with a record page as the directory head must fail loudly.
+	recPage := f.pages[rec]
+	if _, err := Open(mgr, recPage, 8); err == nil {
+		t.Error("record page accepted as directory head")
+	}
+}
+
+func TestDeleteTombstone(t *testing.T) {
+	mgr := storage.NewManager(storage.Options{PageSize: 512})
+	f, _ := Create(mgr, 8)
+	rng := rand.New(rand.NewSource(8))
+	a, _ := f.Append(randRec(rng, 8, "a"))
+	b, _ := f.Append(randRec(rng, 8, "b"))
+	if err := f.Delete(a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Read(a)
+	if err != nil || got != nil {
+		t.Errorf("tombstoned read = %v, %v", got, err)
+	}
+	live, err := f.Read(b)
+	if err != nil || live == nil || live.Name != "b" {
+		t.Errorf("live record after delete: %v, %v", live, err)
+	}
+	if err := f.Delete(99); err == nil {
+		t.Error("out-of-range delete accepted")
+	}
+}

@@ -1,0 +1,138 @@
+package plot
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() Chart {
+	return Chart{
+		Title:  "time per query",
+		XLabel: "number of sequences",
+		YLabel: "seconds",
+		Series: []Series{
+			{Name: "seqscan", X: []float64{500, 1000, 2000}, Y: []float64{0.01, 0.02, 0.05}},
+			{Name: "MT-index", X: []float64{500, 1000, 2000}, Y: []float64{0.004, 0.008, 0.015}, Dashed: true},
+		},
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	svg, err := sample().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must parse as XML.
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+	}
+	for _, needle := range []string{"<svg", "polyline", "seqscan", "MT-index", "number of sequences", "stroke-dasharray"} {
+		if !strings.Contains(svg, needle) {
+			t.Errorf("SVG missing %q", needle)
+		}
+	}
+	// Two series -> two polylines.
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("%d polylines, want 2", got)
+	}
+}
+
+func TestSVGErrors(t *testing.T) {
+	if _, err := (Chart{}).SVG(); err == nil {
+		t.Error("empty chart accepted")
+	}
+	bad := Chart{Series: []Series{{Name: "x", X: []float64{1, 2}, Y: []float64{1}}}}
+	if _, err := bad.SVG(); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	logNeg := Chart{LogY: true, Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{0}}}}
+	if _, err := logNeg.SVG(); err == nil {
+		t.Error("non-positive value on log axis accepted")
+	}
+}
+
+func TestLogAxis(t *testing.T) {
+	c := sample()
+	c.LogY = true
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "<svg") {
+		t.Error("log chart did not render")
+	}
+}
+
+func TestDegenerateRanges(t *testing.T) {
+	// Single point and constant series must not divide by zero.
+	c := Chart{Series: []Series{{Name: "p", X: []float64{5}, Y: []float64{3}}}}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Error("degenerate chart produced NaN/Inf coordinates")
+	}
+	flat := Chart{Series: []Series{{Name: "f", X: []float64{1, 2, 3}, Y: []float64{7, 7, 7}}}}
+	svg, err = flat.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Error("flat series produced NaN")
+	}
+}
+
+func TestTicks(t *testing.T) {
+	got := ticks(0, 10, 6)
+	if len(got) < 4 || got[0] < 0 || got[len(got)-1] > 10+1e-9 {
+		t.Errorf("ticks(0,10) = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("ticks not increasing: %v", got)
+		}
+	}
+	// Tiny and huge ranges.
+	if got := ticks(0.0001, 0.0005, 5); len(got) == 0 {
+		t.Error("no ticks for tiny range")
+	}
+	if got := ticks(0, 1e6, 5); len(got) == 0 {
+		t.Error("no ticks for huge range")
+	}
+	if got := ticks(3, 3, 5); len(got) != 1 {
+		t.Errorf("zero-span ticks = %v", got)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1500000: "1500k",
+		2.5:     "2.5",
+		0.004:   "0.004",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if math.IsNaN(3) { // keep math imported
+		t.Fatal("unreachable")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape("a<b&c>d"); got != "a&lt;b&amp;c&gt;d" {
+		t.Errorf("escape = %q", got)
+	}
+}

@@ -1,0 +1,32 @@
+package query
+
+import "testing"
+
+// FuzzParsePipeline checks the pipeline parser never panics and that any
+// accepted pipeline can be flattened into a consistent transformation set.
+func FuzzParsePipeline(f *testing.F) {
+	f.Add("shift(0..10) | mv(1..40)")
+	f.Add("mv(5)")
+	f.Add("inverted(mv(2..4)) | momentum")
+	f.Add("scale(1.5, 2)")
+	f.Add("id|id|id")
+	f.Add("mv(..)")
+	f.Add("mv((3))")
+	f.Add("inverted(inverted(shift(1)))")
+	f.Fuzz(func(t *testing.T, input string) {
+		const n = 32
+		p, err := ParsePipeline(input, n)
+		if err != nil {
+			return
+		}
+		flat := p.Flatten()
+		if len(flat) != p.Size() {
+			t.Fatalf("Flatten produced %d transforms, Size says %d", len(flat), p.Size())
+		}
+		for _, tr := range flat {
+			if tr.N() != n {
+				t.Fatalf("transform %q built for n=%d, want %d", tr.Name, tr.N(), n)
+			}
+		}
+	})
+}

@@ -1,0 +1,270 @@
+// Package query implements the query-expression layer of Sec. 3.3:
+// pipelines of transformation sets ("an s-day shift followed by an m-day
+// moving average, for s = 0..10 and m = 1..40"), their rewriting into a
+// single transformation set via composition (Eqs. 10-11), threshold
+// translation between cross-correlation and Euclidean distance (Eq. 9),
+// and a small text syntax for describing pipelines on the command line.
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tsq/internal/series"
+	"tsq/internal/transform"
+)
+
+// Step is one stage of a pipeline: a set of alternative transformations.
+type Step []transform.Transform
+
+// Pipeline is a sequence of steps applied left to right: the first step
+// is applied to the series first.
+type Pipeline []Step
+
+// Flatten rewrites the pipeline into a single transformation set by
+// composing every combination across steps (Eq. 11). An empty pipeline
+// flattens to nil; the result size is the product of the step sizes.
+func (p Pipeline) Flatten() []transform.Transform {
+	if len(p) == 0 {
+		return nil
+	}
+	acc := []transform.Transform(p[0])
+	for _, step := range p[1:] {
+		acc = transform.ComposeSets(step, acc)
+	}
+	return acc
+}
+
+// Size returns the number of transformations Flatten would produce.
+func (p Pipeline) Size() int {
+	if len(p) == 0 {
+		return 0
+	}
+	n := 1
+	for _, s := range p {
+		n *= len(s)
+	}
+	return n
+}
+
+// Threshold is a similarity threshold given either as a Euclidean
+// distance on normal forms or as a cross-correlation; the two are
+// interchangeable through Eq. 9.
+type Threshold struct {
+	distance    float64
+	correlation float64
+	isCorr      bool
+}
+
+// DistanceThreshold returns a threshold fixed in distance units.
+func DistanceThreshold(d float64) Threshold { return Threshold{distance: d} }
+
+// CorrelationThreshold returns a threshold fixed as a minimum
+// cross-correlation in [-1, 1].
+func CorrelationThreshold(rho float64) Threshold {
+	return Threshold{correlation: rho, isCorr: true}
+}
+
+// Epsilon resolves the threshold to a Euclidean distance for series of
+// length n.
+func (t Threshold) Epsilon(n int) float64 {
+	if t.isCorr {
+		return series.DistanceForCorrelation(n, t.correlation)
+	}
+	return t.distance
+}
+
+// Correlation resolves the threshold to a correlation for series of
+// length n.
+func (t Threshold) Correlation(n int) float64 {
+	if t.isCorr {
+		return t.correlation
+	}
+	return series.CorrelationForDistance(n, t.distance)
+}
+
+// String renders the threshold.
+func (t Threshold) String() string {
+	if t.isCorr {
+		return fmt.Sprintf("rho >= %g", t.correlation)
+	}
+	return fmt.Sprintf("dist <= %g", t.distance)
+}
+
+// ParsePipeline parses the text syntax for pipelines. Steps are separated
+// by '|' and applied left to right. Each step is one of:
+//
+//	id                 identity
+//	mv(m)              m-day moving average
+//	mv(a..b)           moving averages for windows a..b
+//	shift(s)           s-day time shift (exact, circular)
+//	shift(a..b)        shifts a..b
+//	momentum           lag-1 momentum
+//	momentum(a..b)     momenta with lags a..b
+//	invert             multiply by -1
+//	reverse            time reversal
+//	ema(a)             exponential moving average, 0 < a <= 1
+//	wma(w1,w2,...)     weighted moving average with trailing weights
+//	scale(x)           scale by factor x > 0
+//	scale(x,y,...)     scales by each listed factor
+//	inverted(STEP)     STEP plus the inverted version of each member
+//
+// Example: "shift(0..10) | mv(1..40)" is the Sec. 3.3 example and
+// flattens to 11*40 = 440 transformations.
+func ParsePipeline(text string, n int) (Pipeline, error) {
+	var p Pipeline
+	for _, part := range strings.Split(text, "|") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("query: empty step in %q", text)
+		}
+		step, err := parseStep(part, n)
+		if err != nil {
+			return nil, err
+		}
+		p = append(p, step)
+	}
+	return p, nil
+}
+
+func parseStep(s string, n int) (Step, error) {
+	name, args, err := splitCall(s)
+	if err != nil {
+		return nil, err
+	}
+	switch name {
+	case "id":
+		if args != "" {
+			return nil, fmt.Errorf("query: id takes no arguments")
+		}
+		return Step{transform.Identity(n)}, nil
+	case "momentum":
+		if args == "" {
+			return Step{transform.Momentum(n)}, nil
+		}
+		lo, hi, err := parseRange(args)
+		if err != nil {
+			return nil, fmt.Errorf("query: momentum: %v", err)
+		}
+		if lo < 1 || hi >= n {
+			return nil, fmt.Errorf("query: momentum lag range [%d, %d] out of [1, %d)", lo, hi, n)
+		}
+		var step Step
+		for k := lo; k <= hi; k++ {
+			step = append(step, transform.MomentumLag(n, k))
+		}
+		return step, nil
+	case "invert":
+		if args != "" {
+			return nil, fmt.Errorf("query: invert takes no arguments")
+		}
+		return Step{transform.Invert(n)}, nil
+	case "reverse":
+		if args != "" {
+			return nil, fmt.Errorf("query: reverse takes no arguments")
+		}
+		return Step{transform.Reverse(n)}, nil
+	case "ema":
+		a, err := strconv.ParseFloat(strings.TrimSpace(args), 64)
+		if err != nil {
+			return nil, fmt.Errorf("query: ema: %v", err)
+		}
+		if a <= 0 || a > 1 {
+			return nil, fmt.Errorf("query: ema alpha %v out of (0, 1]", a)
+		}
+		return Step{transform.EMA(n, a)}, nil
+	case "wma":
+		if args == "" {
+			return nil, fmt.Errorf("query: wma needs weights")
+		}
+		var weights []float64
+		var sum float64
+		for _, a := range strings.Split(args, ",") {
+			w, err := strconv.ParseFloat(strings.TrimSpace(a), 64)
+			if err != nil {
+				return nil, fmt.Errorf("query: wma weight %q: %v", a, err)
+			}
+			weights = append(weights, w)
+			sum += w
+		}
+		if len(weights) > n || sum == 0 {
+			return nil, fmt.Errorf("query: wma with %d weights summing to %v", len(weights), sum)
+		}
+		return Step{transform.WeightedMovingAverage(n, weights)}, nil
+	case "mv":
+		lo, hi, err := parseRange(args)
+		if err != nil {
+			return nil, fmt.Errorf("query: mv: %v", err)
+		}
+		if lo < 1 || hi > n {
+			return nil, fmt.Errorf("query: mv window range [%d, %d] out of [1, %d]", lo, hi, n)
+		}
+		return Step(transform.MovingAverageSet(n, lo, hi)), nil
+	case "shift":
+		lo, hi, err := parseRange(args)
+		if err != nil {
+			return nil, fmt.Errorf("query: shift: %v", err)
+		}
+		return Step(transform.TimeShiftSet(n, lo, hi)), nil
+	case "scale":
+		if args == "" {
+			return nil, fmt.Errorf("query: scale needs at least one factor")
+		}
+		var factors []float64
+		for _, a := range strings.Split(args, ",") {
+			f, err := strconv.ParseFloat(strings.TrimSpace(a), 64)
+			if err != nil {
+				return nil, fmt.Errorf("query: scale factor %q: %v", a, err)
+			}
+			if f <= 0 {
+				return nil, fmt.Errorf("query: scale factor %v must be positive", f)
+			}
+			factors = append(factors, f)
+		}
+		return Step(transform.ScaleSet(n, factors)), nil
+	case "inverted":
+		inner, err := parseStep(args, n)
+		if err != nil {
+			return nil, err
+		}
+		return Step(transform.WithInverted(inner)), nil
+	default:
+		return nil, fmt.Errorf("query: unknown step %q", name)
+	}
+}
+
+// splitCall splits "name(args)" or bare "name" into its parts.
+func splitCall(s string) (name, args string, err error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		return s, "", nil
+	}
+	if !strings.HasSuffix(s, ")") {
+		return "", "", fmt.Errorf("query: unbalanced parentheses in %q", s)
+	}
+	return strings.TrimSpace(s[:open]), strings.TrimSpace(s[open+1 : len(s)-1]), nil
+}
+
+// parseRange parses "a..b" or a single "a" (meaning a..a).
+func parseRange(s string) (lo, hi int, err error) {
+	if s == "" {
+		return 0, 0, fmt.Errorf("missing argument")
+	}
+	if idx := strings.Index(s, ".."); idx >= 0 {
+		lo, err = strconv.Atoi(strings.TrimSpace(s[:idx]))
+		if err != nil {
+			return 0, 0, err
+		}
+		hi, err = strconv.Atoi(strings.TrimSpace(s[idx+2:]))
+		if err != nil {
+			return 0, 0, err
+		}
+		if hi < lo {
+			return 0, 0, fmt.Errorf("empty range %d..%d", lo, hi)
+		}
+		return lo, hi, nil
+	}
+	lo, err = strconv.Atoi(strings.TrimSpace(s))
+	return lo, lo, err
+}

@@ -1,0 +1,217 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tsq/internal/dft"
+	"tsq/internal/series"
+	"tsq/internal/transform"
+)
+
+func TestFlattenSizesAndSemantics(t *testing.T) {
+	n := 64
+	p := Pipeline{
+		Step(transform.TimeShiftSet(n, 0, 2)),
+		Step(transform.MovingAverageSet(n, 1, 4)),
+	}
+	if p.Size() != 12 {
+		t.Fatalf("Size = %d, want 12", p.Size())
+	}
+	flat := p.Flatten()
+	if len(flat) != 12 {
+		t.Fatalf("|Flatten| = %d, want 12", len(flat))
+	}
+	// Semantics: an element equals the sequential application.
+	rng := rand.New(rand.NewSource(1))
+	s := make(series.Series, n)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	X := dft.TransformReal(s)
+	shift1 := transform.TimeShift(n, 1)
+	mv3 := transform.MovingAverage(n, 3)
+	want := mv3.ApplySpectrum(shift1.ApplySpectrum(X))
+	found := false
+	for _, tr := range flat {
+		if tr.Name == "mv3(shift1)" {
+			found = true
+			if dft.Distance(tr.ApplySpectrum(X), want) > 1e-8 {
+				t.Error("flattened transform diverges from sequential application")
+			}
+		}
+	}
+	if !found {
+		t.Error("mv3(shift1) not present in flattened set")
+	}
+}
+
+func TestFlattenEmpty(t *testing.T) {
+	if got := (Pipeline{}).Flatten(); got != nil {
+		t.Errorf("empty pipeline flattened to %v", got)
+	}
+	if got := (Pipeline{}).Size(); got != 0 {
+		t.Errorf("empty pipeline size %d", got)
+	}
+}
+
+func TestThresholds(t *testing.T) {
+	d := DistanceThreshold(3)
+	if d.Epsilon(128) != 3 {
+		t.Errorf("distance epsilon = %v", d.Epsilon(128))
+	}
+	c := CorrelationThreshold(0.96)
+	if got := c.Epsilon(128); math.Abs(got-series.DistanceForCorrelation(128, 0.96)) > 1e-12 {
+		t.Errorf("correlation epsilon = %v", got)
+	}
+	// Round trip both directions.
+	if got := c.Correlation(128); got != 0.96 {
+		t.Errorf("correlation = %v", got)
+	}
+	if got := d.Correlation(128); math.Abs(got-series.CorrelationForDistance(128, 3)) > 1e-12 {
+		t.Errorf("distance->correlation = %v", got)
+	}
+	if !strings.Contains(c.String(), "0.96") || !strings.Contains(d.String(), "3") {
+		t.Errorf("String: %q %q", c.String(), d.String())
+	}
+}
+
+func TestParsePipelineSec33Example(t *testing.T) {
+	p, err := ParsePipeline("shift(0..10) | mv(1..40)", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 11*40 {
+		t.Errorf("Size = %d, want 440", p.Size())
+	}
+}
+
+func TestParsePipelineAtoms(t *testing.T) {
+	n := 64
+	cases := []struct {
+		text string
+		size int
+	}{
+		{"id", 1},
+		{"momentum", 1},
+		{"invert", 1},
+		{"mv(5)", 1},
+		{"mv(3..7)", 5},
+		{"shift(2)", 1},
+		{"shift(-1..1)", 3},
+		{"scale(2)", 1},
+		{"scale(2, 3.5, 10)", 3},
+		{"inverted(mv(4..6))", 6},
+		{"momentum | shift(0..2)", 3},
+	}
+	for _, tc := range cases {
+		p, err := ParsePipeline(tc.text, n)
+		if err != nil {
+			t.Errorf("%q: %v", tc.text, err)
+			continue
+		}
+		if p.Size() != tc.size {
+			t.Errorf("%q: size %d, want %d", tc.text, p.Size(), tc.size)
+		}
+		if got := len(p.Flatten()); got != tc.size {
+			t.Errorf("%q: flatten size %d, want %d", tc.text, got, tc.size)
+		}
+	}
+}
+
+func TestParsePipelineErrors(t *testing.T) {
+	n := 32
+	for _, text := range []string{
+		"",
+		"| mv(3)",
+		"unknown",
+		"mv",
+		"mv()",
+		"mv(0)",
+		"mv(1..99)",
+		"mv(5..3)",
+		"mv(a..b)",
+		"shift(1..x)",
+		"scale()",
+		"scale(0)",
+		"scale(-1)",
+		"scale(abc)",
+		"id(3)",
+		"invert(2)",
+		"mv(3",
+		"inverted(nope)",
+	} {
+		if _, err := ParsePipeline(text, n); err == nil {
+			t.Errorf("%q: expected error", text)
+		}
+	}
+}
+
+func TestParsedMomentumMatchesTimeDomain(t *testing.T) {
+	n := 32
+	p, err := ParsePipeline("momentum", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	s := make(series.Series, n)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	got := p.Flatten()[0].ApplySeries(s)
+	want := series.CircularMomentum(s)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-7 {
+			t.Fatalf("parsed momentum diverges at %d", i)
+		}
+	}
+}
+
+func TestParseNewAtoms(t *testing.T) {
+	n := 64
+	for _, tc := range []struct {
+		text string
+		size int
+	}{
+		{"reverse", 1},
+		{"ema(0.3)", 1},
+		{"wma(3, 2, 1)", 1},
+		{"reverse | mv(2..4)", 3},
+		{"ema(0.5) | shift(0..1)", 2},
+	} {
+		p, err := ParsePipeline(tc.text, n)
+		if err != nil {
+			t.Errorf("%q: %v", tc.text, err)
+			continue
+		}
+		if p.Size() != tc.size {
+			t.Errorf("%q: size %d, want %d", tc.text, p.Size(), tc.size)
+		}
+	}
+	for _, text := range []string{
+		"reverse(1)", "ema()", "ema(0)", "ema(2)", "ema(x)",
+		"wma()", "wma(1,-1)", "wma(a)",
+	} {
+		if _, err := ParsePipeline(text, n); err == nil {
+			t.Errorf("%q: expected error", text)
+		}
+	}
+}
+
+func TestParseMomentumLag(t *testing.T) {
+	p, err := ParsePipeline("momentum(1..5)", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 5 {
+		t.Errorf("size %d", p.Size())
+	}
+	if _, err := ParsePipeline("momentum(0)", 64); err == nil {
+		t.Error("lag 0 accepted")
+	}
+	if _, err := ParsePipeline("momentum(64)", 64); err == nil {
+		t.Error("lag n accepted")
+	}
+}

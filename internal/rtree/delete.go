@@ -1,0 +1,157 @@
+package rtree
+
+import (
+	"errors"
+	"fmt"
+
+	"tsq/internal/geom"
+	"tsq/internal/storage"
+)
+
+// ErrNotFound is returned by Delete when no matching entry exists.
+var ErrNotFound = errors.New("rtree: entry not found")
+
+func errLeafLevel(id storage.PageID, level int) error {
+	return fmt.Errorf("rtree: node %d is a leaf iff level==1, got level %d", id, level)
+}
+
+func errCapacity(id storage.PageID, n, lo, hi int) error {
+	return fmt.Errorf("rtree: node %d has %d entries, want [%d, %d]", id, n, lo, hi)
+}
+
+func errMBR(parent, child storage.PageID) error {
+	return fmt.Errorf("rtree: entry for child %d in node %d is not the child's MBR", child, parent)
+}
+
+func errCount(got, want int64) error {
+	return fmt.Errorf("rtree: tree holds %d records, meta says %d", got, want)
+}
+
+// Delete removes the entry with the given rectangle and record id. It
+// returns ErrNotFound if no such entry exists.
+func (t *Tree) Delete(r geom.Rect, rec int64) error {
+	path, idx, err := t.findLeaf(t.root, t.height, r, rec)
+	if err != nil {
+		return err
+	}
+	leaf := path[len(path)-1].node
+	leaf.Entries = append(leaf.Entries[:idx], leaf.Entries[idx+1:]...)
+
+	// Condense: walk the path bottom-up; underfull non-root nodes are
+	// removed and their entries queued for reinsertion at their level.
+	type orphan struct {
+		entries []Entry
+		level   int
+	}
+	var orphans []orphan
+	for i := len(path) - 1; i >= 1; i-- {
+		n := path[i].node
+		level := t.height - i
+		parent := path[i-1].node
+		if len(n.Entries) < t.minE {
+			orphans = append(orphans, orphan{entries: n.Entries, level: level})
+			parent.Entries = append(parent.Entries[:path[i].entryIdx], parent.Entries[path[i].entryIdx+1:]...)
+			// Re-index siblings' stored positions in the remaining path is
+			// unnecessary: only this branch of the path is walked.
+			t.mgr.Free(n.ID)
+		} else {
+			if err := t.store(n); err != nil {
+				return err
+			}
+			parent.Entries[path[i].entryIdx].Rect = n.mbr()
+		}
+	}
+	if err := t.store(path[0].node); err != nil {
+		return err
+	}
+
+	// Shrink the root while it is an internal node with a single child.
+	for {
+		root, err := t.Load(t.root)
+		if err != nil {
+			return err
+		}
+		if root.Leaf || len(root.Entries) != 1 {
+			break
+		}
+		old := t.root
+		t.root = root.Entries[0].Child
+		t.height--
+		t.mgr.Free(old)
+	}
+
+	// Reinsert orphaned entries at their original levels.
+	for _, o := range orphans {
+		for _, e := range o.entries {
+			level := o.level
+			if level > t.height {
+				// The tree shrank below the orphan's level; reinsert the
+				// subtree's records instead.
+				if err := t.reinsertSubtree(e, level); err != nil {
+					return err
+				}
+				continue
+			}
+			overflowed := make(map[int]bool)
+			if err := t.insertAtLevel(e, level, overflowed); err != nil {
+				return err
+			}
+		}
+	}
+
+	t.size--
+	return t.writeMeta()
+}
+
+// reinsertSubtree reinserts every leaf record under entry e (which lived at
+// the given level) one by one. Used only in the rare case where root
+// shrinkage removed the level an orphan belonged to.
+func (t *Tree) reinsertSubtree(e Entry, level int) error {
+	if level == 1 {
+		overflowed := make(map[int]bool)
+		return t.insertAtLevel(e, 1, overflowed)
+	}
+	n, err := t.Load(e.Child)
+	if err != nil {
+		return err
+	}
+	t.mgr.Free(n.ID)
+	for _, child := range n.Entries {
+		if err := t.reinsertSubtree(child, level-1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// findLeaf locates the leaf containing (r, rec), returning the path to it
+// and the entry index inside the leaf.
+func (t *Tree) findLeaf(id storage.PageID, level int, r geom.Rect, rec int64) ([]pathElem, int, error) {
+	n, err := t.Load(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	if n.Leaf {
+		for i, e := range n.Entries {
+			if e.Rec == rec && rectsEqual(e.Rect, r) {
+				return []pathElem{{node: n, entryIdx: -1}}, i, nil
+			}
+		}
+		return nil, 0, ErrNotFound
+	}
+	for i, e := range n.Entries {
+		if !e.Rect.ContainsRect(r) {
+			continue
+		}
+		sub, idx, err := t.findLeaf(e.Child, level-1, r, rec)
+		if err == nil {
+			path := append([]pathElem{{node: n, entryIdx: -1}}, sub...)
+			path[1].entryIdx = i
+			return path, idx, nil
+		}
+		if !errors.Is(err, ErrNotFound) {
+			return nil, 0, err
+		}
+	}
+	return nil, 0, ErrNotFound
+}

@@ -1,0 +1,170 @@
+// Package rtree implements an R*-tree (Beckmann, Kriegel, Schneider,
+// Seeger, SIGMOD '90) over the paged storage manager: ChooseSubtree with
+// overlap-minimizing leaf choice, margin-driven split-axis selection,
+// overlap-driven split-distribution selection, and forced reinsertion.
+// Every node occupies exactly one storage page, so storage-level read
+// counts are the paper's "number of disk accesses".
+//
+// The tree stores axis-aligned rectangles (points are degenerate
+// rectangles) with an int64 record id per leaf entry. It is the substrate
+// of the ST-index and MT-index algorithms, which drive their own
+// traversals via Root, Load, and Node; plain range, nearest-neighbor, and
+// spatial self-join searches are provided here.
+package rtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"tsq/internal/geom"
+	"tsq/internal/storage"
+)
+
+// Entry is one slot of a node: a bounding rectangle plus either a child
+// page (internal nodes) or a record id (leaves).
+type Entry struct {
+	Rect  geom.Rect
+	Child storage.PageID // internal nodes only
+	Rec   int64          // leaf nodes only
+}
+
+// Node is the decoded form of one tree page.
+type Node struct {
+	ID      storage.PageID
+	Leaf    bool
+	Entries []Entry
+}
+
+// mbr returns the minimum bounding rectangle of all entries of the node.
+func (n *Node) mbr() geom.Rect {
+	rects := make([]geom.Rect, len(n.Entries))
+	for i, e := range n.Entries {
+		rects[i] = e.Rect
+	}
+	return geom.MBRRects(rects)
+}
+
+// Page layout (little endian):
+//
+//	offset 0: leaf flag (1 byte)
+//	offset 1: reserved (1 byte)
+//	offset 2: entry count (uint16)
+//	offset 4: CRC32 (IEEE) of the used page region with this field zeroed
+//	offset 8: entries, each 16*dim + 8 bytes:
+//	    dim float64 lows, dim float64 highs, uint64 ref
+//	    (ref is the child page id for internal nodes, the record id for
+//	    leaves)
+const nodeHeaderSize = 8
+
+// entrySize returns the encoded size of one entry for the given
+// dimensionality.
+func entrySize(dim int) int { return 16*dim + 8 }
+
+// MaxEntries returns the node capacity for the given page size and
+// dimensionality.
+func MaxEntries(pageSize, dim int) int {
+	return (pageSize - nodeHeaderSize) / entrySize(dim)
+}
+
+// encodeNode serializes n into buf (one page).
+func encodeNode(n *Node, dim int, buf []byte) {
+	if n.Leaf {
+		buf[0] = 1
+	} else {
+		buf[0] = 0
+	}
+	buf[1] = 0
+	binary.LittleEndian.PutUint16(buf[2:], uint16(len(n.Entries)))
+	binary.LittleEndian.PutUint32(buf[4:], 0)
+	off := nodeHeaderSize
+	for _, e := range n.Entries {
+		for i := 0; i < dim; i++ {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(e.Rect.Lo[i]))
+			off += 8
+		}
+		for i := 0; i < dim; i++ {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(e.Rect.Hi[i]))
+			off += 8
+		}
+		var ref uint64
+		if n.Leaf {
+			ref = uint64(e.Rec)
+		} else {
+			ref = uint64(e.Child)
+		}
+		binary.LittleEndian.PutUint64(buf[off:], ref)
+		off += 8
+	}
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(buf[:off]))
+}
+
+// decodeNode deserializes a page into a Node.
+func decodeNode(id storage.PageID, dim int, buf []byte) (*Node, error) {
+	n := &Node{ID: id, Leaf: buf[0] == 1}
+	count := int(binary.LittleEndian.Uint16(buf[2:]))
+	used := nodeHeaderSize + count*entrySize(dim)
+	if used > len(buf) {
+		return nil, fmt.Errorf("rtree: corrupt node %d: count %d exceeds page", id, count)
+	}
+	stored := binary.LittleEndian.Uint32(buf[4:])
+	binary.LittleEndian.PutUint32(buf[4:], 0)
+	sum := crc32.ChecksumIEEE(buf[:used])
+	binary.LittleEndian.PutUint32(buf[4:], stored)
+	if sum != stored {
+		return nil, fmt.Errorf("rtree: node %d fails its checksum", id)
+	}
+	n.Entries = make([]Entry, count)
+	off := nodeHeaderSize
+	for j := 0; j < count; j++ {
+		lo := make(geom.Point, dim)
+		hi := make(geom.Point, dim)
+		for i := 0; i < dim; i++ {
+			lo[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		for i := 0; i < dim; i++ {
+			hi[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		ref := binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+		e := Entry{Rect: geom.Rect{Lo: lo, Hi: hi}}
+		if n.Leaf {
+			e.Rec = int64(ref)
+		} else {
+			e.Child = storage.PageID(ref)
+		}
+		n.Entries[j] = e
+	}
+	return n, nil
+}
+
+// Meta page layout (page allocated first, id recorded by the caller):
+//
+//	offset 0: magic (4 bytes "RST1")
+//	offset 4: dim (uint32)
+//	offset 8: root page (uint32)
+//	offset 12: height (uint32)
+//	offset 16: size (uint64)
+var metaMagic = [4]byte{'R', 'S', 'T', '1'}
+
+func encodeMeta(buf []byte, dim int, root storage.PageID, height int, size int64) {
+	copy(buf, metaMagic[:])
+	binary.LittleEndian.PutUint32(buf[4:], uint32(dim))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(root))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(height))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(size))
+}
+
+func decodeMeta(buf []byte) (dim int, root storage.PageID, height int, size int64, err error) {
+	if [4]byte(buf[:4]) != metaMagic {
+		return 0, 0, 0, 0, fmt.Errorf("rtree: bad meta page magic %q", buf[:4])
+	}
+	dim = int(binary.LittleEndian.Uint32(buf[4:]))
+	root = storage.PageID(binary.LittleEndian.Uint32(buf[8:]))
+	height = int(binary.LittleEndian.Uint32(buf[12:]))
+	size = int64(binary.LittleEndian.Uint64(buf[16:]))
+	return dim, root, height, size, nil
+}

@@ -1,0 +1,373 @@
+package rtree
+
+import (
+	"fmt"
+
+	"tsq/internal/geom"
+	"tsq/internal/storage"
+)
+
+// reinsertFraction is the R*-tree forced-reinsertion parameter p: on the
+// first overflow at a level, the 30% of entries farthest from the node
+// center are removed and reinserted.
+const reinsertFraction = 0.3
+
+// minFillFraction is the minimum node fill m as a fraction of capacity M
+// (the R*-tree paper recommends 40%).
+const minFillFraction = 0.4
+
+// Tree is a disk-resident R*-tree. It is not safe for concurrent use.
+type Tree struct {
+	mgr    *storage.Manager
+	dim    int
+	maxE   int // M: node capacity
+	minE   int // m: minimum fill
+	metaID storage.PageID
+	root   storage.PageID
+	height int // 1 = root is a leaf
+	size   int64
+	buf    []byte // scratch page buffer for writes
+}
+
+// New creates an empty tree of the given dimensionality on mgr.
+func New(mgr *storage.Manager, dim int) (*Tree, error) {
+	maxE := MaxEntries(mgr.PageSize(), dim)
+	if maxE < 4 {
+		return nil, fmt.Errorf("rtree: page size %d too small for dimension %d (capacity %d)", mgr.PageSize(), dim, maxE)
+	}
+	t := &Tree{
+		mgr:  mgr,
+		dim:  dim,
+		maxE: maxE,
+		minE: max(2, int(minFillFraction*float64(maxE))),
+		buf:  make([]byte, mgr.PageSize()),
+	}
+	metaID, err := mgr.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	t.metaID = metaID
+	rootID, err := mgr.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	t.root = rootID
+	t.height = 1
+	if err := t.store(&Node{ID: rootID, Leaf: true}); err != nil {
+		return nil, err
+	}
+	if err := t.writeMeta(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Open loads an existing tree whose meta page is metaID.
+func Open(mgr *storage.Manager, metaID storage.PageID) (*Tree, error) {
+	buf := make([]byte, mgr.PageSize())
+	if err := mgr.Read(metaID, buf); err != nil {
+		return nil, err
+	}
+	dim, root, height, size, err := decodeMeta(buf)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{
+		mgr:    mgr,
+		dim:    dim,
+		maxE:   MaxEntries(mgr.PageSize(), dim),
+		metaID: metaID,
+		root:   root,
+		height: height,
+		size:   size,
+		buf:    make([]byte, mgr.PageSize()),
+	}
+	t.minE = max(2, int(minFillFraction*float64(t.maxE)))
+	return t, nil
+}
+
+// MetaID returns the id of the tree's metadata page (needed to Open it).
+func (t *Tree) MetaID() storage.PageID { return t.metaID }
+
+// Dim returns the dimensionality of the indexed rectangles.
+func (t *Tree) Dim() int { return t.dim }
+
+// Root returns the root page id.
+func (t *Tree) Root() storage.PageID { return t.root }
+
+// Height returns the tree height; 1 means the root is a leaf.
+func (t *Tree) Height() int { return t.height }
+
+// Len returns the number of stored records.
+func (t *Tree) Len() int64 { return t.size }
+
+// Capacity returns (m, M): the minimum and maximum entries per node.
+func (t *Tree) Capacity() (int, int) { return t.minE, t.maxE }
+
+// Load reads and decodes one node. Each call costs one page access, which
+// is how the experiments count disk accesses; callers driving their own
+// traversals (ST-index, MT-index) go through Load.
+func (t *Tree) Load(id storage.PageID) (*Node, error) {
+	buf := make([]byte, t.mgr.PageSize())
+	if err := t.mgr.Read(id, buf); err != nil {
+		return nil, err
+	}
+	return decodeNode(id, t.dim, buf)
+}
+
+func (t *Tree) store(n *Node) error {
+	if len(n.Entries) > t.maxE {
+		return fmt.Errorf("rtree: storing overfull node %d (%d > %d)", n.ID, len(n.Entries), t.maxE)
+	}
+	encodeNode(n, t.dim, t.buf)
+	return t.mgr.Write(n.ID, t.buf)
+}
+
+func (t *Tree) writeMeta() error {
+	for i := range t.buf {
+		t.buf[i] = 0
+	}
+	encodeMeta(t.buf, t.dim, t.root, t.height, t.size)
+	return t.mgr.Write(t.metaID, t.buf)
+}
+
+// Insert adds a rectangle with the given record id.
+func (t *Tree) Insert(r geom.Rect, rec int64) error {
+	if r.Dim() != t.dim {
+		return fmt.Errorf("rtree: inserting %d-dimensional rect into %d-dimensional tree", r.Dim(), t.dim)
+	}
+	// overflowed tracks, per level, whether forced reinsertion already ran
+	// during this insertion (the R* rule: reinsert only once per level). A
+	// map because a root split during reinsertion can grow the height
+	// mid-insert.
+	overflowed := make(map[int]bool)
+	if err := t.insertAtLevel(Entry{Rect: r.Clone(), Rec: rec}, 1, overflowed); err != nil {
+		return err
+	}
+	t.size++
+	return t.writeMeta()
+}
+
+// InsertPoint adds a point with the given record id.
+func (t *Tree) InsertPoint(p geom.Point, rec int64) error {
+	return t.Insert(geom.PointRect(p), rec)
+}
+
+// insertAtLevel inserts entry e at the given level (1 = leaf). The entry's
+// Child must be set when level > 1.
+func (t *Tree) insertAtLevel(e Entry, level int, overflowed map[int]bool) error {
+	path, err := t.choosePath(e.Rect, level)
+	if err != nil {
+		return err
+	}
+	n := path[len(path)-1].node
+	n.Entries = append(n.Entries, e)
+	return t.handleOverflowAndAdjust(path, level, overflowed)
+}
+
+// pathElem is one step of a root-to-target path.
+type pathElem struct {
+	node     *Node
+	entryIdx int // index within the parent's entries (undefined for root)
+}
+
+// choosePath descends from the root to a node at the target level (1 =
+// leaf) using the R* ChooseSubtree criteria, returning the full path.
+func (t *Tree) choosePath(r geom.Rect, targetLevel int) ([]pathElem, error) {
+	id := t.root
+	level := t.height
+	path := []pathElem{}
+	entryIdx := -1
+	for {
+		n, err := t.Load(id)
+		if err != nil {
+			return nil, err
+		}
+		path = append(path, pathElem{node: n, entryIdx: entryIdx})
+		if level == targetLevel {
+			return path, nil
+		}
+		if n.Leaf {
+			return nil, fmt.Errorf("rtree: reached leaf above target level %d", targetLevel)
+		}
+		if level-1 == 1 {
+			entryIdx = chooseLeastOverlap(n.Entries, r)
+		} else {
+			entryIdx = chooseLeastEnlargement(n.Entries, r)
+		}
+		id = n.Entries[entryIdx].Child
+		level--
+	}
+}
+
+// chooseLeastOverlap implements the R* leaf-level choice: the child whose
+// overlap with its siblings grows least; ties broken by least area
+// enlargement, then least area.
+func chooseLeastOverlap(entries []Entry, r geom.Rect) int {
+	best := -1
+	bestOverlap, bestEnlarge, bestArea := 0.0, 0.0, 0.0
+	for i, e := range entries {
+		grown := e.Rect.Union(r)
+		var overlapDelta float64
+		for j, other := range entries {
+			if j == i {
+				continue
+			}
+			overlapDelta += grown.OverlapArea(other.Rect) - e.Rect.OverlapArea(other.Rect)
+		}
+		enlarge := e.Rect.Enlargement(r)
+		area := e.Rect.Area()
+		if best == -1 || overlapDelta < bestOverlap ||
+			(overlapDelta == bestOverlap && (enlarge < bestEnlarge ||
+				(enlarge == bestEnlarge && area < bestArea))) {
+			best, bestOverlap, bestEnlarge, bestArea = i, overlapDelta, enlarge, area
+		}
+	}
+	return best
+}
+
+// chooseLeastEnlargement implements the internal-level choice: least area
+// enlargement, ties broken by least area.
+func chooseLeastEnlargement(entries []Entry, r geom.Rect) int {
+	best := -1
+	bestEnlarge, bestArea := 0.0, 0.0
+	for i, e := range entries {
+		enlarge := e.Rect.Enlargement(r)
+		area := e.Rect.Area()
+		if best == -1 || enlarge < bestEnlarge || (enlarge == bestEnlarge && area < bestArea) {
+			best, bestEnlarge, bestArea = i, enlarge, area
+		}
+	}
+	return best
+}
+
+// handleOverflowAndAdjust stores the modified tail node of path, resolving
+// overflow by forced reinsertion or split, and adjusts bounding rectangles
+// up to the root.
+func (t *Tree) handleOverflowAndAdjust(path []pathElem, level int, overflowed map[int]bool) error {
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i].node
+		curLevel := t.height - i // level of this node before any root split
+		if len(n.Entries) > t.maxE {
+			isRoot := i == 0
+			if !isRoot && !overflowed[curLevel] {
+				overflowed[curLevel] = true
+				if err := t.reinsert(path, i, curLevel, overflowed); err != nil {
+					return err
+				}
+				return nil
+			}
+			if err := t.split(path, i, curLevel, overflowed); err != nil {
+				return err
+			}
+			return nil
+		}
+		if err := t.store(n); err != nil {
+			return err
+		}
+		if i > 0 {
+			parent := path[i-1].node
+			parent.Entries[path[i].entryIdx].Rect = n.mbr()
+		}
+	}
+	return nil
+}
+
+// reinsert implements R* forced reinsertion at path[i]: remove the
+// reinsertFraction of entries whose centers are farthest from the node's
+// center, tighten the node, then re-insert them at the same level.
+func (t *Tree) reinsert(path []pathElem, i, level int, overflowed map[int]bool) error {
+	n := path[i].node
+	center := n.mbr().Center()
+	type distEntry struct {
+		d float64
+		e Entry
+	}
+	des := make([]distEntry, len(n.Entries))
+	for j, e := range n.Entries {
+		des[j] = distEntry{d: geom.Dist(e.Rect.Center(), center), e: e}
+	}
+	// Sort by distance descending (simple insertion sort keeps this
+	// dependency-free; nodes hold at most a few dozen entries).
+	for a := 1; a < len(des); a++ {
+		for b := a; b > 0 && des[b].d > des[b-1].d; b-- {
+			des[b], des[b-1] = des[b-1], des[b]
+		}
+	}
+	p := int(reinsertFraction * float64(len(des)))
+	if p < 1 {
+		p = 1
+	}
+	removed := make([]Entry, p)
+	for j := 0; j < p; j++ {
+		removed[j] = des[j].e
+	}
+	n.Entries = n.Entries[:0]
+	for j := p; j < len(des); j++ {
+		n.Entries = append(n.Entries, des[j].e)
+	}
+	if err := t.store(n); err != nil {
+		return err
+	}
+	// Tighten ancestors before reinserting.
+	for j := i; j > 0; j-- {
+		parent := path[j-1].node
+		parent.Entries[path[j].entryIdx].Rect = path[j].node.mbr()
+		if err := t.store(parent); err != nil {
+			return err
+		}
+	}
+	// Reinsert far entries first (the "close reinsert" variant reinserts
+	// entries ordered by distance, maximizing the chance they land in
+	// other nodes).
+	for _, e := range removed {
+		if err := t.insertAtLevel(e, level, overflowed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// split implements the R* split of the overfull node path[i] at the given
+// level, propagating the new entry upward (splitting ancestors as needed).
+func (t *Tree) split(path []pathElem, i, level int, overflowed map[int]bool) error {
+	n := path[i].node
+	left, right := splitEntries(n.Entries, t.minE, t.dim)
+	n.Entries = left
+	if err := t.store(n); err != nil {
+		return err
+	}
+	newID, err := t.mgr.Alloc()
+	if err != nil {
+		return err
+	}
+	sibling := &Node{ID: newID, Leaf: n.Leaf, Entries: right}
+	if err := t.store(sibling); err != nil {
+		return err
+	}
+	newEntry := Entry{Rect: sibling.mbr(), Child: newID}
+
+	if i == 0 {
+		// Root split: grow the tree.
+		newRootID, err := t.mgr.Alloc()
+		if err != nil {
+			return err
+		}
+		newRoot := &Node{ID: newRootID, Leaf: false, Entries: []Entry{
+			{Rect: n.mbr(), Child: n.ID},
+			newEntry,
+		}}
+		if err := t.store(newRoot); err != nil {
+			return err
+		}
+		t.root = newRootID
+		t.height++
+		return t.writeMeta()
+	}
+
+	// Update the parent: tighten the split node's rect and add the sibling.
+	parent := path[i-1].node
+	parent.Entries[path[i].entryIdx].Rect = n.mbr()
+	parent.Entries = append(parent.Entries, newEntry)
+	return t.handleOverflowAndAdjust(path[:i], level+1, overflowed)
+}

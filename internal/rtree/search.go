@@ -1,0 +1,337 @@
+package rtree
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"tsq/internal/geom"
+	"tsq/internal/storage"
+)
+
+// SearchStats reports the work done by one traversal.
+type SearchStats struct {
+	// NodeAccesses counts every node fetched, all levels (the paper's
+	// DA_all).
+	NodeAccesses int
+	// LeafAccesses counts leaf nodes fetched (the paper's DA_leaf).
+	LeafAccesses int
+}
+
+// Search returns the record ids of all entries whose rectangles intersect
+// query, plus traversal statistics.
+func (t *Tree) Search(query geom.Rect) ([]int64, SearchStats, error) {
+	var out []int64
+	var st SearchStats
+	err := t.walk(t.root, &st, func(n *Node) (bool, error) { return true, nil }, func(e Entry) error {
+		if e.Rect.Intersects(query) {
+			out = append(out, e.Rec)
+		}
+		return nil
+	}, func(e Entry) bool { return e.Rect.Intersects(query) })
+	return out, st, err
+}
+
+// walk traverses the subtree at id. descend decides whether to expand an
+// internal entry; emit is called for each leaf entry (after its own check
+// in the caller-supplied closure).
+func (t *Tree) walk(id storage.PageID, st *SearchStats, visit func(*Node) (bool, error), emit func(Entry) error, descend func(Entry) bool) error {
+	n, err := t.Load(id)
+	if err != nil {
+		return err
+	}
+	st.NodeAccesses++
+	if n.Leaf {
+		st.LeafAccesses++
+	}
+	if ok, err := visit(n); err != nil || !ok {
+		return err
+	}
+	for _, e := range n.Entries {
+		if n.Leaf {
+			if err := emit(e); err != nil {
+				return err
+			}
+		} else if descend(e) {
+			if err := t.walk(e.Child, st, visit, emit, descend); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Neighbor is one nearest-neighbor result.
+type Neighbor struct {
+	Rec  int64
+	Dist float64
+}
+
+// nnItem is a priority-queue element for best-first NN search.
+type nnItem struct {
+	dist  float64
+	isRec bool
+	rec   int64
+	child storage.PageID
+	rect  geom.Rect
+}
+
+type nnQueue []nnItem
+
+func (q nnQueue) Len() int            { return len(q) }
+func (q nnQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q nnQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nnQueue) Push(x interface{}) { *q = append(*q, x.(nnItem)) }
+func (q *nnQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// NearestNeighbors returns the k entries nearest to p by MINDIST-ordered
+// best-first search (Roussopoulos et al. refined to the standard
+// priority-queue formulation; MINDIST is an exact lower bound, so results
+// are exact). For k = 1, MINMAXDIST supplies an early upper bound on the
+// answer — every non-empty rectangle guarantees an object within that
+// distance — pruning siblings before any leaf is resolved.
+func (t *Tree) NearestNeighbors(p geom.Point, k int) ([]Neighbor, SearchStats, error) {
+	var st SearchStats
+	if k <= 0 {
+		return nil, st, nil
+	}
+	q := &nnQueue{{dist: 0, child: t.root}}
+	var out []Neighbor
+	// upper bounds the k-th nearest distance. MINMAXDIST guarantees one
+	// object per rectangle, so it can only tighten the k = 1 search.
+	upper := math.Inf(1)
+	worst := func() float64 {
+		if len(out) == k {
+			return math.Min(out[len(out)-1].Dist, upper)
+		}
+		return upper
+	}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(nnItem)
+		if len(out) == k && it.dist > worst() {
+			break
+		}
+		if it.isRec {
+			if len(out) < k {
+				out = append(out, Neighbor{Rec: it.rec, Dist: it.dist})
+				sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+			}
+			continue
+		}
+		n, err := t.Load(it.child)
+		if err != nil {
+			return nil, st, err
+		}
+		st.NodeAccesses++
+		if n.Leaf {
+			st.LeafAccesses++
+		}
+		for _, e := range n.Entries {
+			d := e.Rect.MinDist(p)
+			if (len(out) == k && d > worst()) || d > upper {
+				continue
+			}
+			if n.Leaf {
+				if k == 1 && d < upper {
+					upper = d // a point entry IS an object at distance d
+				}
+				heap.Push(q, nnItem{dist: d, isRec: true, rec: e.Rec})
+			} else {
+				if k == 1 {
+					if mm := e.Rect.MinMaxDist(p); mm < upper {
+						upper = mm
+					}
+				}
+				heap.Push(q, nnItem{dist: d, child: e.Child})
+			}
+		}
+	}
+	return out, st, nil
+}
+
+// JoinPair is one result of a spatial self-join.
+type JoinPair struct {
+	RecA, RecB int64
+}
+
+// SelfJoin returns all pairs of records whose rectangles come within eps of
+// each other (RectMinDist <= eps), using a synchronized depth-first
+// traversal of the tree against itself. Pairs are reported once with
+// RecA < RecB; the pair (r, r) is not reported.
+func (t *Tree) SelfJoin(eps float64) ([]JoinPair, SearchStats, error) {
+	var st SearchStats
+	var out []JoinPair
+	err := t.joinNodes(t.root, t.root, eps, &st, &out, func(a, b Entry) bool {
+		return geom.RectMinDist(a.Rect, b.Rect) <= eps
+	})
+	return out, st, err
+}
+
+// joinNodes joins the subtrees rooted at a and b. Loading is counted per
+// visit; when a == b the node is loaded once.
+func (t *Tree) joinNodes(a, b storage.PageID, eps float64, st *SearchStats, out *[]JoinPair, match func(a, b Entry) bool) error {
+	na, err := t.Load(a)
+	if err != nil {
+		return err
+	}
+	st.NodeAccesses++
+	if na.Leaf {
+		st.LeafAccesses++
+	}
+	var nb *Node
+	if a == b {
+		nb = na
+	} else {
+		nb, err = t.Load(b)
+		if err != nil {
+			return err
+		}
+		st.NodeAccesses++
+		if nb.Leaf {
+			st.LeafAccesses++
+		}
+	}
+	switch {
+	case na.Leaf && nb.Leaf:
+		for i, ea := range na.Entries {
+			jStart := 0
+			if a == b {
+				jStart = i + 1
+			}
+			for _, eb := range nb.Entries[jStart:] {
+				if ea.Rec == eb.Rec {
+					continue
+				}
+				if match(ea, eb) {
+					ra, rb := ea.Rec, eb.Rec
+					if ra > rb {
+						ra, rb = rb, ra
+					}
+					*out = append(*out, JoinPair{RecA: ra, RecB: rb})
+				}
+			}
+		}
+	case !na.Leaf && !nb.Leaf:
+		for i, ea := range na.Entries {
+			jStart := 0
+			if a == b {
+				jStart = i // include (i, i): records inside one subtree join among themselves
+			}
+			for _, eb := range nb.Entries[jStart:] {
+				if geom.RectMinDist(ea.Rect, eb.Rect) <= eps {
+					if err := t.joinNodes(ea.Child, eb.Child, eps, st, out, match); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	case na.Leaf && !nb.Leaf:
+		for _, eb := range nb.Entries {
+			if err := t.joinNodes(a, eb.Child, eps, st, out, match); err != nil {
+				return err
+			}
+		}
+	default: // !na.Leaf && nb.Leaf
+		for _, ea := range na.Entries {
+			if err := t.joinNodes(ea.Child, b, eps, st, out, match); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Visit walks the whole tree in depth-first order, calling fn for every
+// node. It is used by integrity checks and debugging tools.
+func (t *Tree) Visit(fn func(n *Node, level int) error) error {
+	return t.visit(t.root, t.height, fn)
+}
+
+func (t *Tree) visit(id storage.PageID, level int, fn func(n *Node, level int) error) error {
+	n, err := t.Load(id)
+	if err != nil {
+		return err
+	}
+	if err := fn(n, level); err != nil {
+		return err
+	}
+	if n.Leaf {
+		return nil
+	}
+	for _, e := range n.Entries {
+		if err := t.visit(e.Child, level-1, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckInvariants verifies structural invariants of the tree: every
+// internal entry's rectangle equals the MBR of its child, nodes respect
+// capacity bounds (root exempt from the minimum), all leaves are at the
+// same level, and the record count matches Len. It returns a descriptive
+// error on the first violation.
+func (t *Tree) CheckInvariants() error {
+	var records int64
+	var problem error
+	err := t.Visit(func(n *Node, level int) error {
+		if problem != nil {
+			return problem
+		}
+		if n.Leaf && level != 1 {
+			problem = errLeafLevel(n.ID, level)
+			return problem
+		}
+		if !n.Leaf && level == 1 {
+			problem = errLeafLevel(n.ID, level)
+			return problem
+		}
+		if n.ID != t.root {
+			if len(n.Entries) < t.minE || len(n.Entries) > t.maxE {
+				problem = errCapacity(n.ID, len(n.Entries), t.minE, t.maxE)
+				return problem
+			}
+		} else if len(n.Entries) > t.maxE {
+			problem = errCapacity(n.ID, len(n.Entries), 0, t.maxE)
+			return problem
+		}
+		if n.Leaf {
+			records += int64(len(n.Entries))
+			return nil
+		}
+		for _, e := range n.Entries {
+			child, err := t.Load(e.Child)
+			if err != nil {
+				return err
+			}
+			cm := child.mbr()
+			if !rectsEqual(e.Rect, cm) {
+				problem = errMBR(n.ID, e.Child)
+				return problem
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if records != t.size {
+		return errCount(records, t.size)
+	}
+	return nil
+}
+
+func rectsEqual(a, b geom.Rect) bool {
+	for i := range a.Lo {
+		if a.Lo[i] != b.Lo[i] || a.Hi[i] != b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}

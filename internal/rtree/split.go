@@ -1,0 +1,116 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"tsq/internal/geom"
+)
+
+// splitEntries partitions an overfull entry slice into two groups using the
+// R*-tree split algorithm: ChooseSplitAxis picks the axis minimizing the
+// total margin over all distributions; ChooseSplitIndex picks the
+// distribution on that axis with minimum overlap, ties broken by minimum
+// combined area. Each group receives at least minE entries.
+func splitEntries(entries []Entry, minE, dim int) (left, right []Entry) {
+	n := len(entries)
+	bestAxis, bestByLo := chooseSplitAxis(entries, minE, dim)
+
+	// Sort along the chosen axis, by lower then by upper bound; the R*
+	// algorithm considers both sortings, but evaluating distributions on
+	// the winning sort order is the standard simplification: we consider
+	// both and pick the better distribution overall.
+	sorted := make([]Entry, n)
+	copy(sorted, entries)
+	sortEntries(sorted, bestAxis, bestByLo)
+
+	splitAt := chooseSplitIndex(sorted, minE)
+	left = append([]Entry(nil), sorted[:splitAt]...)
+	right = append([]Entry(nil), sorted[splitAt:]...)
+	return left, right
+}
+
+// chooseSplitAxis returns the axis (and whether to sort by lower bound)
+// with the minimum sum of margins over all legal distributions.
+func chooseSplitAxis(entries []Entry, minE, dim int) (axis int, byLo bool) {
+	bestMargin := math.Inf(1)
+	axis, byLo = 0, true
+	work := make([]Entry, len(entries))
+	for a := 0; a < dim; a++ {
+		for _, lo := range []bool{true, false} {
+			copy(work, entries)
+			sortEntries(work, a, lo)
+			m := marginSum(work, minE)
+			if m < bestMargin {
+				bestMargin = m
+				axis, byLo = a, lo
+			}
+		}
+	}
+	return axis, byLo
+}
+
+// marginSum sums the margins of both groups over every legal distribution
+// of the sorted entries.
+func marginSum(sorted []Entry, minE int) float64 {
+	n := len(sorted)
+	prefix, suffix := groupMBRs(sorted)
+	var sum float64
+	for k := minE; k <= n-minE; k++ {
+		sum += prefix[k-1].Margin() + suffix[k].Margin()
+	}
+	return sum
+}
+
+// chooseSplitIndex returns the split position (entries before it go left)
+// minimizing group overlap, ties broken by total area.
+func chooseSplitIndex(sorted []Entry, minE int) int {
+	n := len(sorted)
+	prefix, suffix := groupMBRs(sorted)
+	best := minE
+	bestOverlap, bestArea := math.Inf(1), math.Inf(1)
+	for k := minE; k <= n-minE; k++ {
+		l, r := prefix[k-1], suffix[k]
+		overlap := l.OverlapArea(r)
+		area := l.Area() + r.Area()
+		if overlap < bestOverlap || (overlap == bestOverlap && area < bestArea) {
+			best, bestOverlap, bestArea = k, overlap, area
+		}
+	}
+	return best
+}
+
+// groupMBRs returns prefix[i] = MBR(sorted[0..i]) and
+// suffix[i] = MBR(sorted[i..n-1]).
+func groupMBRs(sorted []Entry) (prefix, suffix []geom.Rect) {
+	n := len(sorted)
+	prefix = make([]geom.Rect, n)
+	suffix = make([]geom.Rect, n)
+	prefix[0] = sorted[0].Rect.Clone()
+	for i := 1; i < n; i++ {
+		prefix[i] = prefix[i-1].Union(sorted[i].Rect)
+	}
+	suffix[n-1] = sorted[n-1].Rect.Clone()
+	for i := n - 2; i >= 0; i-- {
+		suffix[i] = suffix[i+1].Union(sorted[i].Rect)
+	}
+	return prefix, suffix
+}
+
+// sortEntries sorts entries along the axis by lower (byLo) or upper bound,
+// with the other bound as tie-breaker.
+func sortEntries(entries []Entry, axis int, byLo bool) {
+	sort.SliceStable(entries, func(i, j int) bool {
+		a, b := entries[i].Rect, entries[j].Rect
+		if byLo {
+			if a.Lo[axis] != b.Lo[axis] {
+				return a.Lo[axis] < b.Lo[axis]
+			}
+			return a.Hi[axis] < b.Hi[axis]
+		}
+		if a.Hi[axis] != b.Hi[axis] {
+			return a.Hi[axis] < b.Hi[axis]
+		}
+		return a.Lo[axis] < b.Lo[axis]
+	})
+}

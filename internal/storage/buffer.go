@@ -1,0 +1,71 @@
+package storage
+
+import "container/list"
+
+// bufferPool is a simple LRU page cache. It is not safe for concurrent use
+// on its own; the Manager serializes access to it.
+type bufferPool struct {
+	capacity int
+	pageSize int
+	lru      *list.List // front = most recently used; values are *frame
+	frames   map[PageID]*list.Element
+}
+
+type frame struct {
+	id   PageID
+	data []byte
+}
+
+func newBufferPool(capacity, pageSize int) *bufferPool {
+	return &bufferPool{
+		capacity: capacity,
+		pageSize: pageSize,
+		lru:      list.New(),
+		frames:   make(map[PageID]*list.Element, capacity),
+	}
+}
+
+// get returns the cached contents of id, if present, and marks it recently
+// used. The returned slice must not be retained.
+func (b *bufferPool) get(id PageID) ([]byte, bool) {
+	el, ok := b.frames[id]
+	if !ok {
+		return nil, false
+	}
+	b.lru.MoveToFront(el)
+	return el.Value.(*frame).data, true
+}
+
+// put caches the contents of id, evicting the least recently used page if
+// the pool is full.
+func (b *bufferPool) put(id PageID, data []byte) {
+	if el, ok := b.frames[id]; ok {
+		copy(el.Value.(*frame).data, data)
+		b.lru.MoveToFront(el)
+		return
+	}
+	if b.lru.Len() >= b.capacity {
+		oldest := b.lru.Back()
+		if oldest != nil {
+			b.lru.Remove(oldest)
+			delete(b.frames, oldest.Value.(*frame).id)
+		}
+	}
+	f := &frame{id: id, data: make([]byte, b.pageSize)}
+	copy(f.data, data)
+	b.frames[id] = b.lru.PushFront(f)
+}
+
+// evict drops page id from the pool if present.
+func (b *bufferPool) evict(id PageID) {
+	if el, ok := b.frames[id]; ok {
+		b.lru.Remove(el)
+		delete(b.frames, id)
+	}
+}
+
+// reset empties the pool.
+func (b *bufferPool) reset() {
+	b.lru.Init()
+	b.frames = make(map[PageID]*list.Element, b.capacity)
+}

@@ -1,0 +1,295 @@
+// Package storage implements the paged storage manager underneath the
+// R*-tree: fixed-size pages allocated from a memory- or file-backed page
+// file, a pin-counted LRU buffer pool, and the disk-access counters the
+// paper's evaluation reports. One index node occupies exactly one page, so
+// "number of disk accesses" in the experiments is the number of page
+// fetches that miss the buffer (with the default zero-capacity pool, every
+// fetch — the convention the paper's numbers use).
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// PageID identifies a page within a page file. The zero value is never a
+// valid page, so it can be used as a nil reference.
+type PageID uint32
+
+// NilPage is the invalid page id.
+const NilPage PageID = 0
+
+// DefaultPageSize is the page size used when none is specified.
+const DefaultPageSize = 4096
+
+// Stats counts the physical operations performed by a Manager.
+type Stats struct {
+	Reads  int64 // page reads that reached the backend
+	Writes int64 // page writes that reached the backend
+	Allocs int64 // pages allocated
+	Frees  int64 // pages freed
+	Hits   int64 // buffer pool hits (reads served without backend access)
+}
+
+// Backend is the raw page store under the manager.
+type Backend interface {
+	// ReadPage fills buf with the contents of page id.
+	ReadPage(id PageID, buf []byte) error
+	// WritePage stores buf as the contents of page id.
+	WritePage(id PageID, buf []byte) error
+	// Grow ensures the backend can hold page id.
+	Grow(id PageID) error
+	// Close releases backend resources.
+	Close() error
+}
+
+// MemBackend keeps pages in memory. It is the default backend; it gives
+// the experiments a deterministic, I/O-noise-free substrate while the
+// manager still counts every page access.
+type MemBackend struct {
+	pageSize int
+	pages    map[PageID][]byte
+}
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend(pageSize int) *MemBackend {
+	return &MemBackend{pageSize: pageSize, pages: make(map[PageID][]byte)}
+}
+
+// ReadPage implements Backend.
+func (m *MemBackend) ReadPage(id PageID, buf []byte) error {
+	p, ok := m.pages[id]
+	if !ok {
+		return fmt.Errorf("storage: read of unallocated page %d", id)
+	}
+	copy(buf, p)
+	return nil
+}
+
+// WritePage implements Backend.
+func (m *MemBackend) WritePage(id PageID, buf []byte) error {
+	p, ok := m.pages[id]
+	if !ok {
+		return fmt.Errorf("storage: write to unallocated page %d", id)
+	}
+	copy(p, buf)
+	return nil
+}
+
+// Grow implements Backend.
+func (m *MemBackend) Grow(id PageID) error {
+	if _, ok := m.pages[id]; !ok {
+		m.pages[id] = make([]byte, m.pageSize)
+	}
+	return nil
+}
+
+// Close implements Backend.
+func (m *MemBackend) Close() error {
+	m.pages = nil
+	return nil
+}
+
+// FileBackend stores pages in an operating-system file, page i at offset
+// i*pageSize.
+type FileBackend struct {
+	pageSize int
+	f        *os.File
+}
+
+// NewFileBackend opens (creating if needed) the page file at path.
+func NewFileBackend(path string, pageSize int) (*FileBackend, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open page file: %w", err)
+	}
+	return &FileBackend{pageSize: pageSize, f: f}, nil
+}
+
+// ReadPage implements Backend.
+func (b *FileBackend) ReadPage(id PageID, buf []byte) error {
+	_, err := b.f.ReadAt(buf[:b.pageSize], int64(id)*int64(b.pageSize))
+	if err != nil && !errors.Is(err, io.EOF) {
+		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	return nil
+}
+
+// WritePage implements Backend.
+func (b *FileBackend) WritePage(id PageID, buf []byte) error {
+	if _, err := b.f.WriteAt(buf[:b.pageSize], int64(id)*int64(b.pageSize)); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", id, err)
+	}
+	return nil
+}
+
+// Grow implements Backend.
+func (b *FileBackend) Grow(id PageID) error {
+	return b.f.Truncate((int64(id) + 1) * int64(b.pageSize))
+}
+
+// Close implements Backend.
+func (b *FileBackend) Close() error { return b.f.Close() }
+
+// Manager allocates pages and mediates reads and writes through an
+// optional buffer pool, counting every backend access.
+type Manager struct {
+	mu       sync.Mutex
+	backend  Backend
+	pageSize int
+	next     PageID
+	freeList []PageID
+	pool     *bufferPool
+	stats    Stats
+}
+
+// Options configures a Manager.
+type Options struct {
+	// PageSize is the page size in bytes; DefaultPageSize if zero.
+	PageSize int
+	// BufferPages is the buffer pool capacity in pages. Zero disables
+	// buffering: every fetch is counted as (and performed by) a backend
+	// read, which is the convention the paper's disk-access counts use.
+	BufferPages int
+	// Backend overrides the default in-memory backend.
+	Backend Backend
+	// FirstUnallocated sets the next page id the allocator hands out.
+	// Required when attaching to an existing page file, or freshly
+	// allocated ids would collide with (and overwrite) live pages.
+	// Zero means a fresh file (allocation starts at page 1).
+	FirstUnallocated PageID
+}
+
+// NewManager returns a manager with the given options.
+func NewManager(opts Options) *Manager {
+	if opts.PageSize == 0 {
+		opts.PageSize = DefaultPageSize
+	}
+	if opts.Backend == nil {
+		opts.Backend = NewMemBackend(opts.PageSize)
+	}
+	m := &Manager{
+		backend:  opts.Backend,
+		pageSize: opts.PageSize,
+		next:     1, // page 0 is NilPage
+	}
+	if opts.FirstUnallocated > m.next {
+		m.next = opts.FirstUnallocated
+	}
+	if opts.BufferPages > 0 {
+		m.pool = newBufferPool(opts.BufferPages, opts.PageSize)
+	}
+	return m
+}
+
+// PageSize returns the page size in bytes.
+func (m *Manager) PageSize() int { return m.pageSize }
+
+// Alloc returns a fresh (or recycled) page id.
+func (m *Manager) Alloc() (PageID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var id PageID
+	if n := len(m.freeList); n > 0 {
+		id = m.freeList[n-1]
+		m.freeList = m.freeList[:n-1]
+	} else {
+		id = m.next
+		m.next++
+	}
+	if err := m.backend.Grow(id); err != nil {
+		return NilPage, err
+	}
+	m.stats.Allocs++
+	return id, nil
+}
+
+// Free returns a page to the allocator. The page's contents become
+// undefined.
+func (m *Manager) Free(id PageID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.pool != nil {
+		m.pool.evict(id)
+	}
+	m.freeList = append(m.freeList, id)
+	m.stats.Frees++
+}
+
+// Read copies the contents of page id into buf (which must be at least one
+// page long), going through the buffer pool when one is configured.
+func (m *Manager) Read(id PageID, buf []byte) error {
+	if id == NilPage {
+		return errors.New("storage: read of nil page")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.pool != nil {
+		if data, ok := m.pool.get(id); ok {
+			m.stats.Hits++
+			copy(buf, data)
+			return nil
+		}
+	}
+	if err := m.backend.ReadPage(id, buf[:m.pageSize]); err != nil {
+		return err
+	}
+	m.stats.Reads++
+	if m.pool != nil {
+		m.pool.put(id, buf[:m.pageSize])
+	}
+	return nil
+}
+
+// Write stores buf as the contents of page id (write-through).
+func (m *Manager) Write(id PageID, buf []byte) error {
+	if id == NilPage {
+		return errors.New("storage: write to nil page")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.backend.WritePage(id, buf[:m.pageSize]); err != nil {
+		return err
+	}
+	m.stats.Writes++
+	if m.pool != nil {
+		m.pool.put(id, buf[:m.pageSize])
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// ResetStats zeroes the counters (buffer contents are kept).
+func (m *Manager) ResetStats() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats = Stats{}
+}
+
+// DropBuffer empties the buffer pool so subsequent reads are cold.
+func (m *Manager) DropBuffer() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.pool != nil {
+		m.pool.reset()
+	}
+}
+
+// Close releases the backend.
+func (m *Manager) Close() error { return m.backend.Close() }
+
+// NumPages returns the number of pages ever allocated (including freed).
+func (m *Manager) NumPages() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int(m.next - 1)
+}

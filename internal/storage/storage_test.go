@@ -1,0 +1,282 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func TestAllocReadWriteRoundTrip(t *testing.T) {
+	m := NewManager(Options{PageSize: 128})
+	defer m.Close()
+	id, err := m.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == NilPage {
+		t.Fatal("Alloc returned NilPage")
+	}
+	data := make([]byte, 128)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := m.Write(id, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 128)
+	if err := m.Read(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("read back different data")
+	}
+}
+
+func TestNilPageRejected(t *testing.T) {
+	m := NewManager(Options{PageSize: 64})
+	defer m.Close()
+	buf := make([]byte, 64)
+	if err := m.Read(NilPage, buf); err == nil {
+		t.Error("Read(NilPage) succeeded")
+	}
+	if err := m.Write(NilPage, buf); err == nil {
+		t.Error("Write(NilPage) succeeded")
+	}
+}
+
+func TestReadUnallocatedFails(t *testing.T) {
+	m := NewManager(Options{PageSize: 64})
+	defer m.Close()
+	buf := make([]byte, 64)
+	if err := m.Read(PageID(42), buf); err == nil {
+		t.Error("read of unallocated page succeeded")
+	}
+}
+
+func TestFreeListRecycles(t *testing.T) {
+	m := NewManager(Options{PageSize: 64})
+	defer m.Close()
+	a, _ := m.Alloc()
+	b, _ := m.Alloc()
+	m.Free(a)
+	c, _ := m.Alloc()
+	if c != a {
+		t.Errorf("expected freed page %d to be recycled, got %d", a, c)
+	}
+	if b == c {
+		t.Error("two live pages share an id")
+	}
+	if got := m.Stats(); got.Allocs != 3 || got.Frees != 1 {
+		t.Errorf("stats = %+v", got)
+	}
+}
+
+func TestStatsCountBackendAccesses(t *testing.T) {
+	m := NewManager(Options{PageSize: 64}) // no buffer pool
+	defer m.Close()
+	id, _ := m.Alloc()
+	buf := make([]byte, 64)
+	for i := 0; i < 5; i++ {
+		if err := m.Read(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.Stats()
+	if st.Reads != 5 || st.Hits != 0 {
+		t.Errorf("unbuffered: reads=%d hits=%d, want 5/0", st.Reads, st.Hits)
+	}
+	m.ResetStats()
+	if got := m.Stats(); got.Reads != 0 {
+		t.Error("ResetStats did not reset")
+	}
+}
+
+func TestBufferPoolHitAccounting(t *testing.T) {
+	m := NewManager(Options{PageSize: 64, BufferPages: 2})
+	defer m.Close()
+	a, _ := m.Alloc()
+	b, _ := m.Alloc()
+	c, _ := m.Alloc()
+	buf := make([]byte, 64)
+	m.ResetStats() // Alloc/Grow don't count as reads anyway, but be explicit
+	// First reads are cold.
+	m.Read(a, buf)
+	m.Read(b, buf)
+	// Now both are cached.
+	m.Read(a, buf)
+	m.Read(b, buf)
+	st := m.Stats()
+	if st.Reads != 2 || st.Hits != 2 {
+		t.Fatalf("reads=%d hits=%d, want 2/2", st.Reads, st.Hits)
+	}
+	// Reading c evicts the LRU page (a, since b was touched last).
+	m.Read(c, buf)
+	m.Read(b, buf) // hit
+	m.Read(a, buf) // miss: was evicted
+	st = m.Stats()
+	if st.Reads != 4 || st.Hits != 3 {
+		t.Fatalf("after eviction: reads=%d hits=%d, want 4/3", st.Reads, st.Hits)
+	}
+}
+
+func TestWritePopulatesBuffer(t *testing.T) {
+	m := NewManager(Options{PageSize: 64, BufferPages: 4})
+	defer m.Close()
+	id, _ := m.Alloc()
+	data := bytes.Repeat([]byte{7}, 64)
+	m.Write(id, data)
+	buf := make([]byte, 64)
+	m.Read(id, buf)
+	st := m.Stats()
+	if st.Hits != 1 || st.Reads != 0 {
+		t.Errorf("write-through caching: reads=%d hits=%d, want 0/1", st.Reads, st.Hits)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Error("buffered read returned wrong data")
+	}
+}
+
+func TestDropBuffer(t *testing.T) {
+	m := NewManager(Options{PageSize: 64, BufferPages: 4})
+	defer m.Close()
+	id, _ := m.Alloc()
+	buf := make([]byte, 64)
+	m.Read(id, buf)
+	m.DropBuffer()
+	m.Read(id, buf)
+	if st := m.Stats(); st.Reads != 2 {
+		t.Errorf("reads=%d, want 2 after DropBuffer", st.Reads)
+	}
+}
+
+func TestFreeEvictsFromBuffer(t *testing.T) {
+	m := NewManager(Options{PageSize: 64, BufferPages: 4})
+	defer m.Close()
+	id, _ := m.Alloc()
+	data := bytes.Repeat([]byte{9}, 64)
+	m.Write(id, data)
+	m.Free(id)
+	id2, _ := m.Alloc() // recycles id
+	if id2 != id {
+		t.Fatalf("expected recycled id")
+	}
+	fresh := bytes.Repeat([]byte{1}, 64)
+	if err := m.Write(id2, fresh); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	m.Read(id2, buf)
+	if !bytes.Equal(buf, fresh) {
+		t.Error("stale buffered contents survived Free")
+	}
+}
+
+func TestFileBackendPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	fb, err := NewFileBackend(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(Options{PageSize: 256, Backend: fb})
+	id, _ := m.Alloc()
+	data := bytes.Repeat([]byte{0xAB}, 256)
+	if err := m.Write(id, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fb2, err := NewFileBackend(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewManager(Options{PageSize: 256, Backend: fb2})
+	defer m2.Close()
+	// Re-allocate the same id space; contents should persist on disk.
+	buf := make([]byte, 256)
+	if err := fb2.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Error("page contents did not persist across reopen")
+	}
+}
+
+func TestManyPagesStress(t *testing.T) {
+	m := NewManager(Options{PageSize: 64, BufferPages: 8})
+	defer m.Close()
+	rng := rand.New(rand.NewSource(1))
+	const n = 200
+	ids := make([]PageID, n)
+	want := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		id, err := m.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		data := make([]byte, 64)
+		rng.Read(data)
+		want[i] = data
+		if err := m.Write(id, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 64)
+	for trial := 0; trial < 1000; trial++ {
+		i := rng.Intn(n)
+		if err := m.Read(ids[i], buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, want[i]) {
+			t.Fatalf("page %d corrupted", ids[i])
+		}
+	}
+	if m.NumPages() != n {
+		t.Errorf("NumPages = %d, want %d", m.NumPages(), n)
+	}
+}
+
+func TestConcurrentManagerAccess(t *testing.T) {
+	m := NewManager(Options{PageSize: 128, BufferPages: 4})
+	defer m.Close()
+	const pages = 16
+	ids := make([]PageID, pages)
+	for i := range ids {
+		id, err := m.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		data := bytes.Repeat([]byte{byte(i)}, 128)
+		if err := m.Write(id, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			buf := make([]byte, 128)
+			for i := 0; i < 500; i++ {
+				idx := (w*31 + i) % pages
+				if err := m.Read(ids[idx], buf); err != nil {
+					done <- err
+					return
+				}
+				if buf[0] != byte(idx) {
+					done <- fmt.Errorf("page %d returned %d", idx, buf[0])
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

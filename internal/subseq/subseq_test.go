@@ -1,0 +1,282 @@
+package subseq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tsq/internal/datagen"
+	"tsq/internal/geom"
+	"tsq/internal/series"
+)
+
+func randSeqs(seed int64, count, minLen, maxLen int) []series.Series {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]series.Series, count)
+	for i := range out {
+		n := minLen + rng.Intn(maxLen-minLen+1)
+		s := make(series.Series, n)
+		x := 0.0
+		for t := range s {
+			x += rng.NormFloat64()
+			s[t] = x
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func matchSet(ms []Match) map[[2]int]bool {
+	out := make(map[[2]int]bool, len(ms))
+	for _, m := range ms {
+		out[[2]int{m.Seq, m.Offset}] = true
+	}
+	return out
+}
+
+func TestSlidingFeaturesMatchDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, w := range []int{4, 16, 32, 50} {
+		s := make(series.Series, 200)
+		for i := range s {
+			s[i] = rng.NormFloat64() * 10
+		}
+		k := 3
+		got := slidingFeatures(s, w, k)
+		if len(got) != len(s)-w+1 {
+			t.Fatalf("w=%d: %d trail points", w, len(got))
+		}
+		for p := range got {
+			want := windowFeature(s[p:p+w], k)
+			for d := range want {
+				if math.Abs(got[p][d]-want[d]) > 1e-6*(1+math.Abs(want[d])) {
+					t.Fatalf("w=%d p=%d dim=%d: sliding %v vs direct %v", w, p, d, got[p][d], want[d])
+				}
+			}
+		}
+	}
+}
+
+func TestFeatureDistanceIsLowerBound(t *testing.T) {
+	// The contractive property that makes the index exact: feature-space
+	// distance never exceeds the true window distance.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := 16 + rng.Intn(48)
+		k := 1 + rng.Intn(w/4)
+		a := make(series.Series, w)
+		b := make(series.Series, w)
+		for i := 0; i < w; i++ {
+			a[i] = rng.NormFloat64() * 5
+			b[i] = rng.NormFloat64() * 5
+		}
+		fa := windowFeature(a, k)
+		fb := windowFeature(b, k)
+		return geom.Dist(fa, fb) <= windowDistance(a, b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSearchMatchesScan(t *testing.T) {
+	seqs := randSeqs(2, 20, 100, 300)
+	for _, adaptive := range []bool{false, true} {
+		ix, err := Build(seqs, Options{Window: 32, Adaptive: adaptive, PageSize: 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		for trial := 0; trial < 10; trial++ {
+			// Query: a stored window plus noise, so matches exist.
+			src := seqs[rng.Intn(len(seqs))]
+			off := rng.Intn(len(src) - 32)
+			q := src[off : off+32].Clone()
+			for i := range q {
+				q[i] += rng.NormFloat64() * 0.2
+			}
+			eps := 2 + rng.Float64()*4
+			got, st, err := ix.Search(q, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ScanSearch(seqs, q, eps)
+			if len(want) == 0 {
+				t.Fatalf("trial %d: degenerate (no matches)", trial)
+			}
+			gs, ws := matchSet(got), matchSet(want)
+			if len(gs) != len(ws) {
+				t.Fatalf("adaptive=%v trial %d: %d matches, want %d", adaptive, trial, len(gs), len(ws))
+			}
+			for k := range ws {
+				if !gs[k] {
+					t.Fatalf("adaptive=%v trial %d: missing %v", adaptive, trial, k)
+				}
+			}
+			if st.NodeAccesses == 0 {
+				t.Error("no node accesses recorded")
+			}
+		}
+	}
+}
+
+func TestSearchPrunes(t *testing.T) {
+	seqs := randSeqs(4, 30, 200, 400)
+	ix, err := Build(seqs, Options{Window: 32, PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := seqs[0][10:42].Clone()
+	_, st, err := ix.Search(q, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalWindows := 0
+	for _, s := range seqs {
+		totalWindows += len(s) - 32 + 1
+	}
+	if st.Candidates >= totalWindows/2 {
+		t.Errorf("index verified %d of %d windows; barely any pruning", st.Candidates, totalWindows)
+	}
+}
+
+func TestExactSelfMatch(t *testing.T) {
+	seqs := randSeqs(5, 5, 80, 120)
+	ix, err := Build(seqs, Options{Window: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := seqs[2][7:47]
+	got, _, err := ix.Search(q, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range got {
+		if m.Seq == 2 && m.Offset == 7 {
+			found = true
+			if m.Distance > 1e-9 {
+				t.Errorf("self-match distance %v", m.Distance)
+			}
+		}
+	}
+	if !found {
+		t.Error("exact self-match not found")
+	}
+}
+
+func TestShortSequencesSkipped(t *testing.T) {
+	seqs := []series.Series{
+		make(series.Series, 10), // shorter than the window
+		randSeqs(6, 1, 64, 64)[0],
+	}
+	ix, err := Build(seqs, Options{Window: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ix.Search(seqs[1][0:32], 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range got {
+		if m.Seq == 0 {
+			t.Error("match in a too-short sequence")
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, Options{Window: 1}); err == nil {
+		t.Error("window 1 accepted")
+	}
+	if _, err := Build(nil, Options{Window: 8, K: 5}); err == nil {
+		t.Error("k too large accepted")
+	}
+	ix, err := Build(randSeqs(7, 2, 50, 60), Options{Window: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.Search(make(series.Series, 8), 1); err == nil {
+		t.Error("wrong-length query accepted")
+	}
+}
+
+func TestAdaptiveVsFixedSubtrailCount(t *testing.T) {
+	// Both heuristics must cover every window exactly once.
+	seqs := randSeqs(8, 6, 150, 250)
+	for _, adaptive := range []bool{false, true} {
+		ix, err := Build(seqs, Options{Window: 32, Adaptive: adaptive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		covered := make(map[[2]int]int)
+		for _, tr := range ix.subtrails {
+			for off := tr.Start; off < tr.Start+tr.Count; off++ {
+				covered[[2]int{tr.Seq, off}]++
+			}
+		}
+		for si, s := range seqs {
+			for off := 0; off+32 <= len(s); off++ {
+				if covered[[2]int{si, off}] != 1 {
+					t.Fatalf("adaptive=%v: window (%d,%d) covered %d times", adaptive, si, off, covered[[2]int{si, off}])
+				}
+			}
+		}
+	}
+}
+
+func TestStockWorkload(t *testing.T) {
+	// Sanity on the realistic generator: find where a pattern recurs.
+	stocks := datagen.StockMarket(9, 50, 128, datagen.DefaultMarketOptions())
+	ix, err := Build(stocks, Options{Window: 24, PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := stocks[3][50:74]
+	got, _, err := ix.Search(q, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ScanSearch(stocks, q, 0.5)
+	if len(got) != len(want) {
+		t.Fatalf("%d matches, scan %d", len(got), len(want))
+	}
+}
+
+func TestWindowEqualsSeriesLength(t *testing.T) {
+	// w == len(s): exactly one window per sequence; subsequence matching
+	// degenerates to whole matching on raw values.
+	seqs := randSeqs(10, 8, 40, 40)
+	ix, err := Build(seqs, Options{Window: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ix.Search(seqs[3], 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Seq != 3 || got[0].Offset != 0 {
+		t.Errorf("whole-window search: %v", got)
+	}
+}
+
+func TestAdaptiveCutsConstantTrail(t *testing.T) {
+	// A constant sequence has a degenerate (single-point) trail; the
+	// adaptive heuristic must still cover every window.
+	s := make(series.Series, 100)
+	for i := range s {
+		s[i] = 5
+	}
+	ix, err := Build([]series.Series{s}, Options{Window: 16, Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ix.Search(s[:16], 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100-16+1 {
+		t.Errorf("constant sequence: %d matches, want %d", len(got), 100-16+1)
+	}
+}

@@ -1,0 +1,101 @@
+package transform
+
+import (
+	"fmt"
+
+	"tsq/internal/geom"
+)
+
+// MBRs builds the minimum bounding rectangles of a transformation set over
+// the chosen polar components (Sec. 4.1). comps lists indices into the
+// 2n-component polar vector (component 2f = magnitude of coefficient f,
+// component 2f+1 = its phase); the result is the decomposition of the
+// 2·len(comps)-dimensional transformation MBR into a mult-MBR (over the A
+// parts) and an add-MBR (over the B parts), each of dimension len(comps).
+func MBRs(ts []Transform, comps []int) (mult, add geom.Rect) {
+	if len(ts) == 0 {
+		panic("transform: MBRs of an empty transformation set")
+	}
+	aPts := make([]geom.Point, len(ts))
+	bPts := make([]geom.Point, len(ts))
+	for i, t := range ts {
+		t.validate()
+		ap := make(geom.Point, len(comps))
+		bp := make(geom.Point, len(comps))
+		for d, c := range comps {
+			if c < 0 || c >= len(t.A) {
+				panic(fmt.Sprintf("transform: component %d out of range for transform %q (2n=%d)", c, t.Name, len(t.A)))
+			}
+			ap[d] = t.A[c]
+			bp[d] = t.B[c]
+		}
+		aPts[i] = ap
+		bPts[i] = bp
+	}
+	return geom.MBR(aPts), geom.MBR(bPts)
+}
+
+// ApplyMBRs applies a transformation rectangle (mult, add) to a data
+// rectangle x, all of the same dimension, per the paper's Eq. 12: in each
+// dimension i the result interval is
+//
+//	[ add.Lo[i] + min(products), add.Hi[i] + max(products) ]
+//
+// where products ranges over the four corner products of the mult interval
+// and the data interval. The returned rectangle contains t(p) for every
+// transformation t inside (mult, add) and every point p inside x (Lemma 1).
+func ApplyMBRs(mult, add, x geom.Rect) geom.Rect {
+	d := x.Dim()
+	if mult.Dim() != d || add.Dim() != d {
+		panic(fmt.Sprintf("transform: ApplyMBRs dimension mismatch: mult=%d add=%d x=%d", mult.Dim(), add.Dim(), d))
+	}
+	lo := make(geom.Point, d)
+	hi := make(geom.Point, d)
+	for i := 0; i < d; i++ {
+		p1 := mult.Lo[i] * x.Lo[i]
+		p2 := mult.Lo[i] * x.Hi[i]
+		p3 := mult.Hi[i] * x.Lo[i]
+		p4 := mult.Hi[i] * x.Hi[i]
+		lo[i] = add.Lo[i] + min4(p1, p2, p3, p4)
+		hi[i] = add.Hi[i] + max4(p1, p2, p3, p4)
+	}
+	return geom.Rect{Lo: lo, Hi: hi}
+}
+
+// ApplyToPoint applies a single transformation, restricted to the chosen
+// components, to a feature point: out[d] = A[comps[d]]*p[d] + B[comps[d]].
+func (t Transform) ApplyToPoint(comps []int, p geom.Point) geom.Point {
+	out := make(geom.Point, len(p))
+	for d, c := range comps {
+		out[d] = t.A[c]*p[d] + t.B[c]
+	}
+	return out
+}
+
+func min4(a, b, c, d float64) float64 {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	if d < m {
+		m = d
+	}
+	return m
+}
+
+func max4(a, b, c, d float64) float64 {
+	m := a
+	if b > m {
+		m = b
+	}
+	if c > m {
+		m = c
+	}
+	if d > m {
+		m = d
+	}
+	return m
+}

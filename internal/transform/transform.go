@@ -1,0 +1,442 @@
+// Package transform implements the paper's transformation algebra: linear
+// transformations t = (a, b) over the polar Fourier representation of a
+// time series (Sec. 3), constructors for the operations the paper builds
+// on them (moving average, momentum, time shift, scaling, inversion),
+// composition of transformations and transformation sets (Sec. 3.3,
+// Eqs. 10-11), and the ordering notion of Sec. 4.4 (Definition 1).
+//
+// # Representation
+//
+// A series of length n has n complex DFT coefficients. Following
+// Sec. 3.1.1, each coefficient X_f is mapped to the real pair
+// (|X_f|, angle(X_f)), so the whole spectrum becomes a real vector of
+// length 2n with magnitudes at even positions and phases at odd positions.
+// A transformation is a pair of real 2n-vectors (A, B); applying it maps
+// component i of that vector to A[i]*v + B[i]. Convolution-style
+// operations (moving average, momentum, shift) multiply magnitudes and add
+// to phases, so for them A[2f] = sqrt(n)*|M_f|, B[2f] = 0, A[2f+1] = 1,
+// B[2f+1] = angle(M_f) — the sqrt(n) comes from the unitary DFT
+// convention (see dft.Convolve).
+package transform
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"tsq/internal/dft"
+	"tsq/internal/series"
+)
+
+// Transform is a linear transformation over the polar Fourier
+// representation of a length-n series. A and B have length 2n; component
+// 2f acts on the magnitude of coefficient f and component 2f+1 on its
+// phase.
+type Transform struct {
+	// Name identifies the transformation in query plans and test output,
+	// e.g. "mv12" or "shift3".
+	Name string
+	A, B []float64
+}
+
+// N returns the series length the transformation was built for.
+func (t Transform) N() int { return len(t.A) / 2 }
+
+// validate panics if the transformation is malformed.
+func (t Transform) validate() {
+	if len(t.A) != len(t.B) || len(t.A)%2 != 0 || len(t.A) == 0 {
+		panic(fmt.Sprintf("transform: malformed transform %q: |A|=%d |B|=%d", t.Name, len(t.A), len(t.B)))
+	}
+}
+
+// Identity returns the identity transformation for length-n series.
+func Identity(n int) Transform {
+	t := Transform{Name: "id", A: make([]float64, 2*n), B: make([]float64, 2*n)}
+	for i := range t.A {
+		if i%2 == 0 {
+			t.A[i] = 1 // magnitude multiplier
+		} else {
+			t.A[i] = 1 // phase multiplier
+		}
+	}
+	return t
+}
+
+// FromKernel returns the transformation corresponding to circular
+// convolution with the given time-domain kernel (Sec. 3.1: momentum and
+// moving average are instances). The kernel must have length n.
+func FromKernel(name string, kernel series.Series) Transform {
+	n := len(kernel)
+	M := dft.TransformReal(kernel)
+	scale := math.Sqrt(float64(n)) // unitary-DFT convolution factor
+	t := Transform{Name: name, A: make([]float64, 2*n), B: make([]float64, 2*n)}
+	for f := 0; f < n; f++ {
+		t.A[2*f] = scale * cmplx.Abs(M[f])
+		t.B[2*f] = 0
+		t.A[2*f+1] = 1
+		t.B[2*f+1] = cmplx.Phase(M[f])
+	}
+	return t
+}
+
+// MovingAverage returns the circular m-day moving-average transformation
+// for length-n series. It matches series.CircularMovingAverage exactly:
+// output i is the mean of the trailing window i-m+1..i (indices mod n).
+// With this convention the phase offsets at low coefficients are the small
+// negative angles of the paper's Fig. 3.
+func MovingAverage(n, m int) Transform {
+	if m < 1 || m > n {
+		panic(fmt.Sprintf("transform: MovingAverage window %d out of range for length %d", m, n))
+	}
+	kernel := make(series.Series, n)
+	for j := 0; j < m; j++ {
+		kernel[j] = 1 / float64(m)
+	}
+	return FromKernel(fmt.Sprintf("mv%d", m), kernel)
+}
+
+// Momentum returns the circular momentum transformation of Sec. 3.1.1 for
+// length-n series: convolution with [1, -1, 0, ..., 0], i.e. output i is
+// input i minus input i-1 (mod n). It matches series.CircularMomentum.
+func Momentum(n int) Transform {
+	kernel := make(series.Series, n)
+	kernel[0] = 1
+	if n > 1 {
+		kernel[1] = -1
+	}
+	return FromKernel("momentum", kernel)
+}
+
+// MomentumLag returns the circular lag-k momentum (Example 1.2's "in
+// general, t+n for some n"): output i is input i minus input i-k (mod n).
+func MomentumLag(n, k int) Transform {
+	if k < 1 || k >= n {
+		panic(fmt.Sprintf("transform: momentum lag %d out of range for length %d", k, n))
+	}
+	kernel := make(series.Series, n)
+	kernel[0] = 1
+	kernel[k] = -1
+	return FromKernel(fmt.Sprintf("momentum%d", k), kernel)
+}
+
+// TimeShift returns the exact circular s-day right-shift transformation
+// for length-n series: coefficient f is multiplied by exp(-j*2*pi*f*s/n).
+// If the series carries at least s trailing zeros of padding (the
+// Sec. 3.1.2 trick) the circular shift coincides with the linear shift.
+// Negative s shifts left.
+func TimeShift(n, s int) Transform {
+	t := Identity(n)
+	t.Name = fmt.Sprintf("shift%d", s)
+	for f := 0; f < n; f++ {
+		t.B[2*f+1] = normalizeAngle(-2 * math.Pi * float64(f) * float64(s) / float64(n))
+	}
+	return t
+}
+
+// normalizeAngle reduces an angle to (-pi, pi]. Phase offsets are
+// equivalence classes modulo 2*pi; keeping them reduced makes the
+// transformation MBRs of shift sets as tight as possible.
+func normalizeAngle(x float64) float64 {
+	x = math.Mod(x, 2*math.Pi)
+	if x <= -math.Pi {
+		x += 2 * math.Pi
+	} else if x > math.Pi {
+		x -= 2 * math.Pi
+	}
+	return x
+}
+
+// TimeShiftApprox returns the paper's approximate s-day shift (Sec. 3.1.2),
+// which keeps the original length but uses denominator n+s in the phase
+// ramp: coefficient f is multiplied by exp(-j*2*pi*f*s/(n+s)). It converges
+// to the exact shift for long series.
+func TimeShiftApprox(n, s int) Transform {
+	t := Identity(n)
+	t.Name = fmt.Sprintf("shift~%d", s)
+	for f := 0; f < n; f++ {
+		t.B[2*f+1] = normalizeAngle(-2 * math.Pi * float64(f) * float64(s) / float64(n+s))
+	}
+	return t
+}
+
+// WeightedMovingAverage returns the circular weighted moving average with
+// the given trailing weights: output i is
+// sum_j weights[j] * input[i-j] / sum(weights). Weights[0] applies to the
+// current sample. A uniform weight vector reduces to MovingAverage.
+func WeightedMovingAverage(n int, weights []float64) Transform {
+	if len(weights) == 0 || len(weights) > n {
+		panic(fmt.Sprintf("transform: %d weights out of range for length %d", len(weights), n))
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	if sum == 0 {
+		panic("transform: weighted moving average with zero total weight")
+	}
+	kernel := make(series.Series, n)
+	for j, w := range weights {
+		kernel[j] = w / sum
+	}
+	return FromKernel(fmt.Sprintf("wma%d", len(weights)), kernel)
+}
+
+// EMA returns the circular exponential moving average with smoothing
+// factor alpha in (0, 1]: the IIR filter y_t = alpha*x_t + (1-alpha)*
+// y_{t-1}, realized circularly as convolution with the kernel
+// alpha*(1-alpha)^j normalized over one period. Like every convolution it
+// is a linear transformation over the Fourier representation.
+func EMA(n int, alpha float64) Transform {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("transform: EMA alpha %v out of (0, 1]", alpha))
+	}
+	kernel := make(series.Series, n)
+	var sum float64
+	w := alpha
+	for j := 0; j < n; j++ {
+		kernel[j] = w
+		sum += w
+		w *= 1 - alpha
+	}
+	for j := range kernel {
+		kernel[j] /= sum
+	}
+	return FromKernel(fmt.Sprintf("ema%g", alpha), kernel)
+}
+
+// Reverse returns the time-reversal transformation x'_t = x_{-t mod n}.
+// For a real series the spectrum conjugates, so in polar form the phase
+// multiplier is -1 — the one built-in transformation whose phase action
+// is not a pure offset, exercising the general (a, b) machinery.
+func Reverse(n int) Transform {
+	t := Identity(n)
+	t.Name = "reverse"
+	for f := 0; f < n; f++ {
+		t.A[2*f+1] = -1
+	}
+	return t
+}
+
+// Scale returns the transformation multiplying a series by the scalar
+// c > 0 (magnitudes scale, phases unchanged). For negative scalars compose
+// with Invert; Scale panics on c <= 0 because a negative magnitude
+// multiplier would leave the polar domain.
+func Scale(n int, c float64) Transform {
+	if c <= 0 {
+		panic(fmt.Sprintf("transform: Scale factor %v must be positive (compose with Invert for sign flips)", c))
+	}
+	t := Identity(n)
+	t.Name = fmt.Sprintf("scale%g", c)
+	for f := 0; f < n; f++ {
+		t.A[2*f] = c
+	}
+	return t
+}
+
+// Invert returns the transformation multiplying a series by -1, expressed
+// in polar form as adding pi to every phase (Sec. 5.2 uses inverted
+// moving averages to create a second cluster).
+func Invert(n int) Transform {
+	t := Identity(n)
+	t.Name = "invert"
+	for f := 0; f < n; f++ {
+		t.B[2*f+1] = math.Pi
+	}
+	return t
+}
+
+// Inverted returns t composed with a sign flip (equivalent to multiplying
+// every complex coefficient of the result by -1).
+func Inverted(t Transform) Transform {
+	out := Compose(Invert(t.N()), t)
+	out.Name = t.Name + "-inv"
+	return out
+}
+
+// Compose returns the transformation "first t1, then t2" (Eq. 10):
+// a3 = a2*a1 and b3 = a2*b1 + b2, componentwise over the 2n polar
+// components.
+func Compose(t2, t1 Transform) Transform {
+	t1.validate()
+	t2.validate()
+	if len(t1.A) != len(t2.A) {
+		panic(fmt.Sprintf("transform: composing %q (n=%d) with %q (n=%d)", t2.Name, t2.N(), t1.Name, t1.N()))
+	}
+	out := Transform{
+		Name: t2.Name + "(" + t1.Name + ")",
+		A:    make([]float64, len(t1.A)),
+		B:    make([]float64, len(t1.B)),
+	}
+	for i := range out.A {
+		out.A[i] = t2.A[i] * t1.A[i]
+		out.B[i] = t2.A[i]*t1.B[i] + t2.B[i]
+	}
+	return out
+}
+
+// ComposeSets returns T2(T1) = {t2(t1) : t1 in T1, t2 in T2} (Eq. 11),
+// the set form used to rewrite a sequence of transformation sets into a
+// single set (Sec. 3.3).
+func ComposeSets(t2s, t1s []Transform) []Transform {
+	out := make([]Transform, 0, len(t1s)*len(t2s))
+	for _, t1 := range t1s {
+		for _, t2 := range t2s {
+			out = append(out, Compose(t2, t1))
+		}
+	}
+	return out
+}
+
+// ApplySpectrum applies t to a complex spectrum X (length n) and returns
+// the transformed spectrum: coefficient f becomes
+// (A[2f]*|X_f| + B[2f]) * exp(j*(A[2f+1]*angle(X_f) + B[2f+1])).
+func (t Transform) ApplySpectrum(X []complex128) []complex128 {
+	t.validate()
+	if len(X) != t.N() {
+		panic(fmt.Sprintf("transform: %q built for n=%d applied to spectrum of length %d", t.Name, t.N(), len(X)))
+	}
+	out := make([]complex128, len(X))
+	for f := range X {
+		mag := t.A[2*f]*cmplx.Abs(X[f]) + t.B[2*f]
+		phase := t.A[2*f+1]*cmplx.Phase(X[f]) + t.B[2*f+1]
+		out[f] = cmplx.Rect(mag, phase)
+	}
+	return out
+}
+
+// ApplySeries applies t to a time-domain series by a round trip through
+// the frequency domain.
+func (t Transform) ApplySeries(s series.Series) series.Series {
+	return dft.InverseReal(t.ApplySpectrum(dft.TransformReal(s)))
+}
+
+// ApplyPolar applies t to one polar component pair in place of the full
+// spectrum: given (mag, phase) of coefficient f it returns the
+// transformed pair.
+func (t Transform) ApplyPolar(f int, mag, phase float64) (float64, float64) {
+	return t.A[2*f]*mag + t.B[2*f], t.A[2*f+1]*phase + t.B[2*f+1]
+}
+
+// Distance returns the Euclidean distance between t(x) and t(y), where x
+// and y are given as complex spectra. By Parseval this equals the
+// time-domain distance between the transformed series.
+func (t Transform) Distance(X, Y []complex128) float64 {
+	return dft.Distance(t.ApplySpectrum(X), t.ApplySpectrum(Y))
+}
+
+// DistancePolar returns the same value as Distance but takes the two
+// spectra in precomputed polar form (magnitude and phase arrays of length
+// n). It is the hot path of query verification: per coefficient it costs
+// one cosine instead of several trigonometric round trips. The phase
+// multipliers cancel in the difference, so
+//
+//	|t(x)_f - t(y)_f|^2 = mu^2 + mv^2 - 2*mu*mv*cos(a_phase*(px - py))
+//
+// with mu, mv the transformed magnitudes.
+func (t Transform) DistancePolar(xm, xp, ym, yp []float64) float64 {
+	n := t.N()
+	if len(xm) != n || len(xp) != n || len(ym) != n || len(yp) != n {
+		panic(fmt.Sprintf("transform: DistancePolar on %q (n=%d) with lengths %d/%d/%d/%d",
+			t.Name, n, len(xm), len(xp), len(ym), len(yp)))
+	}
+	var s float64
+	for f := 0; f < n; f++ {
+		mu := t.A[2*f]*xm[f] + t.B[2*f]
+		mv := t.A[2*f]*ym[f] + t.B[2*f]
+		s += mu*mu + mv*mv - 2*mu*mv*math.Cos(t.A[2*f+1]*(xp[f]-yp[f]))
+	}
+	if s < 0 {
+		s = 0 // rounding noise on identical inputs
+	}
+	return math.Sqrt(s)
+}
+
+// DistancePolarLeft returns D(t(x), y) — the transformation applied to
+// the left spectrum only — for polar spectra. This is the verification
+// kernel of the one-sided query semantics (the literal form of the
+// paper's Algorithm 1: "sequences that become within distance eps of q
+// after being transformed"), which is the useful form for alignment
+// transformations like time shifts: applied to both sides a shift is
+// unitary and cancels.
+func (t Transform) DistancePolarLeft(xm, xp, ym, yp []float64) float64 {
+	n := t.N()
+	if len(xm) != n || len(xp) != n || len(ym) != n || len(yp) != n {
+		panic(fmt.Sprintf("transform: DistancePolarLeft on %q (n=%d) with lengths %d/%d/%d/%d",
+			t.Name, n, len(xm), len(xp), len(ym), len(yp)))
+	}
+	var s float64
+	for f := 0; f < n; f++ {
+		mu := t.A[2*f]*xm[f] + t.B[2*f]
+		mv := ym[f]
+		dp := t.A[2*f+1]*xp[f] + t.B[2*f+1] - yp[f]
+		s += mu*mu + mv*mv - 2*mu*mv*math.Cos(dp)
+	}
+	if s < 0 {
+		s = 0
+	}
+	return math.Sqrt(s)
+}
+
+// ApplyPolarSpectrum applies t to a polar spectrum, returning new
+// magnitude and phase arrays.
+func (t Transform) ApplyPolarSpectrum(mags, phases []float64) (outM, outP []float64) {
+	n := t.N()
+	if len(mags) != n || len(phases) != n {
+		panic(fmt.Sprintf("transform: ApplyPolarSpectrum on %q (n=%d) with lengths %d/%d",
+			t.Name, n, len(mags), len(phases)))
+	}
+	outM = make([]float64, n)
+	outP = make([]float64, n)
+	for f := 0; f < n; f++ {
+		outM[f] = t.A[2*f]*mags[f] + t.B[2*f]
+		outP[f] = t.A[2*f+1]*phases[f] + t.B[2*f+1]
+	}
+	return outM, outP
+}
+
+// MovingAverageSet returns the moving-average transformations for windows
+// from..to inclusive, the workhorse transformation set of the paper's
+// experiments.
+func MovingAverageSet(n, from, to int) []Transform {
+	if from < 1 || to < from {
+		panic(fmt.Sprintf("transform: bad moving-average range [%d, %d]", from, to))
+	}
+	out := make([]Transform, 0, to-from+1)
+	for m := from; m <= to; m++ {
+		out = append(out, MovingAverage(n, m))
+	}
+	return out
+}
+
+// TimeShiftSet returns exact shift transformations for shifts from..to
+// inclusive.
+func TimeShiftSet(n, from, to int) []Transform {
+	if to < from {
+		panic(fmt.Sprintf("transform: bad shift range [%d, %d]", from, to))
+	}
+	out := make([]Transform, 0, to-from+1)
+	for s := from; s <= to; s++ {
+		out = append(out, TimeShift(n, s))
+	}
+	return out
+}
+
+// ScaleSet returns scaling transformations for the given factors.
+func ScaleSet(n int, factors []float64) []Transform {
+	out := make([]Transform, 0, len(factors))
+	for _, c := range factors {
+		out = append(out, Scale(n, c))
+	}
+	return out
+}
+
+// WithInverted returns ts followed by the inverted version of each element
+// (the two-cluster set of Sec. 5.2).
+func WithInverted(ts []Transform) []Transform {
+	out := make([]Transform, 0, 2*len(ts))
+	out = append(out, ts...)
+	for _, t := range ts {
+		out = append(out, Inverted(t))
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package tsq
+
+// Persistence: a DB can live in a single page file on disk — the record
+// heap, the R*-tree, and a superblock tying them together — and be
+// reopened without rebuilding the index. File-backed databases are always
+// "paged": candidate verification retrieves record pages through the
+// storage manager, so the disk-access statistics cover the full Eq. 18
+// retrieval path.
+//
+// File layout: a 16-byte raw header in the reserved page-0 region
+// (magic + page size, so OpenFile can size the backend), the superblock
+// on page 1, and heap/tree pages after it.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"tsq/internal/core"
+	"tsq/internal/storage"
+)
+
+var (
+	fileMagic  = [4]byte{'T', 'S', 'Q', 'F'}
+	superMagic = [4]byte{'T', 'S', 'Q', '1'}
+)
+
+const rawHeaderSize = 16
+
+// Superblock layout (page 1, little endian):
+//
+//	offset 0: magic "TSQ1"
+//	offset 4: series length n (uint32)
+//	offset 8: indexed coefficients k (uint32)
+//	offset 12: flags (uint32; bit 0 = symmetry)
+//	offset 16: tree meta page (uint32)
+//	offset 20: heap directory page (uint32)
+func encodeSuper(buf []byte, n, k int, symmetry bool, treeMeta, heapDir storage.PageID) {
+	copy(buf, superMagic[:])
+	binary.LittleEndian.PutUint32(buf[4:], uint32(n))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(k))
+	var flags uint32
+	if symmetry {
+		flags |= 1
+	}
+	binary.LittleEndian.PutUint32(buf[12:], flags)
+	binary.LittleEndian.PutUint32(buf[16:], uint32(treeMeta))
+	binary.LittleEndian.PutUint32(buf[20:], uint32(heapDir))
+}
+
+func decodeSuper(buf []byte) (n, k int, symmetry bool, treeMeta, heapDir storage.PageID, err error) {
+	if [4]byte(buf[:4]) != superMagic {
+		return 0, 0, false, 0, 0, fmt.Errorf("tsq: bad superblock magic %q", buf[:4])
+	}
+	n = int(binary.LittleEndian.Uint32(buf[4:]))
+	k = int(binary.LittleEndian.Uint32(buf[8:]))
+	symmetry = binary.LittleEndian.Uint32(buf[12:])&1 != 0
+	treeMeta = storage.PageID(binary.LittleEndian.Uint32(buf[16:]))
+	heapDir = storage.PageID(binary.LittleEndian.Uint32(buf[20:]))
+	return n, k, symmetry, treeMeta, heapDir, nil
+}
+
+// CreateFile builds a database in a page file at path. The file holds the
+// records and the index; reopen it with OpenFile. The returned DB must be
+// closed.
+func CreateFile(path string, ss []Series, names []string, opts Options) (*DB, error) {
+	if opts.PageSize == 0 {
+		opts.PageSize = storage.DefaultPageSize
+	}
+	if opts.K == 0 {
+		opts.K = 2
+	}
+	backend, err := storage.NewFileBackend(path, opts.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	mgr := storage.NewManager(storage.Options{
+		PageSize:    opts.PageSize,
+		BufferPages: opts.BufferPages,
+		Backend:     backend,
+	})
+	superID, err := mgr.Alloc()
+	if err != nil {
+		mgr.Close()
+		return nil, err
+	}
+	ds, err := core.NewDataset(ss, names)
+	if err != nil {
+		mgr.Close()
+		return nil, err
+	}
+	ix, err := core.BuildIndex(ds, core.IndexOptions{
+		K:           opts.K,
+		PageSize:    opts.PageSize,
+		UseSymmetry: !opts.DisableSymmetry,
+		Paged:       true,
+		Manager:     mgr,
+		BulkLoad:    opts.BulkLoad,
+	})
+	if err != nil {
+		mgr.Close()
+		return nil, err
+	}
+	buf := make([]byte, opts.PageSize)
+	encodeSuper(buf, ds.N, opts.K, !opts.DisableSymmetry, ix.Tree().MetaID(), ix.Heap().DirHead())
+	if err := mgr.Write(superID, buf); err != nil {
+		mgr.Close()
+		return nil, err
+	}
+	if err := writeRawHeader(path, opts.PageSize); err != nil {
+		mgr.Close()
+		return nil, err
+	}
+	return &DB{ds: ds, ix: ix}, nil
+}
+
+// OpenFile reopens a database created by CreateFile.
+func OpenFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tsq: %w", err)
+	}
+	header := make([]byte, rawHeaderSize)
+	if _, err := f.ReadAt(header, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("tsq: reading file header: %w", err)
+	}
+	f.Close()
+	if [4]byte(header[:4]) != fileMagic {
+		return nil, fmt.Errorf("tsq: %s is not a tsq database (magic %q)", path, header[:4])
+	}
+	pageSize := int(binary.LittleEndian.Uint32(header[4:]))
+	if pageSize < 512 || pageSize > 1<<20 {
+		return nil, fmt.Errorf("tsq: implausible page size %d in %s", pageSize, path)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("tsq: %w", err)
+	}
+	backend, err := storage.NewFileBackend(path, pageSize)
+	if err != nil {
+		return nil, err
+	}
+	mgr := storage.NewManager(storage.Options{
+		PageSize: pageSize,
+		Backend:  backend,
+		// Resume allocation after the last page the file covers, so
+		// post-reopen inserts cannot overwrite live pages.
+		FirstUnallocated: storage.PageID((st.Size() + int64(pageSize) - 1) / int64(pageSize)),
+	})
+	buf := make([]byte, pageSize)
+	if err := mgr.Read(storage.PageID(1), buf); err != nil {
+		mgr.Close()
+		return nil, err
+	}
+	n, k, symmetry, treeMeta, heapDir, err := decodeSuper(buf)
+	if err != nil {
+		mgr.Close()
+		return nil, err
+	}
+	ix, err := core.OpenIndex(mgr, treeMeta, heapDir, n, core.IndexOptions{
+		K:           k,
+		PageSize:    pageSize,
+		UseSymmetry: symmetry,
+	})
+	if err != nil {
+		mgr.Close()
+		return nil, err
+	}
+	return &DB{ds: ix.Dataset(), ix: ix}, nil
+}
+
+// writeRawHeader stores the file magic and page size in the reserved
+// page-0 region.
+func writeRawHeader(path string, pageSize int) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return fmt.Errorf("tsq: %w", err)
+	}
+	header := make([]byte, rawHeaderSize)
+	copy(header, fileMagic[:])
+	binary.LittleEndian.PutUint32(header[4:], uint32(pageSize))
+	if _, err := f.WriteAt(header, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("tsq: writing file header: %w", err)
+	}
+	return f.Close()
+}
+
+// Close releases the storage behind the database. Queries must not be
+// issued afterwards.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.ix.Manager().Close()
+}
+
+// Insert adds a series to the database (and to the file, for file-backed
+// databases), returning its id.
+func (db *DB) Insert(name string, s Series) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.ix.Insert(name, s)
+}
+
+// Delete removes series id from the database. Its id is not reused.
+func (db *DB) Delete(id int64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.ix.Delete(id)
+}

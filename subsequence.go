@@ -1,0 +1,49 @@
+package tsq
+
+import "tsq/internal/subseq"
+
+// SubseqMatch is one subsequence-matching answer: sequence Seq matches
+// the query window at offset Offset.
+type SubseqMatch = subseq.Match
+
+// SubseqStats reports the work of a subsequence search.
+type SubseqStats = subseq.Stats
+
+// SubseqOptions configures NewSubsequenceIndex. Window is required; see
+// the subseq package for the remaining knobs.
+type SubseqOptions = subseq.Options
+
+// SubsequenceIndex answers subsequence-matching queries: given a query of
+// the index's window length w, find every stored position whose length-w
+// window is within a distance threshold. It implements the trail/subtrail
+// scheme of Faloutsos et al. (SIGMOD '94), the subsequence extension of
+// the whole-matching index this library reproduces; the feature map is
+// contractive, so results are exact.
+type SubsequenceIndex struct {
+	ix *subseq.Index
+}
+
+// NewSubsequenceIndex builds a trail index over every window of the given
+// sequences (which need not share a length; sequences shorter than the
+// window are skipped).
+func NewSubsequenceIndex(ss []Series, opts SubseqOptions) (*SubsequenceIndex, error) {
+	ix, err := subseq.Build(ss, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &SubsequenceIndex{ix: ix}, nil
+}
+
+// Window returns the indexed window length.
+func (x *SubsequenceIndex) Window() int { return x.ix.Window() }
+
+// Search returns every (sequence, offset) within eps of the query, which
+// must have the window length.
+func (x *SubsequenceIndex) Search(q Series, eps float64) ([]SubseqMatch, SubseqStats, error) {
+	return x.ix.Search(q, eps)
+}
+
+// ScanSubsequences is the brute-force oracle for subsequence matching.
+func ScanSubsequences(ss []Series, q Series, eps float64) []SubseqMatch {
+	return subseq.ScanSearch(ss, q, eps)
+}

@@ -1,0 +1,583 @@
+// Package tsq implements similarity-based queries for time series data
+// under sets of linear transformations, after Rafiei, "On Similarity-Based
+// Queries for Time Series Data" (ICDE 1999).
+//
+// A time series is stored in normal form (mean 0, std 1) together with its
+// Fourier spectrum; similarity between two series is the Euclidean
+// distance after both are mapped by the same linear transformation over
+// the Fourier representation — moving averages, momentum, time shifts,
+// scaling and inversion are all expressible this way. A query supplies a
+// whole set of transformations ("any moving average from 5 to 34 days")
+// and asks for every (series, transformation) pair within a threshold.
+//
+// Three query algorithms are provided: sequential scan, ST-index (one
+// R*-tree traversal per transformation) and MT-index (the paper's
+// contribution: the minimum bounding rectangle of all transformations is
+// applied to the index rectangles on the fly, so one traversal serves the
+// whole set). Thresholds may be given as distances or cross-correlations
+// (they are interchangeable on normal forms), joins and nearest-neighbor
+// queries take the same transformation sets, and transformation pipelines
+// ("shift(0..10) | mv(1..40)") are rewritten into flat sets by
+// composition.
+//
+// Basic use:
+//
+//	db, _ := tsq.Open(seriesList, names, tsq.Options{})
+//	ts := tsq.MovingAverages(db.SeriesLength(), 5, 34)
+//	matches, stats, _ := db.Range(querySeries, ts,
+//	    tsq.Correlation(0.96), tsq.QueryOptions{})
+package tsq
+
+import (
+	"fmt"
+	"sync"
+
+	"tsq/internal/core"
+	"tsq/internal/query"
+	"tsq/internal/series"
+	"tsq/internal/storage"
+	"tsq/internal/transform"
+)
+
+// Series is a time series: one float64 per time point.
+type Series = series.Series
+
+// Transform is a linear transformation over the polar Fourier
+// representation of a series.
+type Transform = transform.Transform
+
+// Match is a range-query answer: a record and a transformation index
+// bringing it within the threshold of the query.
+type Match = core.Match
+
+// JoinMatch is a join answer: a pair of records and a transformation.
+type JoinMatch = core.JoinMatch
+
+// NNMatch is a nearest-neighbor answer.
+type NNMatch = core.NNMatch
+
+// RawMatch is a whole-matching answer on the original series.
+type RawMatch = core.RawMatch
+
+// Stats reports the work performed by a query in the units of the paper's
+// cost model: disk accesses (all levels and leaf level), candidates,
+// full-record comparisons, and index traversals.
+type Stats = core.QueryStats
+
+// Pipeline is a sequence of transformation-set steps applied in order;
+// Flatten rewrites it to a single set by composition.
+type Pipeline = query.Pipeline
+
+// Threshold is a similarity threshold, given as a Euclidean distance on
+// normal forms or as a cross-correlation.
+type Threshold = query.Threshold
+
+// Distance returns a threshold fixed in Euclidean distance on normal
+// forms.
+func Distance(d float64) Threshold { return query.DistanceThreshold(d) }
+
+// Correlation returns a threshold fixed as a minimum cross-correlation.
+func Correlation(rho float64) Threshold { return query.CorrelationThreshold(rho) }
+
+// Algorithm selects a query processing strategy.
+type Algorithm int
+
+const (
+	// MTIndex applies the transformation MBR to the index on the fly:
+	// one traversal per transformation rectangle (the paper's Algorithm 1).
+	MTIndex Algorithm = iota
+	// STIndex traverses the index once per transformation.
+	STIndex
+	// SeqScan scans the whole relation.
+	SeqScan
+	// Auto lets a cost-based planner choose between the three: it probes
+	// the index with a few filter-only traversals, estimates each plan
+	// with the paper's Eq. 18/20 model, and runs the cheapest (including
+	// the choice of transformation packing for MT-index). Use Explain to
+	// see the decision.
+	Auto
+)
+
+// String returns the algorithm's conventional name.
+func (a Algorithm) String() string {
+	switch a {
+	case MTIndex:
+		return "MT-index"
+	case STIndex:
+		return "ST-index"
+	case SeqScan:
+		return "sequential-scan"
+	case Auto:
+		return "auto"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Options configures Open. The zero value is the paper's configuration:
+// two indexed DFT coefficients (a 6-dimensional index with the mean and
+// std dimensions), 4 KiB pages, no buffer pool, symmetry property on.
+type Options struct {
+	// K is the number of DFT coefficients indexed; default 2.
+	K int
+	// PageSize is the index page size in bytes; default 4096.
+	PageSize int
+	// BufferPages enables an LRU buffer pool of that many pages; with 0
+	// every node fetch counts as one disk access (the paper's convention).
+	BufferPages int
+	// DisableSymmetry turns off the DFT symmetry property (Eq. 6), which
+	// normally shrinks per-coefficient search bounds by sqrt(2). Only
+	// sound to rely on with the built-in transformations (they act
+	// symmetrically on mirror coefficients); exposed for ablation.
+	DisableSymmetry bool
+	// BulkLoad builds the index with Sort-Tile-Recursive packing instead
+	// of repeated insertion: faster builds, near-full nodes, fewer disk
+	// accesses per query. The index remains fully updatable.
+	BulkLoad bool
+}
+
+// QueryOptions tunes an individual query.
+type QueryOptions struct {
+	// Algorithm defaults to MTIndex.
+	Algorithm Algorithm
+	// TransformsPerMBR splits the transformation set into contiguous
+	// rectangles of this size (Sec. 4.3); 0 packs everything into one
+	// rectangle. Ignored by SeqScan and STIndex.
+	TransformsPerMBR int
+	// ClusterPartition first separates the transformation set into
+	// clusters (CURE) so no rectangle spans a gap, then applies
+	// TransformsPerMBR within each cluster. Ignored by SeqScan/STIndex.
+	ClusterPartition bool
+	// UseOrdering enables the Sec. 4.4 binary search for orderable
+	// (pure scale) transformation sets.
+	UseOrdering bool
+	// PaperQueryRect uses the paper's plain eps-box query rectangle
+	// instead of the provably-safe construction (see core.QRectMode).
+	PaperQueryRect bool
+	// OneSided switches the predicate to the literal Algorithm-1 form
+	// D(t(s), q): the transformation applies to the stored series only.
+	// This is the semantics under which alignment transformations such as
+	// time shifts are meaningful — applied to both sides they are unitary
+	// and cancel. Implied by QueryTransform.
+	OneSided bool
+	// QueryTransform, when set, is applied once to the (normalized) query
+	// before comparison, so the predicate is D(t(s), QueryTransform(q)).
+	// Example 1.2's "compare momenta, allowing a shift of s days" is
+	// QueryTransform = Momentum(n) with ts = shifts composed on momentum.
+	// Setting it implies OneSided.
+	QueryTransform *Transform
+	// Workers, when above 1, shards the sequential scan and the index
+	// algorithms' candidate-verification phase across that many
+	// goroutines. Answers are identical to serial evaluation.
+	Workers int
+}
+
+// DB is an indexed collection of equal-length time series. Queries may
+// run concurrently with each other; Insert, Delete and Close are
+// exclusive.
+type DB struct {
+	mu sync.RWMutex
+	ds *core.Dataset
+	ix *core.Index
+}
+
+// Open normalizes and indexes the given series. Names may be nil.
+func Open(ss []Series, names []string, opts Options) (*DB, error) {
+	ds, err := core.NewDataset(ss, names)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := core.BuildIndex(ds, core.IndexOptions{
+		K:           opts.K,
+		PageSize:    opts.PageSize,
+		BufferPages: opts.BufferPages,
+		UseSymmetry: !opts.DisableSymmetry,
+		BulkLoad:    opts.BulkLoad,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{ds: ds, ix: ix}, nil
+}
+
+// Len returns the number of stored series.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.ds.Records)
+}
+
+// SeriesLength returns the common series length.
+func (db *DB) SeriesLength() int { return db.ds.N }
+
+// Name returns the name of series id, or "" if unknown.
+func (db *DB) Name(id int64) string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if r := db.ds.Record(id); r != nil {
+		return r.Name
+	}
+	return ""
+}
+
+// Get returns a copy of the original series with the given id, or nil.
+func (db *DB) Get(id int64) Series {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if r := db.ds.Record(id); r != nil {
+		return r.Raw.Clone()
+	}
+	return nil
+}
+
+// NormalForm returns a copy of the normal form of series id, or nil.
+func (db *DB) NormalForm(id int64) Series {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if r := db.ds.Record(id); r != nil {
+		return r.Norm.Clone()
+	}
+	return nil
+}
+
+// Info describes the database: series count and length, index geometry
+// and storage footprint.
+type Info struct {
+	Series       int
+	SeriesLength int
+	IndexedK     int
+	TreeHeight   int
+	Pages        int
+	PageSize     int
+	LeafCapacity float64
+	Paged        bool
+}
+
+// Info returns a snapshot of the database's shape.
+func (db *DB) Info() (Info, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ca, err := db.ix.AvgLeafCapacity()
+	if err != nil {
+		return Info{}, err
+	}
+	return Info{
+		Series:       len(db.ds.Records),
+		SeriesLength: db.ds.N,
+		IndexedK:     db.ix.Options().K,
+		TreeHeight:   db.ix.Tree().Height(),
+		Pages:        db.ix.Manager().NumPages(),
+		PageSize:     db.ix.Manager().PageSize(),
+		LeafCapacity: ca,
+		Paged:        db.ix.Heap() != nil,
+	}, nil
+}
+
+// LevelSummary describes one level of the index tree.
+type LevelSummary struct {
+	Level   int // 1 = leaves
+	Nodes   int
+	AvgSide []float64
+}
+
+// TreeLevels returns per-level statistics of the index tree.
+func (db *DB) TreeLevels() ([]LevelSummary, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	stats, _, err := db.ix.TreeStats()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]LevelSummary, len(stats))
+	for i, s := range stats {
+		out[i] = LevelSummary{Level: s.Level, Nodes: s.Nodes, AvgSide: s.AvgSide}
+	}
+	return out, nil
+}
+
+// Verify runs a full integrity check: tree invariants, index/record
+// agreement, and (for paged databases) record-page consistency. It is
+// the equivalent of a database integrity pragma; expect it to read
+// everything.
+func (db *DB) Verify() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.ix.Verify()
+}
+
+// DiskStats returns the cumulative storage counters of the index.
+func (db *DB) DiskStats() storage.Stats { return db.ix.DiskStats() }
+
+// ResetDiskStats zeroes the storage counters.
+func (db *DB) ResetDiskStats() { db.ix.ResetDiskStats() }
+
+// rangeOpts resolves QueryOptions into core options for the given set.
+func (db *DB) rangeOpts(ts []Transform, opts QueryOptions) core.RangeOptions {
+	ro := core.RangeOptions{
+		UseOrdering: opts.UseOrdering,
+		OneSided:    opts.OneSided || opts.QueryTransform != nil,
+		Workers:     opts.Workers,
+	}
+	if opts.PaperQueryRect {
+		ro.Mode = core.QRectPaper
+	}
+	per := opts.TransformsPerMBR
+	switch {
+	case opts.ClusterPartition:
+		if per <= 0 {
+			per = len(ts)
+		}
+		ro.Groups = db.ix.ClusterThenEqualPartition(ts, per, 0)
+	case per > 0:
+		ro.Groups = core.EqualPartition(len(ts), per)
+	}
+	return ro
+}
+
+// Range answers Query 1: every stored series s and transformation t in ts
+// with D(t(s), t(q)) within the threshold, distances measured on normal
+// forms.
+func (db *DB) Range(q Series, ts []Transform, thr Threshold, opts QueryOptions) ([]Match, Stats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	qr, err := db.ds.QueryRecord(q)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return db.rangeRecord(qr, ts, thr, opts)
+}
+
+// RangeByID runs Range with a stored series as the query point.
+func (db *DB) RangeByID(id int64, ts []Transform, thr Threshold, opts QueryOptions) ([]Match, Stats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r := db.ds.Record(id)
+	if r == nil {
+		return nil, Stats{}, fmt.Errorf("tsq: no series with id %d", id)
+	}
+	return db.rangeRecord(r, ts, thr, opts)
+}
+
+func (db *DB) rangeRecord(qr *core.Record, ts []Transform, thr Threshold, opts QueryOptions) ([]Match, Stats, error) {
+	eps := thr.Epsilon(db.ds.N)
+	if opts.QueryTransform != nil {
+		qr = qr.ApplyTransform(*opts.QueryTransform)
+	}
+	if opts.Algorithm == Auto {
+		mode := core.QRectSafe
+		if opts.PaperQueryRect {
+			mode = core.QRectPaper
+		}
+		plan, err := db.ix.PlanRange(qr, ts, eps, mode, core.DefaultCostParams())
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		switch plan.Kind {
+		case core.PlanSeqScan:
+			opts.Algorithm = SeqScan
+		case core.PlanSTIndex:
+			opts.Algorithm = STIndex
+		default:
+			opts.Algorithm = MTIndex
+			ro := db.rangeOpts(ts, opts)
+			ro.Groups = plan.Groups
+			return db.ix.MTIndexRange(qr, ts, eps, ro)
+		}
+	}
+	switch opts.Algorithm {
+	case SeqScan:
+		if opts.Workers > 1 {
+			m, st := core.SeqScanRangeParallel(db.ds, qr, ts, eps, db.rangeOpts(ts, opts), opts.Workers)
+			return m, st, nil
+		}
+		m, st := core.SeqScanRange(db.ds, qr, ts, eps, db.rangeOpts(ts, opts))
+		return m, st, nil
+	case STIndex:
+		return db.ix.STIndexRange(qr, ts, eps, db.rangeOpts(ts, opts))
+	case MTIndex:
+		return db.ix.MTIndexRange(qr, ts, eps, db.rangeOpts(ts, opts))
+	default:
+		return nil, Stats{}, fmt.Errorf("tsq: unknown algorithm %v", opts.Algorithm)
+	}
+}
+
+// Join answers Query 2: every pair of stored series and transformation
+// within the threshold.
+func (db *DB) Join(ts []Transform, thr Threshold, opts QueryOptions) ([]JoinMatch, Stats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	eps := thr.Epsilon(db.ds.N)
+	switch opts.Algorithm {
+	case SeqScan:
+		m, st := core.SeqScanJoin(db.ds, ts, eps)
+		return m, st, nil
+	case STIndex:
+		return db.ix.STIndexJoin(ts, eps, db.rangeOpts(ts, opts))
+	case MTIndex:
+		return db.ix.MTIndexJoin(ts, eps, db.rangeOpts(ts, opts))
+	default:
+		return nil, Stats{}, fmt.Errorf("tsq: unknown algorithm %v", opts.Algorithm)
+	}
+}
+
+// ClosestPairs returns the k pairs of stored series with the smallest
+// best transformed distance — the incremental top-k form of Query 2
+// ("the k most correlated pairs under some moving average"). The index
+// algorithm is exact and prunes with a provable lower bound; SeqScan
+// evaluates every pair.
+func (db *DB) ClosestPairs(ts []Transform, k int, alg Algorithm) ([]JoinMatch, Stats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	switch alg {
+	case SeqScan:
+		m, st := core.SeqScanClosestPairs(db.ds, ts, k)
+		return m, st, nil
+	case MTIndex, STIndex, Auto:
+		return db.ix.MTIndexClosestPairs(ts, k)
+	default:
+		return nil, Stats{}, fmt.Errorf("tsq: unknown algorithm %v", alg)
+	}
+}
+
+// NearestNeighbors returns the k stored series with the smallest best
+// transformed distance to q, with the minimizing transformation for each.
+// Only the Algorithm, OneSided and QueryTransform options apply.
+func (db *DB) NearestNeighbors(q Series, ts []Transform, k int, opts QueryOptions) ([]NNMatch, Stats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	qr, err := db.ds.QueryRecord(q)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if opts.QueryTransform != nil {
+		qr = qr.ApplyTransform(*opts.QueryTransform)
+	}
+	oneSided := opts.OneSided || opts.QueryTransform != nil
+	switch opts.Algorithm {
+	case SeqScan:
+		m, st := core.SeqScanNN(db.ds, qr, ts, k, oneSided)
+		return m, st, nil
+	case MTIndex, STIndex:
+		return db.ix.MTIndexNN(qr, ts, k, oneSided)
+	default:
+		return nil, Stats{}, fmt.Errorf("tsq: unknown algorithm %v", opts.Algorithm)
+	}
+}
+
+// Explain returns the planner's cost comparison for a range query with
+// the given transformation set and threshold, without running the query.
+func (db *DB) Explain(q Series, ts []Transform, thr Threshold) (string, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	qr, err := db.ds.QueryRecord(q)
+	if err != nil {
+		return "", err
+	}
+	plan, err := db.ix.PlanRange(qr, ts, thr.Epsilon(db.ds.N), core.QRectSafe, core.DefaultCostParams())
+	if err != nil {
+		return "", err
+	}
+	return plan.String(), nil
+}
+
+// RawRange finds every stored series whose original (un-normalized)
+// values are within maxDistance of q in Euclidean distance — the
+// whole-matching query of Agrawal et al., filtered through the mean and
+// standard-deviation index dimensions (the reason the paper stores them).
+// useIndex false scans the relation instead.
+func (db *DB) RawRange(q Series, maxDistance float64, useIndex bool) ([]RawMatch, Stats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	qr, err := db.ds.QueryRecord(q)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if !useIndex {
+		m, st := core.SeqScanRawRange(db.ds, qr, maxDistance)
+		return m, st, nil
+	}
+	return db.ix.RawRange(qr, maxDistance)
+}
+
+// OptimalPartition estimates the best contiguous partition of ts into
+// transformation rectangles for range queries around q, using the paper's
+// Eq. 20 cost model with measured index probes, and returns the group
+// sizes alongside the estimated cost.
+func (db *DB) OptimalPartition(q Series, ts []Transform, thr Threshold) (groups [][]int, cost float64, err error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	qr, err := db.ds.QueryRecord(q)
+	if err != nil {
+		return nil, 0, err
+	}
+	return db.ix.OptimalPartition(qr, ts, thr.Epsilon(db.ds.N), core.QRectSafe, core.DefaultCostParams())
+}
+
+// Transformation constructors, re-exported for API completeness.
+
+// Identity returns the identity transformation for length-n series.
+func Identity(n int) Transform { return transform.Identity(n) }
+
+// MovingAverage returns the circular m-day moving-average transformation.
+func MovingAverage(n, m int) Transform { return transform.MovingAverage(n, m) }
+
+// MovingAverages returns moving averages for windows from..to.
+func MovingAverages(n, from, to int) []Transform { return transform.MovingAverageSet(n, from, to) }
+
+// Momentum returns the lag-1 momentum transformation.
+func Momentum(n int) Transform { return transform.Momentum(n) }
+
+// TimeShift returns the exact circular s-day shift.
+func TimeShift(n, s int) Transform { return transform.TimeShift(n, s) }
+
+// TimeShifts returns shifts from..to.
+func TimeShifts(n, from, to int) []Transform { return transform.TimeShiftSet(n, from, to) }
+
+// Scale returns scaling by c > 0.
+func Scale(n int, c float64) Transform { return transform.Scale(n, c) }
+
+// Scales returns scalings by the given factors.
+func Scales(n int, factors []float64) []Transform { return transform.ScaleSet(n, factors) }
+
+// Invert returns multiplication by -1.
+func Invert(n int) Transform { return transform.Invert(n) }
+
+// Reverse returns the time-reversal transformation.
+func Reverse(n int) Transform { return transform.Reverse(n) }
+
+// EMA returns the exponential moving average with factor alpha in (0, 1].
+func EMA(n int, alpha float64) Transform { return transform.EMA(n, alpha) }
+
+// WeightedMovingAverage returns the weighted moving average with trailing
+// weights (weights[0] applies to the current sample).
+func WeightedMovingAverage(n int, weights []float64) Transform {
+	return transform.WeightedMovingAverage(n, weights)
+}
+
+// Inverted returns t composed with a sign flip.
+func Inverted(t Transform) Transform { return transform.Inverted(t) }
+
+// WithInverted returns ts followed by the inversion of each element.
+func WithInverted(ts []Transform) []Transform { return transform.WithInverted(ts) }
+
+// Compose returns "first t1, then t2".
+func Compose(t2, t1 Transform) Transform { return transform.Compose(t2, t1) }
+
+// ParsePipeline parses the pipeline syntax (e.g. "shift(0..10) | mv(1..40)")
+// for series of length n; Flatten the result to get the transformation set.
+func ParsePipeline(text string, n int) (Pipeline, error) { return query.ParsePipeline(text, n) }
+
+// EuclideanDistance returns the distance between two equal-length series.
+func EuclideanDistance(a, b Series) float64 { return series.EuclideanDistance(a, b) }
+
+// PearsonCorrelation returns the cross-correlation of two series.
+func PearsonCorrelation(a, b Series) float64 { return series.Correlation(a, b) }
+
+// Normalize returns the normal form of s with its mean and std.
+func Normalize(s Series) (norm Series, mean, std float64) { return s.NormalForm() }
+
+// DistanceForCorrelation converts a correlation threshold to the
+// equivalent normal-form distance for length-n series (Eq. 9).
+func DistanceForCorrelation(n int, rho float64) float64 {
+	return series.DistanceForCorrelation(n, rho)
+}
