@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test race bench verify figures clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# Race-enabled run of the full suite. The concurrent paths (sharded buffer
+# pool, parallel MT-index probes, batch executor) carry dedicated
+# multi-goroutine tests that only bite under -race; keep this green.
+race: build
+	$(GO) test -race ./...
+
+# The repo's verification recipe: tier-1 tests plus the race detector.
+verify: build
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run xxx ./...
+
+figures:
+	$(GO) run ./cmd/tsbench -fig all -out figures
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,124 @@
+package tsq
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"tsq/internal/datagen"
+)
+
+// TestBatchMatchesSingleQueries checks the public batch API end to end:
+// every batch result equals the same query run alone, across algorithms,
+// by-id and by-series query points, and worker counts.
+func TestBatchMatchesSingleQueries(t *testing.T) {
+	ss := datagen.RandomWalks(21, 300, 64)
+	db, err := Open(ss, nil, Options{PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := MovingAverages(64, 5, 16)
+	thr := Correlation(0.92)
+
+	var reqs []BatchRequest
+	for i := 0; i < 20; i++ {
+		req := BatchRequest{ID: int64(i * 11 % db.Len()), ByID: true, Transforms: ts, Threshold: thr}
+		switch i % 4 {
+		case 1:
+			req.Opts.Algorithm = SeqScan
+		case 2:
+			req.Opts.Algorithm = STIndex
+		case 3:
+			req.ByID = false
+			req.Query = db.Get(int64(i))
+		}
+		reqs = append(reqs, req)
+	}
+	reqs = append(reqs, BatchRequest{ID: 3, ByID: true, Transforms: ts, K: 5})
+	reqs = append(reqs, BatchRequest{ID: 1 << 30, ByID: true, Transforms: ts, Threshold: thr}) // bad id
+
+	for _, workers := range []int{1, 4, 0} {
+		results := db.Batch(context.Background(), reqs, workers)
+		if len(results) != len(reqs) {
+			t.Fatalf("%d results for %d requests", len(results), len(reqs))
+		}
+		for i, req := range reqs {
+			res := results[i]
+			if req.ByID && req.ID == 1<<30 {
+				if res.Err == nil {
+					t.Errorf("workers=%d req=%d: missing id did not error", workers, i)
+				}
+				continue
+			}
+			if res.Err != nil {
+				t.Fatalf("workers=%d req=%d: %v", workers, i, res.Err)
+			}
+			if req.K > 0 {
+				want, _, err := db.NearestNeighbors(db.Get(req.ID), ts, req.K, QueryOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res.NN) != len(want) {
+					t.Errorf("workers=%d req=%d: %d NN answers, want %d", workers, i, len(res.NN), len(want))
+				}
+				continue
+			}
+			var want []Match
+			if req.ByID {
+				want, _, err = db.RangeByID(req.ID, ts, thr, req.Opts)
+			} else {
+				want, _, err = db.Range(req.Query, ts, thr, req.Opts)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.Matches
+			SortMatches(got)
+			SortMatches(want)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("workers=%d req=%d: batch answer diverges from single query", workers, i)
+			}
+		}
+	}
+}
+
+// TestBatchConcurrentWithQueries runs Batch while single queries hammer
+// the same database from other goroutines — the shared-index concurrency
+// claim, checked under -race.
+func TestBatchConcurrentWithQueries(t *testing.T) {
+	ss := datagen.RandomWalks(23, 200, 64)
+	db, err := Open(ss, nil, Options{PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := MovingAverages(64, 5, 12)
+	thr := Correlation(0.92)
+	reqs := make([]BatchRequest, 32)
+	for i := range reqs {
+		reqs[i] = BatchRequest{ID: int64(i * 5 % db.Len()), ByID: true, Transforms: ts, Threshold: thr}
+	}
+	done := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			for i := 0; i < 10; i++ {
+				if _, _, err := db.RangeByID(int64((w*17+i)%db.Len()), ts, thr, QueryOptions{Workers: 2}); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for i := 0; i < 3; i++ {
+		for _, res := range db.Batch(context.Background(), reqs, 4) {
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+		}
+	}
+	for w := 0; w < 4; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

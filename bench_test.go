@@ -9,7 +9,9 @@ package tsq
 // so `go test -bench` regenerates every experiment in bounded time.
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"tsq/internal/datagen"
@@ -307,6 +309,59 @@ func BenchmarkJoinPartitioned(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkRangeAllocs counts per-query heap allocations of an MT-index
+// range query end to end — the plan cache and pooled scratch buffers keep
+// the DFT stage out of this number.
+func BenchmarkRangeAllocs(b *testing.B) {
+	ss := datagen.RandomWalks(1999, 1000, benchLen)
+	db := benchDB(b, ss, Options{PageSize: 1024})
+	ts := MovingAverages(benchLen, 10, 25)
+	thr := Correlation(0.96)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := int64(i*37) % int64(db.Len())
+		if _, _, err := db.RangeByID(id, ts, thr, QueryOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchThroughput runs the Fig. 5 workload through the batch
+// executor at 1, 4 and GOMAXPROCS workers and reports queries/sec.
+// Speedup beyond 1 worker needs real cores: on a single-CPU machine the
+// numbers show scheduling overhead only.
+func BenchmarkBatchThroughput(b *testing.B) {
+	ss := datagen.RandomWalks(1999, 4000, benchLen)
+	db := benchDB(b, ss, Options{PageSize: 1024})
+	ts := MovingAverages(benchLen, 10, 25)
+	thr := Correlation(0.96)
+	reqs := make([]BatchRequest, 64)
+	for i := range reqs {
+		reqs[i] = BatchRequest{ID: int64(i * 61 % db.Len()), ByID: true, Transforms: ts, Threshold: thr}
+	}
+	counts := []int{1, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		counts = append(counts, p)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, res := range db.Batch(context.Background(), reqs, workers) {
+					if res.Err != nil {
+						b.Fatal(res.Err)
+					}
+				}
+			}
+			sec := b.Elapsed().Seconds()
+			if sec > 0 {
+				b.ReportMetric(float64(b.N*len(reqs))/sec, "queries/sec")
+			}
+		})
+	}
 }
 
 // BenchmarkAblationBulkLoad compares a bulk-loaded (STR-packed) index

@@ -11,13 +11,22 @@
 //	tsbench -fig 9            # same with inverted transformations added
 //	tsbench -fig 3 | -fig 4   # MBR decomposition illustrations
 //	tsbench -fig all -queries 100
+//	tsbench -fig none -throughput           # concurrent queries/sec sweep
+//	tsbench -fig 5 -json results.json       # machine-readable results
+//
+// -throughput runs the batch executor over the Fig. 5 workload at worker
+// counts 1, 4 and GOMAXPROCS (or -workers a,b,c) and reports queries per
+// second. -json writes every measured point as a JSON array ("-" for
+// stdout), the format the repo's BENCH_*.json trajectory files record.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"tsq/internal/bench"
@@ -26,13 +35,18 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7, 8, 9 or all")
-		queries   = flag.Int("queries", 20, "random query repetitions per point (paper: 100)")
-		seed      = flag.Int64("seed", 1999, "random seed")
-		stocks    = flag.Int("stocks", 1068, "size of the synthetic stock data set")
-		length    = flag.Int("length", 128, "series length")
-		paperRect = flag.Bool("paper-rect", false, "use the paper's plain eps-box query rectangle")
-		outDir    = flag.String("out", "", "directory to also write figN.svg and figN.csv files into")
+		fig        = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7, 8, 9, all or none")
+		queries    = flag.Int("queries", 20, "random query repetitions per point (paper: 100)")
+		seed       = flag.Int64("seed", 1999, "random seed")
+		stocks     = flag.Int("stocks", 1068, "size of the synthetic stock data set")
+		length     = flag.Int("length", 128, "series length")
+		paperRect  = flag.Bool("paper-rect", false, "use the paper's plain eps-box query rectangle")
+		outDir     = flag.String("out", "", "directory to also write figN.svg and figN.csv files into")
+		throughput = flag.Bool("throughput", false, "run the concurrent-throughput sweep")
+		tpCount    = flag.Int("tpcount", 8000, "throughput sweep: dataset size")
+		tpQueries  = flag.Int("tpqueries", 256, "throughput sweep: queries per batch")
+		workers    = flag.String("workers", "", "throughput sweep: comma-separated worker counts (default 1,4,GOMAXPROCS)")
+		jsonOut    = flag.String("json", "", "write machine-readable results to this file (- for stdout)")
 	)
 	flag.Parse()
 	if *outDir != "" {
@@ -48,13 +62,106 @@ func main() {
 		Length:         *length,
 		PaperQueryRect: *paperRect,
 	}
-	if err := run(*fig, cfg, *outDir); err != nil {
+	var results []benchResult
+	if err := run(*fig, cfg, *outDir, &results); err != nil {
 		fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
 		os.Exit(1)
 	}
+	if *throughput {
+		wc, err := parseWorkers(*workers)
+		if err == nil {
+			err = runThroughput(cfg, *tpCount, *tpQueries, wc, &results)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, results); err != nil {
+			fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
-func run(fig string, cfg bench.Config, outDir string) error {
+// benchResult is one measured point in the machine-readable output; the
+// BENCH_*.json trajectory files are arrays of these.
+type benchResult struct {
+	Name          string  `json:"name"`
+	NsPerOp       float64 `json:"ns_per_op,omitempty"`
+	DiskReads     float64 `json:"disk_reads,omitempty"`
+	QueriesPerSec float64 `json:"queries_per_sec,omitempty"`
+}
+
+// parseWorkers parses "-workers 1,4,16"; empty means the default sweep.
+func parseWorkers(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -workers element %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// runThroughput runs the concurrent-throughput sweep and prints (and
+// records) queries/sec per worker count.
+func runThroughput(cfg bench.Config, count, queries int, workerCounts []int, results *[]benchResult) error {
+	fmt.Printf("=== Concurrent throughput: %d MT-index queries, %d sequences (Fig. 5 workload) ===\n", queries, count)
+	rows, err := bench.Throughput(cfg, count, queries, workerCounts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%10s %14s %14s %14s\n", "workers", "queries/sec", "sec/query", "disk/query")
+	for _, r := range rows {
+		fmt.Printf("%10d %14.1f %14.6f %14.1f\n", r.Workers, r.QueriesPerSec, r.SecPerQuery, r.DiskPerQuery)
+		*results = append(*results, benchResult{
+			Name:          fmt.Sprintf("throughput/workers=%d", r.Workers),
+			NsPerOp:       r.SecPerQuery * 1e9,
+			DiskReads:     r.DiskPerQuery,
+			QueriesPerSec: r.QueriesPerSec,
+		})
+	}
+	fmt.Println()
+	return nil
+}
+
+// writeJSON writes the collected results as a JSON array.
+func writeJSON(path string, results []benchResult) error {
+	if results == nil {
+		results = []benchResult{} // figures with no measured rows: emit [], not null
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// recordRangeRows converts a Fig. 5/6-style sweep into result objects.
+func recordRangeRows(results *[]benchResult, figName, xName string, rows []bench.RangeRow) {
+	for _, r := range rows {
+		prefix := fmt.Sprintf("%s/%s=%d", figName, xName, r.X)
+		*results = append(*results,
+			benchResult{Name: prefix + "/seqscan", NsPerOp: r.SeqScanSec * 1e9},
+			benchResult{Name: prefix + "/st-index", NsPerOp: r.STSec * 1e9, DiskReads: r.STDiskAccesses},
+			benchResult{Name: prefix + "/mt-index", NsPerOp: r.MTSec * 1e9, DiskReads: r.MTDiskAccesses},
+		)
+	}
+}
+
+func run(fig string, cfg bench.Config, outDir string, results *[]benchResult) error {
 	all := fig == "all"
 	if all || fig == "3" {
 		fmt.Println("=== Figure 3: MV(1..40) second-coefficient points and MBR decomposition ===")
@@ -77,6 +184,7 @@ func run(fig string, cfg bench.Config, outDir string) error {
 				r.X, r.SeqScanSec, r.STSec, r.MTSec, r.AvgOutput, r.STDiskAccesses, r.MTDiskAccesses)
 		}
 		fmt.Println()
+		recordRangeRows(results, "fig5", "sequences", rows)
 		if err := writeRangeFigure(outDir, "fig5", "Fig. 5: time per query vs number of sequences", "number of sequences", rows); err != nil {
 			return err
 		}
@@ -94,6 +202,7 @@ func run(fig string, cfg bench.Config, outDir string) error {
 				r.X, r.SeqScanSec, r.STSec, r.MTSec, r.AvgOutput, r.STDiskAccesses, r.MTDiskAccesses)
 		}
 		fmt.Println()
+		recordRangeRows(results, "fig6", "transforms", rows)
 		if err := writeRangeFigure(outDir, "fig6", "Fig. 6: time per query vs number of transformations", "number of transformations", rows); err != nil {
 			return err
 		}
@@ -111,6 +220,14 @@ func run(fig string, cfg bench.Config, outDir string) error {
 				r.NumTransforms, r.SeqScanSec, r.STSec, r.MTSec, r.OutputSize)
 		}
 		fmt.Println()
+		for _, r := range rows {
+			prefix := fmt.Sprintf("fig7/transforms=%d", r.NumTransforms)
+			*results = append(*results,
+				benchResult{Name: prefix + "/seqscan", NsPerOp: r.SeqScanSec * 1e9},
+				benchResult{Name: prefix + "/st-index", NsPerOp: r.STSec * 1e9},
+				benchResult{Name: prefix + "/mt-index", NsPerOp: r.MTSec * 1e9},
+			)
+		}
 		if err := writeJoinFigure(outDir, rows); err != nil {
 			return err
 		}
@@ -122,6 +239,7 @@ func run(fig string, cfg bench.Config, outDir string) error {
 			return err
 		}
 		printMBRRows(rows)
+		recordMBRRows(results, "fig8", rows)
 		if err := writeMBRFigure(outDir, "fig8", "Fig. 8: transformations per MBR, MV(6..29)", rows); err != nil {
 			return err
 		}
@@ -133,15 +251,27 @@ func run(fig string, cfg bench.Config, outDir string) error {
 			return err
 		}
 		printMBRRows(rows)
+		recordMBRRows(results, "fig9", rows)
 		if err := writeMBRFigure(outDir, "fig9", "Fig. 9: transformations per MBR, two clusters", rows); err != nil {
 			return err
 		}
 	}
 	switch fig {
-	case "3", "4", "5", "6", "7", "8", "9", "all":
+	case "3", "4", "5", "6", "7", "8", "9", "all", "none":
 		return nil
 	default:
 		return fmt.Errorf("unknown figure %q", fig)
+	}
+}
+
+// recordMBRRows converts a Fig. 8/9-style sweep into result objects.
+func recordMBRRows(results *[]benchResult, figName string, rows []bench.MBRRow) {
+	for _, r := range rows {
+		*results = append(*results, benchResult{
+			Name:      fmt.Sprintf("%s/per_mbr=%d", figName, r.PerMBR),
+			NsPerOp:   r.Sec * 1e9,
+			DiskReads: r.DiskAccesses,
+		})
 	}
 }
 

@@ -14,8 +14,11 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sort"
 	"time"
 
 	"tsq"
@@ -382,4 +385,97 @@ func Fig4(length int) string {
 		aLo, aHi, bLo, bHi,
 		outMagLo, outMagHi, outPhLo, outPhHi,
 		aLo, magLo, aHi, magHi)
+}
+
+// ThroughputRow is one point of the concurrent-throughput sweep: the
+// Fig. 5 workload (synthetic walks, 16 moving averages, correlation
+// 0.96) driven through the batch executor at a fixed worker-pool size.
+type ThroughputRow struct {
+	Workers       int
+	Queries       int
+	QueriesPerSec float64
+	SecPerQuery   float64
+	// DiskPerQuery is the Eq. 18 accounting (index node fetches plus
+	// candidate retrievals) per query; identical at every worker count.
+	DiskPerQuery float64
+}
+
+// Throughput measures batch query throughput over the Fig. 5 workload at
+// each of the given worker counts (default 1, 4, GOMAXPROCS). count is
+// the dataset size (default 8000) and queries the batch size (default
+// 256). Every query runs the MT-index algorithm; answers and per-query
+// disk-access counts are identical across worker counts, so the sweep
+// isolates the scaling of the execution layer.
+func Throughput(cfg Config, count, queries int, workerCounts []int) ([]ThroughputRow, error) {
+	cfg = cfg.WithDefaults()
+	if count == 0 {
+		count = 8000
+	}
+	if queries == 0 {
+		queries = 256
+	}
+	if workerCounts == nil {
+		workerCounts = DefaultWorkerCounts()
+	}
+	ss := datagen.RandomWalks(cfg.Seed, count, cfg.Length)
+	db, err := openDB(ss)
+	if err != nil {
+		return nil, err
+	}
+	ts := tsq.MovingAverages(cfg.Length, 10, 25)
+	thr := tsq.Correlation(0.96)
+	opts := tsq.QueryOptions{}
+	if cfg.PaperQueryRect {
+		opts.PaperQueryRect = true
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 11))
+	reqs := make([]tsq.BatchRequest, queries)
+	for i := range reqs {
+		reqs[i] = tsq.BatchRequest{
+			ID: int64(rng.Intn(db.Len())), ByID: true,
+			Transforms: ts, Threshold: thr, Opts: opts,
+		}
+	}
+	// One warm-up batch so plan caches and the page map are hot for
+	// every worker count alike.
+	for _, res := range db.Batch(context.Background(), reqs[:min(16, len(reqs))], 1) {
+		if res.Err != nil {
+			return nil, res.Err
+		}
+	}
+	rows := make([]ThroughputRow, 0, len(workerCounts))
+	for _, workers := range workerCounts {
+		start := time.Now()
+		results := db.Batch(context.Background(), reqs, workers)
+		elapsed := time.Since(start).Seconds()
+		var stats tsq.Stats
+		for _, res := range results {
+			if res.Err != nil {
+				return nil, res.Err
+			}
+			stats.Add(res.Stats)
+		}
+		rows = append(rows, ThroughputRow{
+			Workers:       workers,
+			Queries:       queries,
+			QueriesPerSec: float64(queries) / elapsed,
+			SecPerQuery:   elapsed / float64(queries),
+			DiskPerQuery:  float64(stats.DAAll+stats.Candidates) / float64(queries),
+		})
+	}
+	return rows, nil
+}
+
+// DefaultWorkerCounts returns the sweep 1, 4, GOMAXPROCS (deduplicated,
+// ascending).
+func DefaultWorkerCounts() []int {
+	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	sort.Ints(counts)
+	out := counts[:1]
+	for _, c := range counts[1:] {
+		if c != out[len(out)-1] {
+			out = append(out, c)
+		}
+	}
+	return out
 }

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync"
+
+	"tsq/internal/series"
+	"tsq/internal/transform"
+)
+
+// ExecRequest is one query of a batch. Exactly one of Record or Query
+// identifies the query point: a pre-resolved record (e.g. a stored series
+// for query-by-id workloads), or a raw series whose normal form and DFT
+// features the executor computes — once per distinct series, memoized
+// across the batch, so subqueries sharing a query point share the
+// spectral work.
+type ExecRequest struct {
+	// Record is the query point when non-nil.
+	Record *Record
+	// Query is the raw query series, featurized (and memoized) when
+	// Record is nil.
+	Query series.Series
+	// Transforms is the transformation set of the query.
+	Transforms []transform.Transform
+	// QueryTransform, when non-nil, is applied to the query point before
+	// comparison (the one-sided D(t(s), f(q)) semantics); it implies
+	// Opts.OneSided.
+	QueryTransform *transform.Transform
+	// Eps is the distance threshold of a range query.
+	Eps float64
+	// K, when positive, makes this a k-nearest-neighbor query instead of
+	// a range query (Eps is then ignored).
+	K int
+	// SeqScan evaluates by scanning the relation instead of the MT-index.
+	SeqScan bool
+	// Opts tunes the range algorithms (groups, ordering, verification
+	// workers, one-sided mode...).
+	Opts RangeOptions
+}
+
+// ExecResult is the outcome of one batch query: Matches for range
+// queries, NN for nearest-neighbor queries.
+type ExecResult struct {
+	Matches []Match
+	NN      []NNMatch
+	Stats   QueryStats
+	Err     error
+}
+
+// Executor runs many queries concurrently over one shared index with a
+// fixed-size worker pool. The index and its storage manager are only read
+// during query evaluation, so all workers share them without locking;
+// each query's result is identical to running it alone. Construction is
+// cheap — an Executor holds no goroutines between Run calls.
+//
+// The executor must not run concurrently with Insert or Delete on the
+// same index; the tsq.DB wrapper enforces that with its reader-writer
+// lock.
+type Executor struct {
+	ix      *Index
+	workers int
+
+	memoMu sync.Mutex
+	memo   map[uint64][]*Record
+}
+
+// NewExecutor returns an executor over ix with the given worker-pool
+// size; workers <= 0 means GOMAXPROCS.
+func NewExecutor(ix *Index, workers int) *Executor {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Executor{ix: ix, workers: workers, memo: make(map[uint64][]*Record)}
+}
+
+// Workers returns the worker-pool size.
+func (e *Executor) Workers() int { return e.workers }
+
+// Index returns the shared index queries run against.
+func (e *Executor) Index() *Index { return e.ix }
+
+// Run evaluates every request and returns one result per request, in
+// order. Requests are distributed over the worker pool; when ctx is
+// cancelled, queries not yet started complete immediately with ctx.Err()
+// (queries already running finish normally).
+func (e *Executor) Run(ctx context.Context, reqs []ExecRequest) []ExecResult {
+	results := make([]ExecResult, len(reqs))
+	workers := e.workers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers <= 1 {
+		for i := range reqs {
+			if err := ctx.Err(); err != nil {
+				results[i] = ExecResult{Err: err}
+				continue
+			}
+			results[i] = e.runOne(&reqs[i])
+		}
+		return results
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					results[i] = ExecResult{Err: err}
+					continue
+				}
+				results[i] = e.runOne(&reqs[i])
+			}
+		}()
+	}
+	for i := range reqs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// runOne evaluates a single request on the calling goroutine.
+func (e *Executor) runOne(req *ExecRequest) ExecResult {
+	qr := req.Record
+	if qr == nil {
+		var err error
+		qr, err = e.queryRecord(req.Query)
+		if err != nil {
+			return ExecResult{Err: err}
+		}
+	}
+	opts := req.Opts
+	if req.QueryTransform != nil {
+		qr = qr.ApplyTransform(*req.QueryTransform)
+		opts.OneSided = true
+	}
+	if req.K > 0 {
+		if req.SeqScan {
+			nn, st := SeqScanNN(e.ix.ds, qr, req.Transforms, req.K, opts.OneSided)
+			return ExecResult{NN: nn, Stats: st}
+		}
+		nn, st, err := e.ix.MTIndexNN(qr, req.Transforms, req.K, opts.OneSided)
+		return ExecResult{NN: nn, Stats: st, Err: err}
+	}
+	if req.SeqScan {
+		var m []Match
+		var st QueryStats
+		if opts.Workers > 1 {
+			m, st = SeqScanRangeParallel(e.ix.ds, qr, req.Transforms, req.Eps, opts, opts.Workers)
+		} else {
+			m, st = SeqScanRange(e.ix.ds, qr, req.Transforms, req.Eps, opts)
+		}
+		return ExecResult{Matches: m, Stats: st}
+	}
+	m, st, err := e.ix.MTIndexRange(qr, req.Transforms, req.Eps, opts)
+	return ExecResult{Matches: m, Stats: st, Err: err}
+}
+
+// queryRecord featurizes a raw query series, memoizing by content so the
+// normal form and DFT of a series shared by several subqueries are
+// computed once per batch. Entries are compared by value after the hash,
+// so colliding series still resolve correctly.
+func (e *Executor) queryRecord(s series.Series) (*Record, error) {
+	if len(s) != e.ix.ds.N {
+		return e.ix.ds.QueryRecord(s) // let the dataset report the error
+	}
+	h := hashSeries(s)
+	e.memoMu.Lock()
+	for _, r := range e.memo[h] {
+		if seriesEqual(r.Raw, s) {
+			e.memoMu.Unlock()
+			return r, nil
+		}
+	}
+	e.memoMu.Unlock()
+	// Featurize outside the lock: the DFT is the expensive part and
+	// independent queries should not serialize on it.
+	r, err := e.ix.ds.QueryRecord(s)
+	if err != nil {
+		return nil, err
+	}
+	e.memoMu.Lock()
+	defer e.memoMu.Unlock()
+	for _, prev := range e.memo[h] {
+		if seriesEqual(prev.Raw, s) {
+			return prev, nil // another worker won the race; reuse its record
+		}
+	}
+	e.memo[h] = append(e.memo[h], r)
+	return r, nil
+}
+
+// hashSeries is FNV-1a over the IEEE-754 bits of the samples.
+func hashSeries(s series.Series) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range s {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			h ^= bits & 0xff
+			h *= prime64
+			bits >>= 8
+		}
+	}
+	return h
+}
+
+func seriesEqual(a, b series.Series) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}

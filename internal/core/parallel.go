@@ -7,12 +7,48 @@ import (
 	"tsq/internal/transform"
 )
 
+// verifySerial verifies one transformation rectangle's candidates on the
+// calling goroutine. It is the fallback of verifyParallel and the body of
+// the serial MT-index verification phase; both paths therefore produce
+// identical matches and statistics.
+func (ix *Index) verifySerial(candidates []int64, sub []transform.Transform, g []int, q *Record, eps float64, ordered *orderedSet, opts RangeOptions) ([]Match, QueryStats, error) {
+	var st QueryStats
+	var out []Match
+	for _, recID := range candidates {
+		r, err := ix.fetch(recID)
+		if err != nil {
+			return nil, st, err
+		}
+		if r == nil { // deleted since the entry was written
+			continue
+		}
+		st.Candidates++
+		if ordered != nil {
+			out = appendOrderedMatches(out, ordered, r, q, eps, &st, g)
+			continue
+		}
+		for i, t := range sub {
+			st.Comparisons++
+			d := distancePred(t, r, q, opts.OneSided)
+			if d <= eps {
+				out = append(out, Match{RecordID: r.ID, TransformIdx: g[i], Distance: d})
+			}
+		}
+	}
+	return out, st, nil
+}
+
 // verifyParallel shards the verification of one transformation
-// rectangle's candidates across opts.Workers goroutines.
+// rectangle's candidates across opts.Workers goroutines. Empty candidate
+// sets and non-positive worker counts fall back to the serial path (a
+// zero divisor would otherwise panic in the chunk computation).
 func (ix *Index) verifyParallel(candidates []int64, sub []transform.Transform, g []int, q *Record, eps float64, ordered *orderedSet, opts RangeOptions) ([]Match, QueryStats, error) {
 	workers := opts.Workers
 	if workers > len(candidates) {
 		workers = len(candidates)
+	}
+	if workers <= 1 {
+		return ix.verifySerial(candidates, sub, g, q, eps, ordered, opts)
 	}
 	type shard struct {
 		matches []Match
@@ -65,6 +101,47 @@ func (ix *Index) verifyParallel(candidates []int64, sub []transform.Transform, g
 		}
 		out = append(out, sh.matches...)
 		st.Add(sh.stats)
+	}
+	return out, st, nil
+}
+
+// mtRangeParallel probes the transformation rectangles of an MT-index
+// range query concurrently: one goroutine per MBR, bounded by
+// opts.Workers, each running the same filter-and-verify pipeline as the
+// serial loop (including verifyParallel for its candidates). Results are
+// merged in group order, so matches and aggregate statistics are
+// identical to the serial evaluation.
+func (ix *Index) mtRangeParallel(q *Record, ts []transform.Transform, groups [][]int, eps float64, opts RangeOptions) ([]Match, QueryStats, error) {
+	type groupResult struct {
+		matches []Match
+		st      QueryStats
+		err     error
+	}
+	results := make([]groupResult, len(groups))
+	sem := make(chan struct{}, opts.Workers)
+	var wg sync.WaitGroup
+	for gi := range groups {
+		if len(groups[gi]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			m, st, err := ix.rangeGroup(q, ts, groups[gi], eps, opts)
+			results[gi] = groupResult{matches: m, st: st, err: err}
+		}(gi)
+	}
+	wg.Wait()
+	var out []Match
+	var st QueryStats
+	for _, r := range results {
+		st.Add(r.st)
+		if r.err != nil {
+			return nil, st, r.err
+		}
+		out = append(out, r.matches...)
 	}
 	return out, st, nil
 }

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"tsq/internal/series"
+	"tsq/internal/transform"
+)
+
+// TestVerifyParallelEmptyCandidates is the regression test for the
+// division-by-zero panic: verifyParallel used to compute the chunk size
+// after clamping workers to len(candidates), so an empty candidate slice
+// (or a non-positive worker count) divided by zero. Both now fall back to
+// the serial path.
+func TestVerifyParallelEmptyCandidates(t *testing.T) {
+	ds, ix := buildFixture(t, 7, 50, 32, DefaultIndexOptions())
+	ts := transform.MovingAverageSet(32, 3, 6)
+	g := identityIndexes(len(ts))
+	q := ds.Records[0]
+	for _, tc := range []struct {
+		name       string
+		candidates []int64
+		workers    int
+	}{
+		{"empty-candidates", nil, 4},
+		{"zero-workers", []int64{0, 1, 2}, 0},
+		{"negative-workers", []int64{0, 1}, -3},
+		{"one-candidate", []int64{0}, 8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			matches, st, err := ix.verifyParallel(tc.candidates, ts, g, q, 1.0, nil, RangeOptions{Workers: tc.workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantSt, err := ix.verifySerial(tc.candidates, ts, g, q, 1.0, nil, RangeOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameKeys(matchKeySet(matches), matchKeySet(want)) {
+				t.Errorf("parallel answer diverged from serial")
+			}
+			if st != wantSt {
+				t.Errorf("stats = %+v, want %+v", st, wantSt)
+			}
+		})
+	}
+}
+
+// TestMTRangeParallelGroupsEqualsSerial checks that probing the
+// transformation rectangles concurrently returns byte-identical matches
+// and statistics to the serial group loop, across worker counts and
+// partitions.
+func TestMTRangeParallelGroupsEqualsSerial(t *testing.T) {
+	ds, ix := buildFixture(t, 3, 300, 64, DefaultIndexOptions())
+	ts := transform.MovingAverageSet(64, 5, 28) // 24 transforms
+	eps := series.DistanceForCorrelation(64, 0.92)
+	for _, per := range []int{1, 4, 8} {
+		groups := EqualPartition(len(ts), per)
+		for trial := 0; trial < 5; trial++ {
+			q := ds.Records[trial*31%len(ds.Records)]
+			want, wantSt, err := ix.MTIndexRange(q, ts, eps, RangeOptions{Groups: groups})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 4, 16} {
+				got, gotSt, err := ix.MTIndexRange(q, ts, eps, RangeOptions{Groups: groups, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				SortMatches(got)
+				SortMatches(want)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("per=%d workers=%d: parallel matches diverge from serial", per, workers)
+				}
+				if gotSt != wantSt {
+					t.Fatalf("per=%d workers=%d: stats = %+v, want %+v", per, workers, gotSt, wantSt)
+				}
+			}
+		}
+	}
+}
+
+// TestMTRangeParallelBadGroupIndex checks that an out-of-range group
+// index still surfaces as an error (not a panic) from the parallel path.
+func TestMTRangeParallelBadGroupIndex(t *testing.T) {
+	ds, ix := buildFixture(t, 5, 40, 32, DefaultIndexOptions())
+	ts := transform.MovingAverageSet(32, 3, 8)
+	groups := [][]int{{0, 1}, {len(ts) + 3}}
+	_, _, err := ix.MTIndexRange(ds.Records[0], ts, 1.0, RangeOptions{Groups: groups, Workers: 4})
+	if err == nil {
+		t.Fatal("out-of-range group index did not error")
+	}
+}

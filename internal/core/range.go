@@ -123,7 +123,10 @@ func (ix *Index) STIndexRange(q *Record, ts []transform.Transform, eps float64, 
 // MTIndexRange answers Query 1 with Algorithm 1: build the transformation
 // MBR(s), traverse the index once per MBR applying Eq. 12 to every index
 // rectangle, and verify candidates against every transformation in the
-// rectangle (binary search when ordered).
+// rectangle (binary search when ordered). With opts.Workers > 1 and more
+// than one transformation rectangle, the rectangles are probed
+// concurrently (see mtRangeParallel); matches and statistics are
+// identical to the serial evaluation either way.
 func (ix *Index) MTIndexRange(q *Record, ts []transform.Transform, eps float64, opts RangeOptions) ([]Match, QueryStats, error) {
 	if len(ts) == 0 {
 		return nil, QueryStats{}, nil
@@ -132,66 +135,67 @@ func (ix *Index) MTIndexRange(q *Record, ts []transform.Transform, eps float64, 
 	if groups == nil {
 		groups = [][]int{identityIndexes(len(ts))}
 	}
+	if opts.Workers > 1 && len(groups) > 1 {
+		return ix.mtRangeParallel(q, ts, groups, eps, opts)
+	}
 	var st QueryStats
 	var out []Match
 	for _, g := range groups {
 		if len(g) == 0 {
 			continue
 		}
-		sub := make([]transform.Transform, len(g))
-		for i, idx := range g {
-			if idx < 0 || idx >= len(ts) {
-				return nil, st, fmt.Errorf("core: group index %d out of range", idx)
-			}
-			sub[i] = ts[idx]
-		}
-		mult, add := ix.fullMBRs(sub)
-		var qrect geom.Rect
-		var phaseDims []bool
-		if opts.OneSided {
-			qrect, phaseDims = ix.oneSidedQueryRect(q, eps, opts.Mode)
-		} else {
-			qrect = ix.queryRect(q, sub, eps, opts.Mode)
-		}
-		st.IndexSearches++
-
-		candidates, err := ix.filter(mult, add, qrect, phaseDims, &st)
+		matches, gst, err := ix.rangeGroup(q, ts, g, eps, opts)
+		st.Add(gst)
 		if err != nil {
 			return nil, st, err
 		}
-		ordered := orderedPrefix(sub, opts.UseOrdering && !opts.OneSided)
-		if opts.Workers > 1 && len(candidates) > 1 {
-			matches, vst, err := ix.verifyParallel(candidates, sub, g, q, eps, ordered, opts)
-			if err != nil {
-				return nil, st, err
-			}
-			out = append(out, matches...)
-			st.Add(vst)
-			continue
-		}
-		for _, recID := range candidates {
-			r, err := ix.fetch(recID)
-			if err != nil {
-				return nil, st, err
-			}
-			if r == nil { // deleted since the entry was written
-				continue
-			}
-			st.Candidates++
-			if ordered != nil {
-				out = appendOrderedMatches(out, ordered, r, q, eps, &st, g)
-				continue
-			}
-			for i, t := range sub {
-				st.Comparisons++
-				d := distancePred(t, r, q, opts.OneSided)
-				if d <= eps {
-					out = append(out, Match{RecordID: r.ID, TransformIdx: g[i], Distance: d})
-				}
-			}
-		}
+		out = append(out, matches...)
 	}
 	return out, st, nil
+}
+
+// rangeGroup runs the filter-and-verify pipeline for one transformation
+// rectangle: lift the group's MBR, build the query rectangle, traverse
+// the index, and verify the candidates (in parallel when opts.Workers >
+// 1). It is called from the serial group loop and from mtRangeParallel;
+// it only reads index state, so any number of rangeGroup calls may run
+// concurrently.
+func (ix *Index) rangeGroup(q *Record, ts []transform.Transform, g []int, eps float64, opts RangeOptions) ([]Match, QueryStats, error) {
+	var st QueryStats
+	sub := make([]transform.Transform, len(g))
+	for i, idx := range g {
+		if idx < 0 || idx >= len(ts) {
+			return nil, st, fmt.Errorf("core: group index %d out of range", idx)
+		}
+		sub[i] = ts[idx]
+	}
+	mult, add := ix.fullMBRs(sub)
+	var qrect geom.Rect
+	var phaseDims []bool
+	if opts.OneSided {
+		qrect, phaseDims = ix.oneSidedQueryRect(q, eps, opts.Mode)
+	} else {
+		qrect = ix.queryRect(q, sub, eps, opts.Mode)
+	}
+	st.IndexSearches++
+
+	candidates, err := ix.filter(mult, add, qrect, phaseDims, &st)
+	if err != nil {
+		return nil, st, err
+	}
+	ordered := orderedPrefix(sub, opts.UseOrdering && !opts.OneSided)
+	var matches []Match
+	var vst QueryStats
+	if opts.Workers > 1 && len(candidates) > 1 {
+		matches, vst, err = ix.verifyParallel(candidates, sub, g, q, eps, ordered, opts)
+	} else {
+		matches, vst, err = ix.verifySerial(candidates, sub, g, q, eps, ordered, opts)
+	}
+	st.Add(vst)
+	if err != nil {
+		return nil, st, err
+	}
+	return matches, st, nil
 }
 
 // filter runs the Algorithm 1 traversal for one transformation rectangle,

@@ -22,27 +22,19 @@ import (
 // Transform returns the unitary DFT of x. The input is not modified.
 // Any length is accepted; powers of two use the radix-2 FFT directly and
 // other lengths go through Bluestein's algorithm, so the cost is
-// O(n log n) in all cases.
+// O(n log n) in all cases. Per-length tables (twiddles, permutations,
+// chirp kernels) come from the memoized Plan cache, so repeated lengths
+// recompute nothing.
 func Transform(x []complex128) []complex128 {
 	out := make([]complex128, len(x))
-	copy(out, x)
-	fftInPlace(out, false)
-	scale := complex(1/math.Sqrt(float64(len(x))), 0)
-	for i := range out {
-		out[i] *= scale
-	}
+	PlanFor(len(x)).TransformInto(out, x)
 	return out
 }
 
 // Inverse returns the unitary inverse DFT of X.
 func Inverse(X []complex128) []complex128 {
 	out := make([]complex128, len(X))
-	copy(out, X)
-	fftInPlace(out, true)
-	scale := complex(1/math.Sqrt(float64(len(X))), 0)
-	for i := range out {
-		out[i] *= scale
-	}
+	PlanFor(len(X)).InverseInto(out, X)
 	return out
 }
 
@@ -51,50 +43,8 @@ func Inverse(X []complex128) []complex128 {
 // complex FFT of half the length plus an O(n) unpacking pass — which
 // roughly halves the work; other lengths fall back to the general path.
 func TransformReal(x []float64) []complex128 {
-	n := len(x)
-	if n >= 4 && n%2 == 0 && (n/2)&(n/2-1) == 0 {
-		return realFFT(x)
-	}
-	cx := make([]complex128, n)
-	for i, v := range x {
-		cx[i] = complex(v, 0)
-	}
-	fftInPlace(cx, false)
-	scale := complex(1/math.Sqrt(float64(n)), 0)
-	for i := range cx {
-		cx[i] *= scale
-	}
-	return cx
-}
-
-// realFFT computes the unitary DFT of a real signal of even power-of-two
-// length n by packing even samples into the real parts and odd samples
-// into the imaginary parts of a length-n/2 complex signal, running one
-// half-length FFT, and disentangling with the split/twiddle identities:
-//
-//	E_f = (Z_f + conj(Z_{m-f}))/2, O_f = -i*(Z_f - conj(Z_{m-f}))/2
-//	X_f = E_f + e^{-2*pi*i*f/n} * O_f, X_{f+m} = E_f - e^{-2*pi*i*f/n} * O_f
-func realFFT(x []float64) []complex128 {
-	n := len(x)
-	m := n / 2
-	z := make([]complex128, m)
-	for i := 0; i < m; i++ {
-		z[i] = complex(x[2*i], x[2*i+1])
-	}
-	radix2(z, false)
-	out := make([]complex128, n)
-	scale := complex(1/math.Sqrt(float64(n)), 0)
-	step := cmplx.Exp(complex(0, -2*math.Pi/float64(n)))
-	w := complex(1, 0)
-	for f := 0; f < m; f++ {
-		zf := z[f]
-		zc := cmplx.Conj(z[(m-f)%m])
-		e := (zf + zc) / 2
-		o := (zf - zc) / complex(0, 2)
-		out[f] = (e + w*o) * scale
-		out[f+m] = (e - w*o) * scale
-		w *= step
-	}
+	out := make([]complex128, len(x))
+	PlanFor(len(x)).TransformRealInto(out, x)
 	return out
 }
 
@@ -215,93 +165,3 @@ func SymmetryHolds(X []complex128, tol float64) bool {
 	return true
 }
 
-// fftInPlace computes an unnormalized DFT (or inverse DFT when inverse is
-// true) of x in place.
-func fftInPlace(x []complex128, inverse bool) {
-	n := len(x)
-	if n <= 1 {
-		return
-	}
-	if n&(n-1) == 0 {
-		radix2(x, inverse)
-		return
-	}
-	bluestein(x, inverse)
-}
-
-// radix2 is the iterative Cooley-Tukey FFT for power-of-two lengths.
-func radix2(x []complex128, inverse bool) {
-	n := len(x)
-	// Bit-reversal permutation.
-	for i, j := 0, 0; i < n; i++ {
-		if i < j {
-			x[i], x[j] = x[j], x[i]
-		}
-		mask := n >> 1
-		for ; j&mask != 0; mask >>= 1 {
-			j &^= mask
-		}
-		j |= mask
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := cmplx.Exp(complex(0, sign*2*math.Pi/float64(size)))
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				u := x[start+k]
-				v := x[start+k+half] * w
-				x[start+k] = u + v
-				x[start+k+half] = u - v
-				w *= step
-			}
-		}
-	}
-}
-
-// bluestein computes a DFT of arbitrary length as a convolution of
-// power-of-two length (Bluestein's chirp-z algorithm).
-func bluestein(x []complex128, inverse bool) {
-	n := len(x)
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	// Chirp factors w_k = exp(sign * j*pi*k^2/n).
-	chirp := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		// k*k may overflow for huge n if done in int; use float math mod 2n.
-		kk := float64(k) * float64(k)
-		angle := sign * math.Pi * math.Mod(kk, 2*float64(n)) / float64(n)
-		chirp[k] = cmplx.Exp(complex(0, angle))
-	}
-	m := 1
-	for m < 2*n-1 {
-		m <<= 1
-	}
-	a := make([]complex128, m)
-	b := make([]complex128, m)
-	for k := 0; k < n; k++ {
-		a[k] = x[k] * chirp[k]
-	}
-	b[0] = cmplx.Conj(chirp[0])
-	for k := 1; k < n; k++ {
-		c := cmplx.Conj(chirp[k])
-		b[k] = c
-		b[m-k] = c
-	}
-	radix2(a, false)
-	radix2(b, false)
-	for i := range a {
-		a[i] *= b[i]
-	}
-	radix2(a, true)
-	invM := complex(1/float64(m), 0)
-	for k := 0; k < n; k++ {
-		x[k] = a[k] * invM * chirp[k]
-	}
-}

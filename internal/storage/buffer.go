@@ -1,9 +1,18 @@
 package storage
 
-import "container/list"
+import (
+	"container/list"
+	"sync"
+)
 
-// bufferPool is a simple LRU page cache. It is not safe for concurrent use
-// on its own; the Manager serializes access to it.
+// maxPoolShards bounds the lock striping of the buffer pool. The actual
+// shard count never exceeds the pool capacity, so every shard owns at
+// least one frame.
+const maxPoolShards = 16
+
+// bufferPool is a simple LRU page cache — one shard of the striped pool.
+// It is not safe for concurrent use on its own; the owning poolShard's
+// mutex serializes access to it.
 type bufferPool struct {
 	capacity int
 	pageSize int
@@ -68,4 +77,83 @@ func (b *bufferPool) evict(id PageID) {
 func (b *bufferPool) reset() {
 	b.lru.Init()
 	b.frames = make(map[PageID]*list.Element, b.capacity)
+}
+
+// shardedPool is the Manager's buffer pool, lock-striped by PageID: shard
+// i owns every page with id % shards == i, under its own mutex and its own
+// LRU list, so concurrent readers of distinct pages rarely contend. The
+// shard of a page is a pure function of its id and each shard's LRU is
+// deterministic, so a serial access sequence produces the same hit/miss
+// (and therefore disk-access) counts on every run.
+type shardedPool struct {
+	shards []poolShard
+}
+
+type poolShard struct {
+	mu   sync.Mutex
+	pool *bufferPool
+	_    [40]byte // pad to keep hot shard locks off one cache line
+}
+
+// newShardedPool distributes capacity pages over min(maxPoolShards,
+// capacity) shards; the first capacity%shards shards hold one extra frame.
+func newShardedPool(capacity, pageSize int) *shardedPool {
+	n := maxPoolShards
+	if n > capacity {
+		n = capacity
+	}
+	s := &shardedPool{shards: make([]poolShard, n)}
+	base, extra := capacity/n, capacity%n
+	for i := range s.shards {
+		c := base
+		if i < extra {
+			c++
+		}
+		s.shards[i].pool = newBufferPool(c, pageSize)
+	}
+	return s
+}
+
+func (s *shardedPool) shard(id PageID) *poolShard {
+	return &s.shards[uint(id)%uint(len(s.shards))]
+}
+
+// get copies the cached contents of id into dst and reports whether the
+// page was present. The copy happens under the shard lock so a concurrent
+// put of the same page cannot tear it.
+func (s *shardedPool) get(id PageID, dst []byte) bool {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	data, ok := sh.pool.get(id)
+	if ok {
+		copy(dst, data)
+	}
+	return ok
+}
+
+// put caches the contents of id.
+func (s *shardedPool) put(id PageID, data []byte) {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.pool.put(id, data)
+}
+
+// evict drops page id from its shard if present.
+func (s *shardedPool) evict(id PageID) {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.pool.evict(id)
+}
+
+// reset empties every shard.
+func (s *shardedPool) reset() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.pool.reset()
+		sh.mu.Unlock()
+	}
 }

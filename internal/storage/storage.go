@@ -13,6 +13,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // PageID identifies a page within a page file. The zero value is never a
@@ -48,8 +49,10 @@ type Backend interface {
 
 // MemBackend keeps pages in memory. It is the default backend; it gives
 // the experiments a deterministic, I/O-noise-free substrate while the
-// manager still counts every page access.
+// manager still counts every page access. Reads share an RWMutex so any
+// number of readers proceed in parallel; writes and growth are exclusive.
 type MemBackend struct {
+	mu       sync.RWMutex
 	pageSize int
 	pages    map[PageID][]byte
 }
@@ -61,6 +64,8 @@ func NewMemBackend(pageSize int) *MemBackend {
 
 // ReadPage implements Backend.
 func (m *MemBackend) ReadPage(id PageID, buf []byte) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	p, ok := m.pages[id]
 	if !ok {
 		return fmt.Errorf("storage: read of unallocated page %d", id)
@@ -71,6 +76,8 @@ func (m *MemBackend) ReadPage(id PageID, buf []byte) error {
 
 // WritePage implements Backend.
 func (m *MemBackend) WritePage(id PageID, buf []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	p, ok := m.pages[id]
 	if !ok {
 		return fmt.Errorf("storage: write to unallocated page %d", id)
@@ -81,6 +88,8 @@ func (m *MemBackend) WritePage(id PageID, buf []byte) error {
 
 // Grow implements Backend.
 func (m *MemBackend) Grow(id PageID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if _, ok := m.pages[id]; !ok {
 		m.pages[id] = make([]byte, m.pageSize)
 	}
@@ -89,6 +98,8 @@ func (m *MemBackend) Grow(id PageID) error {
 
 // Close implements Backend.
 func (m *MemBackend) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.pages = nil
 	return nil
 }
@@ -136,14 +147,31 @@ func (b *FileBackend) Close() error { return b.f.Close() }
 
 // Manager allocates pages and mediates reads and writes through an
 // optional buffer pool, counting every backend access.
+//
+// A Manager is safe for concurrent use: Read and Write touch only a
+// lock-striped pool shard, an atomic counter, and the backend (MemBackend
+// reads take a shared lock; FileBackend reads are positional pread calls),
+// so parallel readers of distinct pages do not serialize. Alloc and Free
+// share one allocator mutex. The counters tally exactly the backend
+// operations performed — under a serial workload they are deterministic
+// and identical to the former single-mutex implementation.
 type Manager struct {
-	mu       sync.Mutex
+	mu       sync.Mutex // allocator state (next, freeList) only
 	backend  Backend
 	pageSize int
 	next     PageID
 	freeList []PageID
-	pool     *bufferPool
-	stats    Stats
+	pool     *shardedPool
+	stats    managerStats
+}
+
+// managerStats is the Manager's live counter block; Stats() snapshots it.
+type managerStats struct {
+	reads  atomic.Int64
+	writes atomic.Int64
+	allocs atomic.Int64
+	frees  atomic.Int64
+	hits   atomic.Int64
 }
 
 // Options configures a Manager.
@@ -180,7 +208,7 @@ func NewManager(opts Options) *Manager {
 		m.next = opts.FirstUnallocated
 	}
 	if opts.BufferPages > 0 {
-		m.pool = newBufferPool(opts.BufferPages, opts.PageSize)
+		m.pool = newShardedPool(opts.BufferPages, opts.PageSize)
 	}
 	return m
 }
@@ -203,20 +231,21 @@ func (m *Manager) Alloc() (PageID, error) {
 	if err := m.backend.Grow(id); err != nil {
 		return NilPage, err
 	}
-	m.stats.Allocs++
+	m.stats.allocs.Add(1)
 	return id, nil
 }
 
 // Free returns a page to the allocator. The page's contents become
-// undefined.
+// undefined. The caller must guarantee no concurrent reader still uses
+// the page (the index holds no reference to a page before freeing it).
 func (m *Manager) Free(id PageID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.pool != nil {
 		m.pool.evict(id)
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.freeList = append(m.freeList, id)
-	m.stats.Frees++
+	m.stats.frees.Add(1)
 }
 
 // Read copies the contents of page id into buf (which must be at least one
@@ -225,19 +254,16 @@ func (m *Manager) Read(id PageID, buf []byte) error {
 	if id == NilPage {
 		return errors.New("storage: read of nil page")
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.pool != nil {
-		if data, ok := m.pool.get(id); ok {
-			m.stats.Hits++
-			copy(buf, data)
+		if m.pool.get(id, buf[:m.pageSize]) {
+			m.stats.hits.Add(1)
 			return nil
 		}
 	}
 	if err := m.backend.ReadPage(id, buf[:m.pageSize]); err != nil {
 		return err
 	}
-	m.stats.Reads++
+	m.stats.reads.Add(1)
 	if m.pool != nil {
 		m.pool.put(id, buf[:m.pageSize])
 	}
@@ -249,12 +275,10 @@ func (m *Manager) Write(id PageID, buf []byte) error {
 	if id == NilPage {
 		return errors.New("storage: write to nil page")
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if err := m.backend.WritePage(id, buf[:m.pageSize]); err != nil {
 		return err
 	}
-	m.stats.Writes++
+	m.stats.writes.Add(1)
 	if m.pool != nil {
 		m.pool.put(id, buf[:m.pageSize])
 	}
@@ -263,22 +287,26 @@ func (m *Manager) Write(id PageID, buf []byte) error {
 
 // Stats returns a snapshot of the counters.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return Stats{
+		Reads:  m.stats.reads.Load(),
+		Writes: m.stats.writes.Load(),
+		Allocs: m.stats.allocs.Load(),
+		Frees:  m.stats.frees.Load(),
+		Hits:   m.stats.hits.Load(),
+	}
 }
 
 // ResetStats zeroes the counters (buffer contents are kept).
 func (m *Manager) ResetStats() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.stats = Stats{}
+	m.stats.reads.Store(0)
+	m.stats.writes.Store(0)
+	m.stats.allocs.Store(0)
+	m.stats.frees.Store(0)
+	m.stats.hits.Store(0)
 }
 
 // DropBuffer empties the buffer pool so subsequent reads are cold.
 func (m *Manager) DropBuffer() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.pool != nil {
 		m.pool.reset()
 	}

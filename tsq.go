@@ -29,6 +29,7 @@
 package tsq
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -401,6 +402,87 @@ func (db *DB) rangeRecord(qr *core.Record, ts []Transform, thr Threshold, opts Q
 	}
 }
 
+// BatchRequest is one query of a Batch call.
+type BatchRequest struct {
+	// Query is an ad-hoc query series; ignored when ByID is set.
+	Query Series
+	// ID selects a stored series as the query point when ByID is true.
+	ID   int64
+	ByID bool
+	// Transforms is the transformation set of the query.
+	Transforms []Transform
+	// Threshold bounds range queries; ignored when K > 0.
+	Threshold Threshold
+	// K, when positive, asks for the K nearest neighbors instead of a
+	// range answer.
+	K int
+	// Opts tunes the query. Algorithm Auto is evaluated as MTIndex (the
+	// per-query planner probes the index serially and would negate the
+	// batching); the other algorithms behave as in Range.
+	Opts QueryOptions
+}
+
+// BatchResult is the outcome of one Batch query: Matches for range
+// queries, NN for nearest-neighbor queries.
+type BatchResult struct {
+	Matches []Match
+	NN      []NNMatch
+	Stats   Stats
+	Err     error
+}
+
+// Batch evaluates many queries concurrently over the shared index with a
+// pool of the given number of worker goroutines (0 means GOMAXPROCS) and
+// returns one result per request, in order. Each result is identical to
+// running the query alone; the spectral features of equal ad-hoc query
+// series are computed once per batch. Cancelling ctx fails queries not
+// yet started with ctx.Err(). Batch holds the database's read lock for
+// the duration, so it may run concurrently with other queries but
+// excludes Insert and Delete.
+func (db *DB) Batch(ctx context.Context, reqs []BatchRequest, workers int) []BatchResult {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	results := make([]BatchResult, len(reqs))
+	execReqs := make([]core.ExecRequest, 0, len(reqs))
+	idx := make([]int, 0, len(reqs))
+	for i, r := range reqs {
+		er := core.ExecRequest{
+			Transforms:     r.Transforms,
+			K:              r.K,
+			QueryTransform: r.Opts.QueryTransform,
+			SeqScan:        r.Opts.Algorithm == SeqScan,
+		}
+		if r.ByID {
+			rec := db.ds.Record(r.ID)
+			if rec == nil {
+				results[i].Err = fmt.Errorf("tsq: no series with id %d", r.ID)
+				continue
+			}
+			er.Record = rec
+		} else {
+			er.Query = r.Query
+		}
+		if r.K <= 0 {
+			er.Eps = r.Threshold.Epsilon(db.ds.N)
+		}
+		er.Opts = db.rangeOpts(r.Transforms, r.Opts)
+		if r.Opts.Algorithm == STIndex {
+			groups := make([][]int, len(r.Transforms))
+			for t := range r.Transforms {
+				groups[t] = []int{t}
+			}
+			er.Opts.Groups = groups
+		}
+		execReqs = append(execReqs, er)
+		idx = append(idx, i)
+	}
+	exec := core.NewExecutor(db.ix, workers)
+	for j, res := range exec.Run(ctx, execReqs) {
+		results[idx[j]] = BatchResult{Matches: res.Matches, NN: res.NN, Stats: res.Stats, Err: res.Err}
+	}
+	return results
+}
+
 // Join answers Query 2: every pair of stored series and transformation
 // within the threshold.
 func (db *DB) Join(ts []Transform, thr Threshold, opts QueryOptions) ([]JoinMatch, Stats, error) {
@@ -566,6 +648,10 @@ func Compose(t2, t1 Transform) Transform { return transform.Compose(t2, t1) }
 // ParsePipeline parses the pipeline syntax (e.g. "shift(0..10) | mv(1..40)")
 // for series of length n; Flatten the result to get the transformation set.
 func ParsePipeline(text string, n int) (Pipeline, error) { return query.ParsePipeline(text, n) }
+
+// SortMatches orders matches by record id then transformation index, for
+// deterministic comparison of result sets.
+func SortMatches(ms []Match) { core.SortMatches(ms) }
 
 // EuclideanDistance returns the distance between two equal-length series.
 func EuclideanDistance(a, b Series) float64 { return series.EuclideanDistance(a, b) }
