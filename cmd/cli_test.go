@@ -5,6 +5,7 @@
 package cmd_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -104,6 +105,22 @@ func TestCLIJoinNNSubseqExplain(t *testing.T) {
 	if !strings.Contains(expl, "chosen:") || !strings.Contains(expl, "seqscan") {
 		t.Errorf("explain output:\n%s", expl)
 	}
+	// EXPLAIN ANALYZE runs all three algorithms with tracing on and
+	// cross-checks every trace against the storage counters.
+	if !strings.Contains(expl, "EXPLAIN ANALYZE") {
+		t.Errorf("explain output missing EXPLAIN ANALYZE section:\n%s", expl)
+	}
+	if got := strings.Count(expl, "— OK"); got != 3 {
+		t.Errorf("want 3 passing cross-check lines, got %d:\n%s", got, expl)
+	}
+	if strings.Contains(expl, "MISMATCH") {
+		t.Errorf("trace/storage accounting mismatch:\n%s", expl)
+	}
+	for _, needle := range []string{"algorithm", "disk accesses", "cand ratio", "false pos"} {
+		if !strings.Contains(expl, needle) {
+			t.Errorf("explain summary table missing %q:\n%s", needle, expl)
+		}
+	}
 	info := runTool(t, "tsquery", "-data", data, "-info")
 	if !strings.Contains(info, "tree height") {
 		t.Errorf("info output:\n%s", info)
@@ -133,6 +150,55 @@ func TestCLIBenchWithCharts(t *testing.T) {
 	out = runTool(t, "tsbench", "-fig", "3")
 	if !strings.Contains(out, "mult-MBR") {
 		t.Errorf("fig3 output:\n%s", out)
+	}
+}
+
+// TestCLIBenchJSONEnvelope checks the machine-readable output format:
+// a schema-2 envelope whose metadata makes BENCH_*.json files
+// comparable across machines.
+func TestCLIBenchJSONEnvelope(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	runTool(t, "tsbench", "-fig", "8", "-queries", "1", "-stocks", "120", "-json", jsonPath)
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		SchemaVersion int `json:"schema_version"`
+		Meta          struct {
+			GoVersion   string `json:"go_version"`
+			GOMAXPROCS  int    `json:"gomaxprocs"`
+			NumCPU      int    `json:"num_cpu"`
+			PageSize    int    `json:"page_size"`
+			GitRevision string `json:"git_revision"`
+		} `json:"meta"`
+		Results []struct {
+			Name    string  `json:"name"`
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("parsing %s: %v", jsonPath, err)
+	}
+	if out.SchemaVersion != 2 {
+		t.Errorf("schema_version = %d, want 2", out.SchemaVersion)
+	}
+	if out.Meta.GoVersion == "" || out.Meta.GOMAXPROCS < 1 || out.Meta.NumCPU < 1 {
+		t.Errorf("implausible run metadata: %+v", out.Meta)
+	}
+	if out.Meta.PageSize != 4096 {
+		t.Errorf("page_size = %d, want 4096", out.Meta.PageSize)
+	}
+	if out.Meta.GitRevision == "" {
+		t.Error("git_revision missing (expected a hash or \"unknown\")")
+	}
+	if len(out.Results) == 0 {
+		t.Fatal("no results recorded")
+	}
+	for _, r := range out.Results {
+		if r.Name == "" || r.NsPerOp <= 0 {
+			t.Errorf("implausible result row: %+v", r)
+		}
 	}
 }
 

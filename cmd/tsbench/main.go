@@ -16,8 +16,10 @@
 //
 // -throughput runs the batch executor over the Fig. 5 workload at worker
 // counts 1, 4 and GOMAXPROCS (or -workers a,b,c) and reports queries per
-// second. -json writes every measured point as a JSON array ("-" for
-// stdout), the format the repo's BENCH_*.json trajectory files record.
+// second. -json writes every measured point, wrapped in an envelope of
+// run metadata (schema version, GOMAXPROCS, NumCPU, page size, git
+// revision), to a file ("-" for stdout) — the format the repo's
+// BENCH_*.json trajectory files record.
 package main
 
 import (
@@ -26,11 +28,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 
 	"tsq/internal/bench"
 	"tsq/internal/plot"
+	"tsq/internal/storage"
 )
 
 func main() {
@@ -85,13 +90,62 @@ func main() {
 	}
 }
 
-// benchResult is one measured point in the machine-readable output; the
-// BENCH_*.json trajectory files are arrays of these.
+// benchResult is one measured point in the machine-readable output.
 type benchResult struct {
 	Name          string  `json:"name"`
 	NsPerOp       float64 `json:"ns_per_op,omitempty"`
 	DiskReads     float64 `json:"disk_reads,omitempty"`
 	QueriesPerSec float64 `json:"queries_per_sec,omitempty"`
+	// SingleCPU marks the workers=1 throughput row: it is the serial
+	// parity baseline, not a scaling claim.
+	SingleCPU bool `json:"single_cpu,omitempty"`
+}
+
+// benchMeta records the run environment so BENCH_*.json files are
+// comparable across machines and toolchains.
+type benchMeta struct {
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"num_cpu"`
+	PageSize    int    `json:"page_size"`
+	GitRevision string `json:"git_revision"`
+}
+
+// benchFile is the machine-readable output envelope; the BENCH_*.json
+// trajectory files record one of these. Schema 1 was a bare result
+// array with no run metadata.
+type benchFile struct {
+	SchemaVersion int           `json:"schema_version"`
+	Meta          benchMeta     `json:"meta"`
+	Results       []benchResult `json:"results"`
+}
+
+// benchSchemaVersion is the current benchFile schema.
+const benchSchemaVersion = 2
+
+// collectMeta captures the run environment. The git revision comes from
+// the build info's VCS stamp; "unknown" when the binary was built
+// without one (go run, test binaries).
+func collectMeta() benchMeta {
+	meta := benchMeta{
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		PageSize:    storage.DefaultPageSize,
+		GitRevision: "unknown",
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" {
+				meta.GitRevision = s.Value
+			}
+		}
+	}
+	return meta
 }
 
 // parseWorkers parses "-workers 1,4,16"; empty means the default sweep.
@@ -120,24 +174,35 @@ func runThroughput(cfg bench.Config, count, queries int, workerCounts []int, res
 	}
 	fmt.Printf("%10s %14s %14s %14s\n", "workers", "queries/sec", "sec/query", "disk/query")
 	for _, r := range rows {
-		fmt.Printf("%10d %14.1f %14.6f %14.1f\n", r.Workers, r.QueriesPerSec, r.SecPerQuery, r.DiskPerQuery)
+		note := ""
+		if r.Workers == 1 {
+			note = "  (single-CPU parity baseline)"
+		}
+		fmt.Printf("%10d %14.1f %14.6f %14.1f%s\n", r.Workers, r.QueriesPerSec, r.SecPerQuery, r.DiskPerQuery, note)
 		*results = append(*results, benchResult{
 			Name:          fmt.Sprintf("throughput/workers=%d", r.Workers),
 			NsPerOp:       r.SecPerQuery * 1e9,
 			DiskReads:     r.DiskPerQuery,
 			QueriesPerSec: r.QueriesPerSec,
+			SingleCPU:     r.Workers == 1,
 		})
 	}
 	fmt.Println()
 	return nil
 }
 
-// writeJSON writes the collected results as a JSON array.
+// writeJSON writes the collected results wrapped in the schema-2
+// envelope: run metadata first, then the result array.
 func writeJSON(path string, results []benchResult) error {
 	if results == nil {
 		results = []benchResult{} // figures with no measured rows: emit [], not null
 	}
-	data, err := json.MarshalIndent(results, "", "  ")
+	out := benchFile{
+		SchemaVersion: benchSchemaVersion,
+		Meta:          collectMeta(),
+		Results:       results,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -10,13 +10,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -debug-addr serves /debug/pprof/
 	"os"
 	"strconv"
+	"time"
 
 	"tsq"
 	"tsq/internal/csvio"
+	"tsq/internal/obs"
 )
 
 func main() {
@@ -46,9 +51,20 @@ func run() error {
 		offset    = flag.Int("offset", 0, "pattern offset within the query series (with -subseq)")
 		maxPrint  = flag.Int("max-print", 25, "maximum result rows to print")
 		info      = flag.Bool("info", false, "print database shape information and exit")
-		explain   = flag.Bool("explain", false, "print the planner's cost comparison instead of running the query")
+		explain   = flag.Bool("explain", false, "print the planner's cost comparison and an EXPLAIN ANALYZE of all three algorithms instead of running the query")
+		trace     = flag.Bool("trace", false, "print the query's span tree after running it")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this address while the command runs")
 	)
 	flag.Parse()
+	if *debugAddr != "" {
+		http.Handle("/metrics", tsq.MetricsHandler())
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "tsquery: debug server: %v\n", err)
+			}
+		}()
+		fmt.Printf("debug server on http://%s (/metrics, /debug/pprof/)\n", *debugAddr)
+	}
 	var db *tsq.DB
 	var names []string
 	switch {
@@ -136,20 +152,20 @@ func run() error {
 	}
 
 	if *explain {
-		q := db.Get(0)
+		var id int64
 		if *queryArg != "" {
-			id, err := resolveQuery(db, names, *queryArg)
+			id, err = resolveQuery(db, names, *queryArg)
 			if err != nil {
 				return err
 			}
-			q = db.Get(id)
 		}
-		text, err := db.Explain(q, ts, thr)
+		text, err := db.Explain(db.Get(id), ts, thr)
 		if err != nil {
 			return err
 		}
+		fmt.Println("=== planner ===")
 		fmt.Println(text)
-		return nil
+		return explainAnalyze(db, id, ts, thr, opts)
 	}
 
 	if *join {
@@ -206,8 +222,14 @@ func run() error {
 		fmt.Printf("stats: %d node accesses, %d windows verified\n", sst.NodeAccesses, sst.Candidates)
 		return nil
 	}
+	ctx := context.Background()
+	var tr *tsq.Trace
+	if *trace {
+		tr = tsq.NewTrace()
+		ctx = tsq.WithTrace(ctx, tr)
+	}
 	if *nn > 0 {
-		matches, st, err := db.NearestNeighbors(db.Get(id), ts, *nn, opts)
+		matches, st, err := db.NearestNeighborsCtx(ctx, db.Get(id), ts, *nn, opts)
 		if err != nil {
 			return err
 		}
@@ -218,10 +240,11 @@ func run() error {
 				1-m.Distance*m.Distance/(2*float64(n-1)))
 		}
 		printStats(st)
+		printTrace(tr)
 		return nil
 	}
 
-	matches, st, err := db.RangeByID(id, ts, thr, opts)
+	matches, st, err := db.RangeByIDCtx(ctx, id, ts, thr, opts)
 	if err != nil {
 		return err
 	}
@@ -239,6 +262,88 @@ func run() error {
 		fmt.Printf("  %-12s via %-8s dist %s\n", db.Name(m.RecordID), ts[m.TransformIdx].Name, d)
 	}
 	printStats(st)
+	printTrace(tr)
+	return nil
+}
+
+// printTrace renders a span tree when tracing was requested.
+func printTrace(tr *tsq.Trace) {
+	if tr == nil {
+		return
+	}
+	fmt.Println("trace:")
+	fmt.Print(tr.String())
+}
+
+// explainAnalyze runs the same range query under each of the three
+// algorithms with tracing on, prints each span tree, cross-checks the
+// trace's I/O attribution against the storage manager's counter deltas,
+// and closes with the paper's headline numbers (disk accesses, candidate
+// ratio, false positives) side by side — Fig. 5 for one query.
+func explainAnalyze(db *tsq.DB, id int64, ts []tsq.Transform, thr tsq.Threshold, opts tsq.QueryOptions) error {
+	type row struct {
+		name    string
+		da      int64
+		cand    int64
+		fp      int64
+		matches int
+		dur     time.Duration
+	}
+	var rows []row
+	fmt.Println("\n=== EXPLAIN ANALYZE ===")
+	for _, ar := range []struct {
+		name string
+		alg  tsq.Algorithm
+	}{
+		{"seqscan", tsq.SeqScan},
+		{"st-index", tsq.STIndex},
+		{"mt-index", tsq.MTIndex},
+	} {
+		o := opts
+		o.Algorithm = ar.alg
+		tr := tsq.NewTrace()
+		ctx := tsq.WithTrace(context.Background(), tr)
+		before := db.DiskStats()
+		start := time.Now()
+		matches, st, err := db.RangeByIDCtx(ctx, id, ts, thr, o)
+		dur := time.Since(start)
+		if err != nil {
+			return err
+		}
+		after := db.DiskStats()
+
+		fmt.Printf("\n--- %s ---\n", ar.name)
+		fmt.Print(tr.String())
+		storageIO := (after.Reads - before.Reads) + (after.Hits - before.Hits)
+		tracedIO := tr.Sum(obs.KindProbe, obs.APagesRead) + tr.Sum(obs.KindProbe, obs.ABufferHits) +
+			tr.Sum(obs.KindPlan, obs.APagesRead) + tr.Sum(obs.KindPlan, obs.ABufferHits)
+		verdict := "OK"
+		if tracedIO != storageIO {
+			verdict = "MISMATCH"
+		}
+		fmt.Printf("cross-check: trace attributes %d page fetches, storage counted %d — %s\n",
+			tracedIO, storageIO, verdict)
+		rows = append(rows, row{
+			name:    ar.name,
+			da:      storageIO,
+			cand:    int64(st.Candidates),
+			fp:      tr.Sum(obs.KindVerify, obs.AFalsePositives),
+			matches: len(matches),
+			dur:     dur,
+		})
+	}
+
+	nS := int64(db.Len())
+	fmt.Printf("\n%-10s %14s %12s %12s %11s %9s %12s\n",
+		"algorithm", "disk accesses", "candidates", "cand ratio", "false pos", "matches", "time")
+	for _, r := range rows {
+		ratio := 0.0
+		if nS > 0 {
+			ratio = float64(r.cand) / float64(nS)
+		}
+		fmt.Printf("%-10s %14d %12d %12.3f %11d %9d %12s\n",
+			r.name, r.da, r.cand, ratio, r.fp, r.matches, r.dur.Round(time.Microsecond))
+	}
 	return nil
 }
 

@@ -2,10 +2,12 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
 
+	"tsq/internal/obs"
 	"tsq/internal/series"
 	"tsq/internal/transform"
 )
@@ -85,19 +87,21 @@ func (e *Executor) Index() *Index { return e.ix }
 // order. Requests are distributed over the worker pool; when ctx is
 // cancelled, queries not yet started complete immediately with ctx.Err()
 // (queries already running finish normally).
+//
+// When ctx carries an *obs.Trace (obs.WithTrace), every request — run or
+// abandoned — gets a root KindQuery span; abandoned queries close theirs
+// with the cancellation error, so a trace always accounts for the whole
+// batch. Without a trace the loop is the untraced fast path.
 func (e *Executor) Run(ctx context.Context, reqs []ExecRequest) []ExecResult {
 	results := make([]ExecResult, len(reqs))
+	tr := obs.FromContext(ctx)
 	workers := e.workers
 	if workers > len(reqs) {
 		workers = len(reqs)
 	}
 	if workers <= 1 {
 		for i := range reqs {
-			if err := ctx.Err(); err != nil {
-				results[i] = ExecResult{Err: err}
-				continue
-			}
-			results[i] = e.runOne(&reqs[i])
+			results[i] = e.execOne(ctx, tr, i, &reqs[i])
 		}
 		return results
 	}
@@ -108,11 +112,7 @@ func (e *Executor) Run(ctx context.Context, reqs []ExecRequest) []ExecResult {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				if err := ctx.Err(); err != nil {
-					results[i] = ExecResult{Err: err}
-					continue
-				}
-				results[i] = e.runOne(&reqs[i])
+				results[i] = e.execOne(ctx, tr, i, &reqs[i])
 			}
 		}()
 	}
@@ -124,12 +124,43 @@ func (e *Executor) Run(ctx context.Context, reqs []ExecRequest) []ExecResult {
 	return results
 }
 
+// execOne wraps one batch request in its root span (when tracing),
+// honoring cancellation: an abandoned query's span is opened and closed
+// with the error so the trace shows it was scheduled but not run.
+func (e *Executor) execOne(ctx context.Context, tr *obs.Trace, i int, req *ExecRequest) ExecResult {
+	var sp *obs.Span
+	if tr != nil {
+		sp = tr.Start(obs.KindQuery, fmt.Sprintf("batch[%d]", i))
+	}
+	if err := ctx.Err(); err != nil {
+		sp.EndErr(err)
+		return ExecResult{Err: err}
+	}
+	qctx := ctx
+	if sp != nil {
+		qctx = obs.ContextWithSpan(ctx, sp)
+	}
+	res := e.runOne(qctx, req)
+	if sp != nil {
+		sp.Set(obs.AMatches, int64(len(res.Matches)+len(res.NN)))
+		sp.Set(obs.ACandidates, int64(res.Stats.Candidates))
+	}
+	sp.EndErr(res.Err)
+	return res
+}
+
 // runOne evaluates a single request on the calling goroutine.
-func (e *Executor) runOne(req *ExecRequest) ExecResult {
+func (e *Executor) runOne(ctx context.Context, req *ExecRequest) ExecResult {
+	sp := obs.SpanFromContext(ctx)
 	qr := req.Record
 	if qr == nil {
+		var fsp *obs.Span
+		if sp != nil {
+			fsp = sp.Child(obs.KindFeatures, "query features")
+		}
 		var err error
 		qr, err = e.queryRecord(req.Query)
+		fsp.EndErr(err)
 		if err != nil {
 			return ExecResult{Err: err}
 		}
@@ -141,23 +172,17 @@ func (e *Executor) runOne(req *ExecRequest) ExecResult {
 	}
 	if req.K > 0 {
 		if req.SeqScan {
-			nn, st := SeqScanNN(e.ix.ds, qr, req.Transforms, req.K, opts.OneSided)
+			nn, st := SeqScanNNCtx(ctx, e.ix.ds, qr, req.Transforms, req.K, opts.OneSided)
 			return ExecResult{NN: nn, Stats: st}
 		}
-		nn, st, err := e.ix.MTIndexNN(qr, req.Transforms, req.K, opts.OneSided)
+		nn, st, err := e.ix.MTIndexNNCtx(ctx, qr, req.Transforms, req.K, opts.OneSided)
 		return ExecResult{NN: nn, Stats: st, Err: err}
 	}
 	if req.SeqScan {
-		var m []Match
-		var st QueryStats
-		if opts.Workers > 1 {
-			m, st = SeqScanRangeParallel(e.ix.ds, qr, req.Transforms, req.Eps, opts, opts.Workers)
-		} else {
-			m, st = SeqScanRange(e.ix.ds, qr, req.Transforms, req.Eps, opts)
-		}
+		m, st := SeqScanRangeCtx(ctx, e.ix.ds, qr, req.Transforms, req.Eps, opts)
 		return ExecResult{Matches: m, Stats: st}
 	}
-	m, st, err := e.ix.MTIndexRange(qr, req.Transforms, req.Eps, opts)
+	m, st, err := e.ix.MTIndexRangeCtx(ctx, qr, req.Transforms, req.Eps, opts)
 	return ExecResult{Matches: m, Stats: st, Err: err}
 }
 

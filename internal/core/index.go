@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -217,13 +218,20 @@ func heapToRecord(id int64, hr *heapfile.Rec) *Record {
 // returns the in-memory record. A nil result with nil error marks a
 // deleted record.
 func (ix *Index) fetch(id int64) (*Record, error) {
+	return ix.fetchCtx(nil, id)
+}
+
+// fetchCtx is fetch with per-query I/O attribution: a storage.QueryIO in
+// ctx is credited with the record-page read. A nil ctx behaves like
+// fetch.
+func (ix *Index) fetchCtx(ctx context.Context, id int64) (*Record, error) {
 	if ix.heap == nil {
 		return ix.ds.Record(id), nil
 	}
 	if r := ix.ds.Record(id); r == nil {
 		return nil, nil // deleted
 	}
-	hr, err := ix.heap.Read(id)
+	hr, err := ix.heap.ReadCtx(ctx, id)
 	if err != nil {
 		return nil, err
 	}

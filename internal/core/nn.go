@@ -2,10 +2,13 @@ package core
 
 import (
 	"container/heap"
+	"context"
+	"fmt"
 	"math"
 	"sort"
 
 	"tsq/internal/geom"
+	"tsq/internal/obs"
 	"tsq/internal/storage"
 	"tsq/internal/transform"
 )
@@ -46,6 +49,25 @@ func SeqScanNN(ds *Dataset, q *Record, ts []transform.Transform, k int, oneSided
 	return best, st
 }
 
+// SeqScanNNCtx is SeqScanNN under the trace in ctx: a KindScan span
+// records the records scanned and comparisons made.
+func SeqScanNNCtx(ctx context.Context, ds *Dataset, q *Record, ts []transform.Transform, k int, oneSided bool) ([]NNMatch, QueryStats) {
+	parent := obs.SpanFromContext(ctx)
+	var sp *obs.Span
+	if parent != nil {
+		sp = parent.Child(obs.KindScan, fmt.Sprintf("nn seq scan (k=%d, %d records)", k, len(ds.Records)))
+	}
+	out, st := SeqScanNN(ds, q, ts, k, oneSided)
+	if sp != nil {
+		sp.Set(obs.ACandidates, int64(st.Candidates))
+		sp.Set(obs.AComparisons, int64(st.Comparisons))
+		sp.Set(obs.AMatches, int64(len(out)))
+		sp.Set(obs.ATransforms, int64(len(ts)))
+		sp.End()
+	}
+	return out, st
+}
+
 // nnEntry is a priority-queue element of the transformed NN search.
 type nnEntry struct {
 	bound float64
@@ -74,9 +96,38 @@ func (h *nnHeap) Pop() interface{} {
 // and are excluded from the bound), and leaf candidates are resolved
 // exactly. Results are exact.
 func (ix *Index) MTIndexNN(q *Record, ts []transform.Transform, k int, oneSided bool) ([]NNMatch, QueryStats, error) {
+	return ix.MTIndexNNCtx(nil, q, ts, k, oneSided)
+}
+
+// MTIndexNNCtx is MTIndexNN under the trace carried in ctx: the
+// best-first traversal is recorded as one KindProbe span (node visits,
+// MINDIST-pruned subtrees, candidates resolved, page I/O) when ctx holds
+// a parent span. A nil ctx takes the exact untraced path.
+func (ix *Index) MTIndexNNCtx(ctx context.Context, q *Record, ts []transform.Transform, k int, oneSided bool) (_ []NNMatch, _ QueryStats, retErr error) {
 	var st QueryStats
 	if k <= 0 || len(ts) == 0 {
 		return nil, st, nil
+	}
+	parent := obs.SpanFromContext(ctx)
+	var sp *obs.Span
+	var pruned int64
+	var nMatches int
+	if parent != nil {
+		sp = parent.Child(obs.KindProbe, fmt.Sprintf("nn best-first (k=%d)", k))
+		sp.Set(obs.ATransforms, int64(len(ts)))
+		qio := &storage.QueryIO{}
+		ctx = storage.WithQueryIO(ctx, qio)
+		defer func() {
+			sp.Set(obs.ANodes, int64(st.DAAll))
+			sp.Set(obs.ALeaves, int64(st.DALeaf))
+			sp.Set(obs.APruned, pruned)
+			sp.Set(obs.ACandidates, int64(st.Candidates))
+			sp.Set(obs.AComparisons, int64(st.Comparisons))
+			sp.Set(obs.AMatches, int64(nMatches))
+			sp.Set(obs.APagesRead, qio.Reads.Load())
+			sp.Set(obs.ABufferHits, qio.Hits.Load())
+			sp.EndErr(retErr)
+		}()
 	}
 	mult, add := ix.fullMBRs(ts)
 	st.IndexSearches++
@@ -120,7 +171,7 @@ func (ix *Index) MTIndexNN(q *Record, ts []transform.Transform, k int, oneSided 
 		if len(results) == k && e.bound > worst {
 			break
 		}
-		n, err := ix.tree.Load(e.page)
+		n, err := ix.tree.LoadCtx(ctx, e.page)
 		if err != nil {
 			return nil, st, err
 		}
@@ -132,13 +183,16 @@ func (ix *Index) MTIndexNN(q *Record, ts []transform.Transform, k int, oneSided 
 			y := transform.ApplyMBRs(mult, add, ent.Rect)
 			lb := lowerBound(y)
 			if len(results) == k && lb > worst {
+				if !n.Leaf {
+					pruned++
+				}
 				continue
 			}
 			if !n.Leaf {
 				heap.Push(h, nnEntry{bound: lb, page: ent.Child})
 				continue
 			}
-			r, err := ix.fetch(ent.Rec)
+			r, err := ix.fetchCtx(ctx, ent.Rec)
 			if err != nil {
 				return nil, st, err
 			}
@@ -163,5 +217,6 @@ func (ix *Index) MTIndexNN(q *Record, ts []transform.Transform, k int, oneSided 
 			}
 		}
 	}
+	nMatches = len(results)
 	return results, st, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -10,50 +11,58 @@ import (
 // verifySerial verifies one transformation rectangle's candidates on the
 // calling goroutine. It is the fallback of verifyParallel and the body of
 // the serial MT-index verification phase; both paths therefore produce
-// identical matches and statistics.
-func (ix *Index) verifySerial(candidates []int64, sub []transform.Transform, g []int, q *Record, eps float64, ordered *orderedSet, opts RangeOptions) ([]Match, QueryStats, error) {
+// identical matches and statistics. The extra falsePos return counts
+// candidates that produced no match — the paper's false positives, the
+// filter quality the trace reports.
+func (ix *Index) verifySerial(ctx context.Context, candidates []int64, sub []transform.Transform, g []int, q *Record, eps float64, ordered *orderedSet, opts RangeOptions) ([]Match, QueryStats, int, error) {
 	var st QueryStats
+	var falsePos int
 	var out []Match
 	for _, recID := range candidates {
-		r, err := ix.fetch(recID)
+		r, err := ix.fetchCtx(ctx, recID)
 		if err != nil {
-			return nil, st, err
+			return nil, st, falsePos, err
 		}
 		if r == nil { // deleted since the entry was written
 			continue
 		}
 		st.Candidates++
+		before := len(out)
 		if ordered != nil {
 			out = appendOrderedMatches(out, ordered, r, q, eps, &st, g)
-			continue
-		}
-		for i, t := range sub {
-			st.Comparisons++
-			d := distancePred(t, r, q, opts.OneSided)
-			if d <= eps {
-				out = append(out, Match{RecordID: r.ID, TransformIdx: g[i], Distance: d})
+		} else {
+			for i, t := range sub {
+				st.Comparisons++
+				d := distancePred(t, r, q, opts.OneSided)
+				if d <= eps {
+					out = append(out, Match{RecordID: r.ID, TransformIdx: g[i], Distance: d})
+				}
 			}
 		}
+		if len(out) == before {
+			falsePos++
+		}
 	}
-	return out, st, nil
+	return out, st, falsePos, nil
 }
 
 // verifyParallel shards the verification of one transformation
 // rectangle's candidates across opts.Workers goroutines. Empty candidate
 // sets and non-positive worker counts fall back to the serial path (a
 // zero divisor would otherwise panic in the chunk computation).
-func (ix *Index) verifyParallel(candidates []int64, sub []transform.Transform, g []int, q *Record, eps float64, ordered *orderedSet, opts RangeOptions) ([]Match, QueryStats, error) {
+func (ix *Index) verifyParallel(ctx context.Context, candidates []int64, sub []transform.Transform, g []int, q *Record, eps float64, ordered *orderedSet, opts RangeOptions) ([]Match, QueryStats, int, error) {
 	workers := opts.Workers
 	if workers > len(candidates) {
 		workers = len(candidates)
 	}
 	if workers <= 1 {
-		return ix.verifySerial(candidates, sub, g, q, eps, ordered, opts)
+		return ix.verifySerial(ctx, candidates, sub, g, q, eps, ordered, opts)
 	}
 	type shard struct {
-		matches []Match
-		stats   QueryStats
-		err     error
+		matches  []Match
+		stats    QueryStats
+		falsePos int
+		err      error
 	}
 	shards := make([]shard, workers)
 	var wg sync.WaitGroup
@@ -69,7 +78,7 @@ func (ix *Index) verifyParallel(candidates []int64, sub []transform.Transform, g
 			defer wg.Done()
 			sh := &shards[w]
 			for _, recID := range candidates[lo:hi] {
-				r, err := ix.fetch(recID)
+				r, err := ix.fetchCtx(ctx, recID)
 				if err != nil {
 					sh.err = err
 					return
@@ -78,16 +87,20 @@ func (ix *Index) verifyParallel(candidates []int64, sub []transform.Transform, g
 					continue
 				}
 				sh.stats.Candidates++
+				before := len(sh.matches)
 				if ordered != nil {
 					sh.matches = appendOrderedMatches(sh.matches, ordered, r, q, eps, &sh.stats, g)
-					continue
-				}
-				for i, t := range sub {
-					sh.stats.Comparisons++
-					d := distancePred(t, r, q, opts.OneSided)
-					if d <= eps {
-						sh.matches = append(sh.matches, Match{RecordID: r.ID, TransformIdx: g[i], Distance: d})
+				} else {
+					for i, t := range sub {
+						sh.stats.Comparisons++
+						d := distancePred(t, r, q, opts.OneSided)
+						if d <= eps {
+							sh.matches = append(sh.matches, Match{RecordID: r.ID, TransformIdx: g[i], Distance: d})
+						}
 					}
+				}
+				if len(sh.matches) == before {
+					sh.falsePos++
 				}
 			}
 		}(w, lo, hi)
@@ -95,14 +108,16 @@ func (ix *Index) verifyParallel(candidates []int64, sub []transform.Transform, g
 	wg.Wait()
 	var out []Match
 	var st QueryStats
+	var falsePos int
 	for _, sh := range shards {
 		if sh.err != nil {
-			return nil, st, sh.err
+			return nil, st, falsePos, sh.err
 		}
 		out = append(out, sh.matches...)
 		st.Add(sh.stats)
+		falsePos += sh.falsePos
 	}
-	return out, st, nil
+	return out, st, falsePos, nil
 }
 
 // mtRangeParallel probes the transformation rectangles of an MT-index
@@ -110,8 +125,10 @@ func (ix *Index) verifyParallel(candidates []int64, sub []transform.Transform, g
 // opts.Workers, each running the same filter-and-verify pipeline as the
 // serial loop (including verifyParallel for its candidates). Results are
 // merged in group order, so matches and aggregate statistics are
-// identical to the serial evaluation.
-func (ix *Index) mtRangeParallel(q *Record, ts []transform.Transform, groups [][]int, eps float64, opts RangeOptions) ([]Match, QueryStats, error) {
+// identical to the serial evaluation. Each goroutine records its own
+// KindProbe span when ctx carries a parent span; the trace's span list
+// is mutex-protected, so concurrent probes trace safely.
+func (ix *Index) mtRangeParallel(ctx context.Context, q *Record, ts []transform.Transform, groups [][]int, eps float64, opts RangeOptions) ([]Match, QueryStats, error) {
 	type groupResult struct {
 		matches []Match
 		st      QueryStats
@@ -129,7 +146,7 @@ func (ix *Index) mtRangeParallel(q *Record, ts []transform.Transform, groups [][
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			m, st, err := ix.rangeGroup(q, ts, groups[gi], eps, opts)
+			m, st, err := ix.rangeGroup(ctx, q, ts, groups[gi], gi, len(groups), eps, opts)
 			results[gi] = groupResult{matches: m, st: st, err: err}
 		}(gi)
 	}

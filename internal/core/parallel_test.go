@@ -29,13 +29,16 @@ func TestVerifyParallelEmptyCandidates(t *testing.T) {
 		{"one-candidate", []int64{0}, 8},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			matches, st, err := ix.verifyParallel(tc.candidates, ts, g, q, 1.0, nil, RangeOptions{Workers: tc.workers})
+			matches, st, fp, err := ix.verifyParallel(nil, tc.candidates, ts, g, q, 1.0, nil, RangeOptions{Workers: tc.workers})
 			if err != nil {
 				t.Fatal(err)
 			}
-			want, wantSt, err := ix.verifySerial(tc.candidates, ts, g, q, 1.0, nil, RangeOptions{})
+			want, wantSt, wantFP, err := ix.verifySerial(nil, tc.candidates, ts, g, q, 1.0, nil, RangeOptions{})
 			if err != nil {
 				t.Fatal(err)
+			}
+			if fp != wantFP {
+				t.Errorf("false positives = %d, want %d", fp, wantFP)
 			}
 			if !sameKeys(matchKeySet(matches), matchKeySet(want)) {
 				t.Errorf("parallel answer diverged from serial")

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"tsq/internal/obs"
+	"tsq/internal/storage"
 	"tsq/internal/transform"
 )
 
@@ -77,10 +80,34 @@ func (p *Plan) String() string {
 // plan is worth it when the same transformation set is queried repeatedly
 // or the relation is large.
 func (ix *Index) PlanRange(q *Record, ts []transform.Transform, eps float64, mode QRectMode, params CostParams) (*Plan, error) {
+	return ix.PlanRangeCtx(nil, q, ts, eps, mode, params)
+}
+
+// PlanRangeCtx is PlanRange under the trace carried in ctx: the probing
+// traversals are recorded as one KindPlan span (node visits and page I/O
+// attributed), so an EXPLAIN ANALYZE of an Auto query accounts for the
+// planner's own disk accesses too.
+func (ix *Index) PlanRangeCtx(ctx context.Context, q *Record, ts []transform.Transform, eps float64, mode QRectMode, params CostParams) (_ *Plan, retErr error) {
 	nT := len(ts)
 	nS := len(ix.ds.Records)
 	if nT == 0 {
 		return &Plan{Kind: PlanSeqScan}, nil
+	}
+
+	parent := obs.SpanFromContext(ctx)
+	var psp *obs.Span
+	var pst QueryStats
+	if parent != nil {
+		psp = parent.Child(obs.KindPlan, "plan")
+		qio := &storage.QueryIO{}
+		ctx = storage.WithQueryIO(ctx, qio)
+		defer func() {
+			psp.Set(obs.ANodes, int64(pst.DAAll))
+			psp.Set(obs.ALeaves, int64(pst.DALeaf))
+			psp.Set(obs.APagesRead, qio.Reads.Load())
+			psp.Set(obs.ABufferHits, qio.Hits.Load())
+			psp.EndErr(retErr)
+		}()
 	}
 
 	var alts []PlanCost
@@ -99,10 +126,11 @@ func (ix *Index) PlanRange(q *Record, ts []transform.Transform, eps float64, mod
 		mult, add := ix.fullMBRs(sub)
 		qrect := ix.queryRect(q, sub, eps, mode)
 		var st QueryStats
-		cands, err := ix.filter(mult, add, qrect, nil, &st)
+		cands, err := ix.filterCtx(ctx, mult, add, qrect, nil, &st, nil)
 		if err != nil {
 			return 0, 0, err
 		}
+		pst.Add(st)
 		return st.DAAll, len(cands), nil
 	}
 

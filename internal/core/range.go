@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"tsq/internal/geom"
+	"tsq/internal/obs"
 	"tsq/internal/storage"
 	"tsq/internal/transform"
 )
@@ -100,6 +102,33 @@ func SeqScanRange(ds *Dataset, q *Record, ts []transform.Transform, eps float64,
 	return out, st
 }
 
+// SeqScanRangeCtx evaluates the sequential scan (parallel when
+// opts.Workers > 1) under the trace in ctx: a KindScan span records the
+// records scanned, comparisons made and matches found. With no span in
+// ctx (or a nil ctx) it is exactly SeqScanRange / SeqScanRangeParallel.
+func SeqScanRangeCtx(ctx context.Context, ds *Dataset, q *Record, ts []transform.Transform, eps float64, opts RangeOptions) ([]Match, QueryStats) {
+	parent := obs.SpanFromContext(ctx)
+	var sp *obs.Span
+	if parent != nil {
+		sp = parent.Child(obs.KindScan, fmt.Sprintf("seq scan (%d records, %d transforms)", len(ds.Records), len(ts)))
+	}
+	var out []Match
+	var st QueryStats
+	if opts.Workers > 1 {
+		out, st = SeqScanRangeParallel(ds, q, ts, eps, opts, opts.Workers)
+	} else {
+		out, st = SeqScanRange(ds, q, ts, eps, opts)
+	}
+	if sp != nil {
+		sp.Set(obs.ACandidates, int64(st.Candidates))
+		sp.Set(obs.AComparisons, int64(st.Comparisons))
+		sp.Set(obs.AMatches, int64(len(out)))
+		sp.Set(obs.ATransforms, int64(len(ts)))
+		sp.End()
+	}
+	return out, st
+}
+
 // distancePred evaluates the query predicate distance for one record and
 // transformation under either semantics.
 func distancePred(t transform.Transform, r, q *Record, oneSided bool) float64 {
@@ -112,12 +141,18 @@ func distancePred(t transform.Transform, r, q *Record, oneSided bool) float64 {
 // STIndexRange answers Query 1 with one index traversal per transformation
 // (the ST-index algorithm): equivalent to MT-index with singleton groups.
 func (ix *Index) STIndexRange(q *Record, ts []transform.Transform, eps float64, opts RangeOptions) ([]Match, QueryStats, error) {
+	return ix.STIndexRangeCtx(nil, q, ts, eps, opts)
+}
+
+// STIndexRangeCtx is STIndexRange under the trace and I/O attribution
+// carried in ctx.
+func (ix *Index) STIndexRangeCtx(ctx context.Context, q *Record, ts []transform.Transform, eps float64, opts RangeOptions) ([]Match, QueryStats, error) {
 	groups := make([][]int, len(ts))
 	for i := range ts {
 		groups[i] = []int{i}
 	}
 	opts.Groups = groups
-	return ix.MTIndexRange(q, ts, eps, opts)
+	return ix.MTIndexRangeCtx(ctx, q, ts, eps, opts)
 }
 
 // MTIndexRange answers Query 1 with Algorithm 1: build the transformation
@@ -128,6 +163,16 @@ func (ix *Index) STIndexRange(q *Record, ts []transform.Transform, eps float64, 
 // concurrently (see mtRangeParallel); matches and statistics are
 // identical to the serial evaluation either way.
 func (ix *Index) MTIndexRange(q *Record, ts []transform.Transform, eps float64, opts RangeOptions) ([]Match, QueryStats, error) {
+	return ix.MTIndexRangeCtx(nil, q, ts, eps, opts)
+}
+
+// MTIndexRangeCtx is MTIndexRange under the trace carried in ctx: when
+// ctx holds a parent span (obs.ContextWithSpan), every transformation
+// rectangle contributes a KindProbe span with KindFilter and KindVerify
+// children, and the probe's page I/O is attributed via storage.QueryIO.
+// A nil ctx — or one without a span — takes the exact untraced path:
+// the only added work is one context lookup per query, no allocations.
+func (ix *Index) MTIndexRangeCtx(ctx context.Context, q *Record, ts []transform.Transform, eps float64, opts RangeOptions) ([]Match, QueryStats, error) {
 	if len(ts) == 0 {
 		return nil, QueryStats{}, nil
 	}
@@ -136,15 +181,15 @@ func (ix *Index) MTIndexRange(q *Record, ts []transform.Transform, eps float64, 
 		groups = [][]int{identityIndexes(len(ts))}
 	}
 	if opts.Workers > 1 && len(groups) > 1 {
-		return ix.mtRangeParallel(q, ts, groups, eps, opts)
+		return ix.mtRangeParallel(ctx, q, ts, groups, eps, opts)
 	}
 	var st QueryStats
 	var out []Match
-	for _, g := range groups {
+	for gi, g := range groups {
 		if len(g) == 0 {
 			continue
 		}
-		matches, gst, err := ix.rangeGroup(q, ts, g, eps, opts)
+		matches, gst, err := ix.rangeGroup(ctx, q, ts, g, gi, len(groups), eps, opts)
 		st.Add(gst)
 		if err != nil {
 			return nil, st, err
@@ -159,9 +204,26 @@ func (ix *Index) MTIndexRange(q *Record, ts []transform.Transform, eps float64, 
 // the index, and verify the candidates (in parallel when opts.Workers >
 // 1). It is called from the serial group loop and from mtRangeParallel;
 // it only reads index state, so any number of rangeGroup calls may run
-// concurrently.
-func (ix *Index) rangeGroup(q *Record, ts []transform.Transform, g []int, eps float64, opts RangeOptions) ([]Match, QueryStats, error) {
+// concurrently. When ctx carries a parent span, the pipeline is recorded
+// as a KindProbe span (one per transformation rectangle, owned by the
+// goroutine running this call) with KindFilter and KindVerify children,
+// and every page this probe touches is attributed to it.
+func (ix *Index) rangeGroup(ctx context.Context, q *Record, ts []transform.Transform, g []int, gi, ngroups int, eps float64, opts RangeOptions) (_ []Match, _ QueryStats, retErr error) {
 	var st QueryStats
+	parent := obs.SpanFromContext(ctx)
+	var probe *obs.Span
+	var qio *storage.QueryIO
+	if parent != nil {
+		probe = parent.Child(obs.KindProbe, fmt.Sprintf("probe %d/%d", gi+1, ngroups))
+		probe.Set(obs.ATransforms, int64(len(g)))
+		qio = &storage.QueryIO{}
+		ctx = storage.WithQueryIO(ctx, qio)
+		defer func() {
+			probe.Set(obs.APagesRead, qio.Reads.Load())
+			probe.Set(obs.ABufferHits, qio.Hits.Load())
+			probe.EndErr(retErr)
+		}()
+	}
 	sub := make([]transform.Transform, len(g))
 	for i, idx := range g {
 		if idx < 0 || idx >= len(ts) {
@@ -179,17 +241,34 @@ func (ix *Index) rangeGroup(q *Record, ts []transform.Transform, g []int, eps fl
 	}
 	st.IndexSearches++
 
-	candidates, err := ix.filter(mult, add, qrect, phaseDims, &st)
+	var fsp *obs.Span
+	if probe != nil {
+		fsp = probe.Child(obs.KindFilter, "filter")
+	}
+	candidates, err := ix.filterCtx(ctx, mult, add, qrect, phaseDims, &st, fsp)
+	fsp.EndErr(err)
 	if err != nil {
 		return nil, st, err
 	}
 	ordered := orderedPrefix(sub, opts.UseOrdering && !opts.OneSided)
+	var vsp *obs.Span
+	if probe != nil {
+		vsp = probe.Child(obs.KindVerify, "verify")
+	}
 	var matches []Match
 	var vst QueryStats
+	var falsePos int
 	if opts.Workers > 1 && len(candidates) > 1 {
-		matches, vst, err = ix.verifyParallel(candidates, sub, g, q, eps, ordered, opts)
+		matches, vst, falsePos, err = ix.verifyParallel(ctx, candidates, sub, g, q, eps, ordered, opts)
 	} else {
-		matches, vst, err = ix.verifySerial(candidates, sub, g, q, eps, ordered, opts)
+		matches, vst, falsePos, err = ix.verifySerial(ctx, candidates, sub, g, q, eps, ordered, opts)
+	}
+	if vsp != nil {
+		vsp.Set(obs.ACandidates, int64(vst.Candidates))
+		vsp.Set(obs.AComparisons, int64(vst.Comparisons))
+		vsp.Set(obs.AMatches, int64(len(matches)))
+		vsp.Set(obs.AFalsePositives, int64(falsePos))
+		vsp.EndErr(err)
 	}
 	st.Add(vst)
 	if err != nil {
@@ -202,10 +281,20 @@ func (ix *Index) rangeGroup(q *Record, ts []transform.Transform, g []int, eps fl
 // returning candidate record ids. phaseDims, when non-nil, selects
 // modulo-2*pi comparison for the marked dimensions (one-sided mode).
 func (ix *Index) filter(mult, add, qrect geom.Rect, phaseDims []bool, st *QueryStats) ([]int64, error) {
+	return ix.filterCtx(nil, mult, add, qrect, phaseDims, st, nil)
+}
+
+// filterCtx is filter with observability: node loads go through
+// rtree.LoadCtx so a storage.QueryIO in ctx sees them, and when sp is
+// non-nil the traversal counters (nodes, leaves, pruned subtrees,
+// candidates) are recorded on it. The caller closes sp.
+func (ix *Index) filterCtx(ctx context.Context, mult, add, qrect geom.Rect, phaseDims []bool, st *QueryStats, sp *obs.Span) ([]int64, error) {
+	da0, dl0 := st.DAAll, st.DALeaf
+	var pruned int64
 	var out []int64
 	var walk func(id storage.PageID) error
 	walk = func(id storage.PageID) error {
-		n, err := ix.tree.Load(id)
+		n, err := ix.tree.LoadCtx(ctx, id)
 		if err != nil {
 			return err
 		}
@@ -217,9 +306,15 @@ func (ix *Index) filter(mult, add, qrect geom.Rect, phaseDims []bool, st *QueryS
 			y := transform.ApplyMBRs(mult, add, e.Rect)
 			if phaseDims != nil {
 				if !intersectsModular(y, qrect, phaseDims) {
+					if !n.Leaf {
+						pruned++
+					}
 					continue
 				}
 			} else if !y.Intersects(qrect) {
+				if !n.Leaf {
+					pruned++
+				}
 				continue
 			}
 			if n.Leaf {
@@ -232,6 +327,12 @@ func (ix *Index) filter(mult, add, qrect geom.Rect, phaseDims []bool, st *QueryS
 	}
 	if err := walk(ix.tree.Root()); err != nil {
 		return nil, err
+	}
+	if sp != nil {
+		sp.Set(obs.ANodes, int64(st.DAAll-da0))
+		sp.Set(obs.ALeaves, int64(st.DALeaf-dl0))
+		sp.Set(obs.APruned, pruned)
+		sp.Set(obs.ACandidates, int64(len(out)))
 	}
 	return out, nil
 }

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tsq/internal/obs"
+	"tsq/internal/series"
+	"tsq/internal/transform"
+)
+
+// pagedFixture builds a paged, buffered index so traced queries exercise
+// the real I/O path: tree-node loads and heap-record fetches both go
+// through the storage manager.
+func pagedFixture(t testing.TB, seed int64, count, n int) (*Dataset, *Index) {
+	t.Helper()
+	opts := DefaultIndexOptions()
+	opts.Paged = true
+	opts.BufferPages = 16
+	ds, ix := buildFixture(t, seed, count, n, opts)
+	return ds, ix
+}
+
+// TestTracedRangeCrossCheck is the accounting contract of the trace: the
+// span attributes of a traced MT-index range query must exactly equal the
+// QueryStats it returns and the storage manager's counter deltas — the
+// EXPLAIN ANALYZE numbers are the real numbers, not estimates.
+func TestTracedRangeCrossCheck(t *testing.T) {
+	ds, ix := pagedFixture(t, 11, 200, 64)
+	ts := transform.MovingAverageSet(64, 3, 14) // 12 transforms
+	eps := series.DistanceForCorrelation(64, 0.9)
+	q := ds.Records[7]
+	opts := RangeOptions{Mode: QRectSafe, Groups: EqualPartition(len(ts), 4)}
+
+	want, wantSt, err := ix.MTIndexRange(q, ts, eps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4} {
+		opts.Workers = workers
+		tr := obs.New()
+		root := tr.Start(obs.KindQuery, "range")
+		ctx := obs.ContextWithSpan(obs.WithTrace(context.Background(), tr), root)
+		before := ix.Manager().Stats()
+		got, st, err := ix.MTIndexRangeCtx(ctx, q, ts, eps, opts)
+		root.End()
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := ix.Manager().Stats()
+
+		if !sameKeys(matchKeySet(got), matchKeySet(want)) {
+			t.Errorf("workers=%d: traced answer diverged from untraced", workers)
+		}
+		if st != wantSt {
+			t.Errorf("workers=%d: stats = %+v, want %+v", workers, st, wantSt)
+		}
+		wantIO := (after.Reads - before.Reads) + (after.Hits - before.Hits)
+		gotIO := tr.Sum(obs.KindProbe, obs.APagesRead) + tr.Sum(obs.KindProbe, obs.ABufferHits)
+		if gotIO != wantIO {
+			t.Errorf("workers=%d: trace attributes %d page fetches, storage counted %d", workers, gotIO, wantIO)
+		}
+		if got, want := tr.Sum(obs.KindFilter, obs.ANodes), int64(st.DAAll); got != want {
+			t.Errorf("workers=%d: trace nodes = %d, stats DAAll = %d", workers, got, want)
+		}
+		if got, want := tr.Sum(obs.KindFilter, obs.ALeaves), int64(st.DALeaf); got != want {
+			t.Errorf("workers=%d: trace leaves = %d, stats DALeaf = %d", workers, got, want)
+		}
+		if got, want := tr.Sum(obs.KindVerify, obs.ACandidates), int64(st.Candidates); got != want {
+			t.Errorf("workers=%d: trace candidates = %d, stats = %d", workers, got, want)
+		}
+		if got, want := tr.Sum(obs.KindVerify, obs.AComparisons), int64(st.Comparisons); got != want {
+			t.Errorf("workers=%d: trace comparisons = %d, stats = %d", workers, got, want)
+		}
+		if gm := tr.Sum(obs.KindVerify, obs.AMatches); gm != int64(len(want)) {
+			t.Errorf("workers=%d: trace matches = %d, want %d", workers, gm, len(want))
+		}
+		// One probe span per non-empty group, each with filter+verify child.
+		if probes := tr.Sum(obs.KindProbe, obs.ATransforms); probes != int64(len(ts)) {
+			t.Errorf("workers=%d: probe transforms sum = %d, want %d", workers, probes, len(ts))
+		}
+	}
+}
+
+// TestTracedNNCrossCheck does the same accounting check for the
+// best-first nearest-neighbor traversal.
+func TestTracedNNCrossCheck(t *testing.T) {
+	ds, ix := pagedFixture(t, 5, 150, 32)
+	ts := transform.MovingAverageSet(32, 2, 6)
+	q := ds.Records[3]
+
+	want, wantSt, err := ix.MTIndexNN(q, ts, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.New()
+	root := tr.Start(obs.KindQuery, "nn")
+	ctx := obs.ContextWithSpan(obs.WithTrace(context.Background(), tr), root)
+	before := ix.Manager().Stats()
+	got, st, err := ix.MTIndexNNCtx(ctx, q, ts, 5, false)
+	root.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := ix.Manager().Stats()
+
+	if len(got) != len(want) || st != wantSt {
+		t.Errorf("traced NN diverged: %d results (want %d), stats %+v (want %+v)", len(got), len(want), st, wantSt)
+	}
+	wantIO := (after.Reads - before.Reads) + (after.Hits - before.Hits)
+	gotIO := tr.Sum(obs.KindProbe, obs.APagesRead) + tr.Sum(obs.KindProbe, obs.ABufferHits)
+	if gotIO != wantIO {
+		t.Errorf("trace attributes %d page fetches, storage counted %d", gotIO, wantIO)
+	}
+	if tr.Sum(obs.KindProbe, obs.ANodes) != int64(st.DAAll) {
+		t.Errorf("trace nodes = %d, stats DAAll = %d", tr.Sum(obs.KindProbe, obs.ANodes), st.DAAll)
+	}
+}
+
+// TestUntracedRangeAddsNoAllocs is the overhead contract on the hot
+// path: evaluating a range query through the Ctx entry point without a
+// trace must allocate exactly as much as the legacy entry point.
+func TestUntracedRangeAddsNoAllocs(t *testing.T) {
+	ds, ix := buildFixture(t, 2, 200, 64, DefaultIndexOptions())
+	ts := transform.MovingAverageSet(64, 3, 10)
+	eps := series.DistanceForCorrelation(64, 0.95)
+	q := ds.Records[0]
+	opts := RangeOptions{Mode: QRectSafe, Groups: EqualPartition(len(ts), 4)}
+	ctx := context.Background()
+
+	plain := testing.AllocsPerRun(20, func() {
+		if _, _, err := ix.MTIndexRange(q, ts, eps, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	withCtx := testing.AllocsPerRun(20, func() {
+		if _, _, err := ix.MTIndexRangeCtx(ctx, q, ts, eps, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if withCtx > plain {
+		t.Errorf("untraced Ctx path allocates %.0f/op, legacy path %.0f/op: instrumentation added %v allocs",
+			withCtx, plain, withCtx-plain)
+	}
+}
+
+// cancelAfter is a context whose Err() starts returning Canceled after a
+// budget of successful polls — a deterministic way to cancel a batch
+// mid-flight: the executor polls Err() exactly once per request, so
+// exactly `budget` requests run regardless of scheduling.
+type cancelAfter struct {
+	context.Context
+	mu     sync.Mutex
+	budget int
+}
+
+func (c *cancelAfter) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.budget <= 0 {
+		return context.Canceled
+	}
+	c.budget--
+	return nil
+}
+
+// TestExecutorCancellationSpans cancels a batch mid-flight and checks the
+// trace accounts for every request: run queries close their spans clean,
+// abandoned queries close theirs with the cancellation error — and the
+// worker pool leaves no goroutines behind.
+func TestExecutorCancellationSpans(t *testing.T) {
+	ds, ix := buildFixture(t, 23, 100, 32, DefaultIndexOptions())
+	ts := transform.MovingAverageSet(32, 3, 8)
+	eps := series.DistanceForCorrelation(32, 0.9)
+	reqs := make([]ExecRequest, 40)
+	for i := range reqs {
+		reqs[i] = ExecRequest{Record: ds.Records[i%len(ds.Records)], Transforms: ts, Eps: eps}
+	}
+	const budget = 10
+	tr := obs.New()
+	ctx := &cancelAfter{Context: obs.WithTrace(context.Background(), tr), budget: budget}
+
+	goroutinesBefore := runtime.NumGoroutine()
+	results := NewExecutor(ix, 4).Run(ctx, reqs)
+
+	var ran, abandoned int
+	for i, res := range results {
+		if res.Err == nil {
+			ran++
+		} else if res.Err == context.Canceled {
+			abandoned++
+		} else {
+			t.Fatalf("req %d: unexpected error %v", i, res.Err)
+		}
+	}
+	if ran != budget || abandoned != len(reqs)-budget {
+		t.Errorf("ran %d / abandoned %d, want %d / %d", ran, abandoned, budget, len(reqs)-budget)
+	}
+
+	spans := tr.Spans()
+	var rootOK, rootErr int
+	for _, sp := range spans {
+		if sp.Kind() != obs.KindQuery {
+			continue
+		}
+		if !sp.Done() {
+			t.Errorf("span %q left open", sp.Label())
+		}
+		if sp.Err() == "" {
+			rootOK++
+		} else if strings.Contains(sp.Err(), "context canceled") {
+			rootErr++
+		} else {
+			t.Errorf("span %q closed with unexpected error %q", sp.Label(), sp.Err())
+		}
+	}
+	if rootOK != budget || rootErr != len(reqs)-budget {
+		t.Errorf("trace shows %d clean / %d cancelled query spans, want %d / %d",
+			rootOK, rootErr, budget, len(reqs)-budget)
+	}
+
+	// The worker pool must drain: poll until the goroutine count returns
+	// to (at most) its pre-Run level.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > goroutinesBefore {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d running, %d before Run", runtime.NumGoroutine(), goroutinesBefore)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// BenchmarkMTIndexRangeUntraced is the production fast path: the Ctx
+// entry point with no trace in the context. Compare allocs/op against
+// BenchmarkMTIndexRangeTraced to see the instrumentation cost.
+func BenchmarkMTIndexRangeUntraced(b *testing.B) {
+	ds, ix := buildFixture(b, 2, 400, 64, DefaultIndexOptions())
+	ts := transform.MovingAverageSet(64, 3, 10)
+	eps := series.DistanceForCorrelation(64, 0.95)
+	q := ds.Records[0]
+	opts := RangeOptions{Mode: QRectSafe, Groups: EqualPartition(len(ts), 4)}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.MTIndexRangeCtx(ctx, q, ts, eps, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMTIndexRangeTraced pays for span bookkeeping and per-probe
+// I/O attribution (a fresh trace per query, as -explain uses it).
+func BenchmarkMTIndexRangeTraced(b *testing.B) {
+	ds, ix := buildFixture(b, 2, 400, 64, DefaultIndexOptions())
+	ts := transform.MovingAverageSet(64, 3, 10)
+	eps := series.DistanceForCorrelation(64, 0.95)
+	q := ds.Records[0]
+	opts := RangeOptions{Mode: QRectSafe, Groups: EqualPartition(len(ts), 4)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := obs.New()
+		root := tr.Start(obs.KindQuery, "bench")
+		ctx := obs.ContextWithSpan(obs.WithTrace(context.Background(), tr), root)
+		if _, _, err := ix.MTIndexRangeCtx(ctx, q, ts, eps, opts); err != nil {
+			b.Fatal(err)
+		}
+		root.End()
+	}
+}

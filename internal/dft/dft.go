@@ -164,4 +164,3 @@ func SymmetryHolds(X []complex128, tol float64) bool {
 	}
 	return true
 }
-

@@ -11,6 +11,7 @@
 package heapfile
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -160,11 +161,19 @@ func (f *File) Append(r *Rec) (int64, error) {
 // Read fetches record rec. Each call costs one page access (plus none
 // for the in-memory directory). A deleted record returns (nil, nil).
 func (f *File) Read(rec int64) (*Rec, error) {
+	return f.ReadCtx(nil, rec)
+}
+
+// ReadCtx is Read with per-query attribution: when ctx carries a
+// storage.QueryIO, the record-page fetch is credited to it — the Eq. 18
+// "retrieve" term becomes observable per query. A nil ctx behaves
+// exactly like Read.
+func (f *File) ReadCtx(ctx context.Context, rec int64) (*Rec, error) {
 	if rec < 0 || rec >= int64(len(f.pages)) {
 		return nil, fmt.Errorf("heapfile: record %d out of range [0, %d)", rec, len(f.pages))
 	}
 	buf := make([]byte, f.mgr.PageSize())
-	if err := f.mgr.Read(f.pages[rec], buf); err != nil {
+	if err := f.mgr.ReadCtx(ctx, f.pages[rec], buf); err != nil {
 		return nil, err
 	}
 	if buf[0] == 'D' {

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram is a fixed-bucket histogram of int64 observations (by
+// convention nanoseconds for latencies). Bucket i counts observations
+// <= bounds[i]; the last bucket is unbounded. Observations are atomic;
+// a snapshot taken during concurrent observation is internally
+// consistent per counter (each bucket/sum/count is individually exact,
+// totals may trail by in-flight observations).
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// NewHistogram returns a histogram with the given ascending upper
+// bounds. An empty bounds slice yields a single unbounded bucket.
+func NewHistogram(bounds []int64) *Histogram {
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			panic("obs: histogram bounds must be ascending")
+		}
+	}
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Nanoseconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// DurationBuckets returns the default latency bounds: 1µs to 10s,
+// decade-spaced with a 1-2-5-style midpoint, in nanoseconds.
+func DurationBuckets() []int64 {
+	return []int64{
+		1e3, 1e4, 1e5, 2.5e5, 1e6, 2.5e6, 1e7, 2.5e7, 1e8, 1e9, 1e10,
+	}
+}
+
+// Registry is a named collection of counters and histograms. Get-or-
+// create registration is mutex-protected; the returned instruments are
+// lock-free. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Default is the process-wide registry the library's always-on query
+// counters register with.
+var Default = NewRegistry()
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bounds on first use (later bounds are ignored).
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h = NewHistogram(bounds)
+	r.hists[name] = h
+	return h
+}
+
+// CounterSnap is one counter in a Snapshot.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramSnap is one histogram in a Snapshot.
+type HistogramSnap struct {
+	Name   string  `json:"name"`
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"` // len(Bounds)+1; last bucket unbounded
+}
+
+// Snapshot is a point-in-time copy of a registry, sorted by name.
+type Snapshot struct {
+	Counters   []CounterSnap   `json:"counters"`
+	Histograms []HistogramSnap `json:"histograms"`
+}
+
+// Snapshot copies the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var snap Snapshot
+	for name, c := range r.counters {
+		snap.Counters = append(snap.Counters, CounterSnap{Name: name, Value: c.Value()})
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnap{
+			Name:   name,
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+			Bounds: append([]int64(nil), h.bounds...),
+			Counts: make([]int64, len(h.counts)),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		snap.Histograms = append(snap.Histograms, hs)
+	}
+	sort.Slice(snap.Counters, func(i, j int) bool { return snap.Counters[i].Name < snap.Counters[j].Name })
+	sort.Slice(snap.Histograms, func(i, j int) bool { return snap.Histograms[i].Name < snap.Histograms[j].Name })
+	return snap
+}

@@ -1,0 +1,326 @@
+// Package obs is the stdlib-only observability layer of the query
+// engine: a metrics registry of atomic counters and fixed-bucket
+// histograms (metrics.go), context-propagated query traces with typed
+// spans carrying the paper's per-phase counters (this file), and
+// exporters — an EXPLAIN ANALYZE-style text tree, JSON snapshots, and an
+// expvar-style HTTP handler (render.go).
+//
+// The tracing side is built around a nil fast path: every method on a
+// nil *Trace or nil *Span is a no-op that performs zero allocations, so
+// instrumented code paths cost nothing when tracing is disabled. Callers
+// that build span labels with fmt.Sprintf guard on the parent being
+// non-nil; everything else can call through unconditionally.
+//
+// A Span belongs to the goroutine that created it: attribute writes and
+// End are not synchronized. Creating child spans from concurrent
+// goroutines is safe (the trace's span list is mutex-protected), which
+// is what the parallel MT-index group probes do — one span per group,
+// each owned by its probing goroutine. Render a trace only after the
+// work producing it has completed.
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Kind types a span by query phase.
+type Kind uint8
+
+const (
+	// KindQuery is a root span covering one whole query.
+	KindQuery Kind = iota
+	// KindPlan covers the cost-based planner (including its probe I/O).
+	KindPlan
+	// KindFeatures covers query featurization: normal form + DFT.
+	KindFeatures
+	// KindProbe covers one transformation rectangle's filter-and-verify
+	// pipeline (an index traversal plus candidate verification).
+	KindProbe
+	// KindFilter covers the R*-tree traversal of one probe.
+	KindFilter
+	// KindFetch covers candidate record retrieval (heap page reads).
+	KindFetch
+	// KindVerify covers exact distance verification of candidates.
+	KindVerify
+	// KindScan covers a sequential scan of the relation.
+	KindScan
+)
+
+// String names the span kind.
+func (k Kind) String() string {
+	switch k {
+	case KindQuery:
+		return "query"
+	case KindPlan:
+		return "plan"
+	case KindFeatures:
+		return "features"
+	case KindProbe:
+		return "probe"
+	case KindFilter:
+		return "filter"
+	case KindFetch:
+		return "fetch"
+	case KindVerify:
+		return "verify"
+	case KindScan:
+		return "scan"
+	default:
+		return "span"
+	}
+}
+
+// Attr is a typed per-span counter. The fixed set keeps spans
+// allocation-free after creation and lets cross-checks sum attributes
+// over a whole trace without string keys.
+type Attr uint8
+
+const (
+	// ANodes counts index nodes visited, all levels (the paper's DA_all).
+	ANodes Attr = iota
+	// ALeaves counts leaf nodes visited (DA_leaf).
+	ALeaves
+	// APruned counts entries rejected without descending (failed MBR
+	// intersection or MINDIST bound).
+	APruned
+	// APagesRead counts backend page reads attributed to the span.
+	APagesRead
+	// ABufferHits counts buffer-pool hits attributed to the span.
+	ABufferHits
+	// ACandidates counts candidate records kept for verification.
+	ACandidates
+	// AComparisons counts full-record distance evaluations.
+	AComparisons
+	// AMatches counts matches produced.
+	AMatches
+	// AFalsePositives counts candidates that produced no match.
+	AFalsePositives
+	// ATransforms counts transformations covered by the span's group.
+	ATransforms
+
+	numAttrs = int(ATransforms) + 1
+)
+
+// String names the attribute as rendered in the span tree.
+func (a Attr) String() string {
+	switch a {
+	case ANodes:
+		return "nodes"
+	case ALeaves:
+		return "leaves"
+	case APruned:
+		return "pruned"
+	case APagesRead:
+		return "pages_read"
+	case ABufferHits:
+		return "buf_hits"
+	case ACandidates:
+		return "candidates"
+	case AComparisons:
+		return "comparisons"
+	case AMatches:
+		return "matches"
+	case AFalsePositives:
+		return "false_pos"
+	case ATransforms:
+		return "transforms"
+	default:
+		return "attr"
+	}
+}
+
+// Trace collects the spans of one (or several) queries. The zero of the
+// pointer type is valid everywhere: a nil *Trace records nothing and
+// allocates nothing.
+type Trace struct {
+	mu    sync.Mutex
+	spans []*Span
+}
+
+// New returns an empty trace.
+func New() *Trace { return &Trace{} }
+
+// Span is one timed phase of a query with typed counters. A nil *Span
+// is valid: every method no-ops.
+type Span struct {
+	trace  *Trace
+	id     int32
+	parent int32 // -1 for a root span
+	kind   Kind
+	label  string
+	start  time.Time
+	dur    time.Duration
+	done   bool
+	errMsg string
+	set    uint32 // bitmask of assigned attrs
+	attrs  [numAttrs]int64
+}
+
+func (t *Trace) newSpan(parent int32, kind Kind, label string) *Span {
+	s := &Span{trace: t, parent: parent, kind: kind, label: label, start: time.Now()}
+	t.mu.Lock()
+	s.id = int32(len(t.spans))
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Start opens a root span. Nil-safe.
+func (t *Trace) Start(kind Kind, label string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.newSpan(-1, kind, label)
+}
+
+// Spans returns a snapshot of the recorded spans in creation order.
+func (t *Trace) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Sum totals attribute a over every span of the given kind — the
+// cross-check API: e.g. Sum(KindProbe, APagesRead) must equal the
+// storage manager's read delta for the traced query.
+func (t *Trace) Sum(kind Kind, a Attr) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var total int64
+	for _, s := range t.spans {
+		if s.kind == kind {
+			total += s.attrs[a]
+		}
+	}
+	return total
+}
+
+// Child opens a sub-span. Nil-safe.
+func (s *Span) Child(kind Kind, label string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.trace.newSpan(s.id, kind, label)
+}
+
+// Set assigns attribute a. Nil-safe.
+func (s *Span) Set(a Attr, v int64) {
+	if s == nil {
+		return
+	}
+	s.attrs[a] = v
+	s.set |= 1 << a
+}
+
+// Add accumulates into attribute a. Nil-safe.
+func (s *Span) Add(a Attr, v int64) {
+	if s == nil {
+		return
+	}
+	s.attrs[a] += v
+	s.set |= 1 << a
+}
+
+// Get returns attribute a (0 when unset or s is nil).
+func (s *Span) Get(a Attr) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.attrs[a]
+}
+
+// End closes the span successfully. Nil-safe; the first End wins.
+func (s *Span) End() { s.EndErr(nil) }
+
+// EndErr closes the span, recording err's message as its error status
+// when non-nil. Nil-safe; the first close wins.
+func (s *Span) EndErr(err error) {
+	if s == nil || s.done {
+		return
+	}
+	s.dur = time.Since(s.start)
+	s.done = true
+	if err != nil {
+		s.errMsg = err.Error()
+	}
+}
+
+// Done reports whether the span was closed.
+func (s *Span) Done() bool { return s != nil && s.done }
+
+// Err returns the span's error status ("" when none).
+func (s *Span) Err() string {
+	if s == nil {
+		return ""
+	}
+	return s.errMsg
+}
+
+// Kind returns the span's kind.
+func (s *Span) Kind() Kind {
+	if s == nil {
+		return KindQuery
+	}
+	return s.kind
+}
+
+// Label returns the span's label.
+func (s *Span) Label() string {
+	if s == nil {
+		return ""
+	}
+	return s.label
+}
+
+// Duration returns the span's wall time (0 until closed).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.dur
+}
+
+// Context propagation. Traces and spans travel in a context.Context;
+// absent keys yield nil, which downstream instrumentation treats as
+// "tracing off".
+
+type traceKey struct{}
+type spanKey struct{}
+
+// WithTrace attaches tr to ctx.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, tr)
+}
+
+// FromContext returns the trace in ctx, or nil.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	tr, _ := ctx.Value(traceKey{}).(*Trace)
+	return tr
+}
+
+// ContextWithSpan attaches sp to ctx as the current parent span.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFromContext returns the current parent span in ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilTraceZeroAlloc is the overhead contract: every instrumentation
+// call on a nil trace/span — the disabled-tracing fast path threaded
+// through the query engine — must allocate nothing.
+func TestNilTraceZeroAlloc(t *testing.T) {
+	var tr *Trace
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		root := tr.Start(KindQuery, "q")
+		child := root.Child(KindProbe, "p")
+		child.Add(ACandidates, 3)
+		child.Set(ANodes, 7)
+		_ = child.Get(ANodes)
+		child.End()
+		root.EndErr(nil)
+		if FromContext(ctx) != nil || SpanFromContext(ctx) != nil {
+			t.Fatal("background context carried a trace")
+		}
+		_ = tr.Sum(KindProbe, ACandidates)
+		_ = tr.Spans()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-trace instrumentation allocates %v times per op, want 0", allocs)
+	}
+}
+
+// TestSpanTreeAndRender builds a small trace and checks structure,
+// attribute sums and the rendered tree.
+func TestSpanTreeAndRender(t *testing.T) {
+	tr := New()
+	root := tr.Start(KindQuery, "range MT-index")
+	feat := root.Child(KindFeatures, "query features")
+	feat.End()
+	probe := root.Child(KindProbe, "probe 1/1")
+	probe.Set(APagesRead, 21)
+	filter := probe.Child(KindFilter, "filter")
+	filter.Set(ANodes, 21)
+	filter.Set(ALeaves, 15)
+	filter.Set(ACandidates, 12)
+	filter.End()
+	verify := probe.Child(KindVerify, "verify")
+	verify.Set(ACandidates, 12)
+	verify.Set(AMatches, 9)
+	verify.Set(AFalsePositives, 3)
+	verify.End()
+	probe.End()
+	root.End()
+
+	if got := tr.Sum(KindProbe, APagesRead); got != 21 {
+		t.Errorf("Sum(probe, pages_read) = %d, want 21", got)
+	}
+	if got := tr.Sum(KindVerify, AMatches); got != 9 {
+		t.Errorf("Sum(verify, matches) = %d, want 9", got)
+	}
+	if len(tr.Spans()) != 5 {
+		t.Fatalf("%d spans, want 5", len(tr.Spans()))
+	}
+
+	text := tr.String()
+	for _, needle := range []string{
+		"range MT-index",
+		"├─ query features",
+		"└─ probe 1/1",
+		"   ├─ filter",
+		"   └─ verify",
+		"pages_read=21",
+		"matches=9 false_pos=3",
+	} {
+		if !strings.Contains(text, needle) {
+			t.Errorf("render missing %q:\n%s", needle, text)
+		}
+	}
+}
+
+// TestSpanErrorStatus checks error close semantics: first close wins,
+// error message is retained, Done reflects closure.
+func TestSpanErrorStatus(t *testing.T) {
+	tr := New()
+	sp := tr.Start(KindQuery, "q")
+	if sp.Done() {
+		t.Error("span done before EndErr")
+	}
+	sp.EndErr(errors.New("context canceled"))
+	if !sp.Done() || sp.Err() != "context canceled" {
+		t.Errorf("done=%v err=%q", sp.Done(), sp.Err())
+	}
+	d := sp.Duration()
+	sp.End() // second close must not clear the error or restart the clock
+	if sp.Err() != "context canceled" || sp.Duration() != d {
+		t.Error("second close mutated the span")
+	}
+	if !strings.Contains(tr.String(), "ERROR: context canceled") {
+		t.Errorf("render missing error status:\n%s", tr.String())
+	}
+}
+
+// TestConcurrentChildSpans creates children from many goroutines — the
+// parallel MT-probe pattern — and checks none are lost (run under -race).
+func TestConcurrentChildSpans(t *testing.T) {
+	tr := New()
+	root := tr.Start(KindQuery, "q")
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := root.Child(KindProbe, "probe")
+			sp.Add(ACandidates, 1)
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := tr.Sum(KindProbe, ACandidates); got != 16 {
+		t.Errorf("Sum = %d, want 16", got)
+	}
+	if len(tr.Spans()) != 17 {
+		t.Errorf("%d spans, want 17", len(tr.Spans()))
+	}
+}
+
+// TestContextPropagation round-trips trace and span through a context.
+func TestContextPropagation(t *testing.T) {
+	tr := New()
+	ctx := WithTrace(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("trace lost in context")
+	}
+	sp := tr.Start(KindQuery, "q")
+	ctx = ContextWithSpan(ctx, sp)
+	if SpanFromContext(ctx) != sp {
+		t.Fatal("span lost in context")
+	}
+	if FromContext(nil) != nil || SpanFromContext(nil) != nil {
+		t.Fatal("nil context must yield nil")
+	}
+}
+
+// TestTraceJSON checks the JSON exporter shape.
+func TestTraceJSON(t *testing.T) {
+	tr := New()
+	root := tr.Start(KindQuery, "q")
+	c := root.Child(KindFilter, "f")
+	c.Set(ANodes, 4)
+	c.End()
+	root.End()
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans []map[string]any
+	if err := json.Unmarshal(data, &spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("%d spans in JSON, want 2", len(spans))
+	}
+	if spans[1]["kind"] != "filter" {
+		t.Errorf("kind = %v", spans[1]["kind"])
+	}
+	attrs := spans[1]["attrs"].(map[string]any)
+	if attrs["nodes"] != float64(4) {
+		t.Errorf("attrs = %v", attrs)
+	}
+}
+
+// TestRegistryCountersAndHistograms exercises get-or-create, concurrent
+// increments, and the snapshot (run under -race).
+func TestRegistryCountersAndHistograms(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency", DurationBuckets())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Counter("queries").Inc()
+				h.ObserveDuration(50 * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("queries").Value(); got != 800 {
+		t.Errorf("counter = %d, want 800", got)
+	}
+	if h.Count() != 800 {
+		t.Errorf("histogram count = %d, want 800", h.Count())
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 1 || snap.Counters[0].Value != 800 {
+		t.Errorf("snapshot counters = %+v", snap.Counters)
+	}
+	if len(snap.Histograms) != 1 || snap.Histograms[0].Count != 800 {
+		t.Errorf("snapshot histograms = %+v", snap.Histograms)
+	}
+	// 50µs lands in the bucket bounded by 100µs (index 2 of the default
+	// bounds: 1µs, 10µs, 100µs, ...).
+	if snap.Histograms[0].Counts[2] != 800 {
+		t.Errorf("bucket counts = %v", snap.Histograms[0].Counts)
+	}
+	// Same name returns the same instrument; different name differs.
+	if r.Histogram("latency", nil) != h {
+		t.Error("histogram get-or-create returned a new instance")
+	}
+}
+
+// TestRegistryHandler serves a snapshot over HTTP in both formats.
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tsq_range_queries_total").Add(3)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Counters) != 1 || snap.Counters[0].Value != 3 {
+		t.Errorf("served snapshot = %+v", snap)
+	}
+
+	resp2, err := srv.Client().Get(srv.URL + "?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	text, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), "tsq_range_queries_total") {
+		t.Errorf("text format = %q", text)
+	}
+}

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Render writes the trace as an EXPLAIN ANALYZE-style tree: one line per
+// span with its wall time and set attributes, children indented under
+// their parent with box-drawing connectors.
+func (t *Trace) Render(w io.Writer) {
+	if t == nil {
+		return
+	}
+	spans := t.Spans()
+	children := make(map[int32][]*Span)
+	var roots []*Span
+	for _, s := range spans {
+		if s.parent < 0 {
+			roots = append(roots, s)
+		} else {
+			children[s.parent] = append(children[s.parent], s)
+		}
+	}
+	var render func(s *Span, prefix, childPrefix string)
+	render = func(s *Span, prefix, childPrefix string) {
+		fmt.Fprintf(w, "%s%s\n", prefix, s.line())
+		kids := children[s.id]
+		for i, c := range kids {
+			connector, indent := "├─ ", "│  "
+			if i == len(kids)-1 {
+				connector, indent = "└─ ", "   "
+			}
+			render(c, childPrefix+connector, childPrefix+indent)
+		}
+	}
+	for _, r := range roots {
+		render(r, "", "")
+	}
+}
+
+// String renders the trace to a string.
+func (t *Trace) String() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// line formats one span: label, duration, attributes, error status.
+func (s *Span) line() string {
+	var b strings.Builder
+	label := s.label
+	if label == "" {
+		label = s.kind.String()
+	}
+	b.WriteString(label)
+	if s.done {
+		fmt.Fprintf(&b, "  (%s)", formatDuration(s.dur))
+	} else {
+		b.WriteString("  (unfinished)")
+	}
+	if s.set != 0 {
+		b.WriteString("  {")
+		first := true
+		for a := 0; a < numAttrs; a++ {
+			if s.set&(1<<a) == 0 {
+				continue
+			}
+			if !first {
+				b.WriteString(" ")
+			}
+			first = false
+			fmt.Fprintf(&b, "%s=%d", Attr(a), s.attrs[a])
+		}
+		b.WriteString("}")
+	}
+	if s.errMsg != "" {
+		fmt.Fprintf(&b, "  ERROR: %s", s.errMsg)
+	}
+	return b.String()
+}
+
+// formatDuration rounds a duration to a readable precision.
+func formatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	default:
+		return d.Round(100 * time.Nanosecond).String()
+	}
+}
+
+// spanJSON is the JSON shape of one span.
+type spanJSON struct {
+	ID       int32            `json:"id"`
+	Parent   int32            `json:"parent"` // -1 for roots
+	Kind     string           `json:"kind"`
+	Label    string           `json:"label,omitempty"`
+	Duration int64            `json:"duration_ns"`
+	Done     bool             `json:"done"`
+	Error    string           `json:"error,omitempty"`
+	Attrs    map[string]int64 `json:"attrs,omitempty"`
+}
+
+// MarshalJSON encodes the trace as a span array.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	if t == nil {
+		return []byte("null"), nil
+	}
+	spans := t.Spans()
+	out := make([]spanJSON, len(spans))
+	for i, s := range spans {
+		sj := spanJSON{
+			ID:       s.id,
+			Parent:   s.parent,
+			Kind:     s.kind.String(),
+			Label:    s.label,
+			Duration: s.dur.Nanoseconds(),
+			Done:     s.done,
+			Error:    s.errMsg,
+		}
+		if s.set != 0 {
+			sj.Attrs = make(map[string]int64)
+			for a := 0; a < numAttrs; a++ {
+				if s.set&(1<<a) != 0 {
+					sj.Attrs[Attr(a).String()] = s.attrs[a]
+				}
+			}
+		}
+		out[i] = sj
+	}
+	return json.Marshal(out)
+}
+
+// WriteText writes the registry snapshot as aligned "name value" lines,
+// histograms as count/sum plus per-bucket cumulative counts.
+func (r *Registry) WriteText(w io.Writer) {
+	snap := r.Snapshot()
+	for _, c := range snap.Counters {
+		fmt.Fprintf(w, "%-40s %d\n", c.Name, c.Value)
+	}
+	for _, h := range snap.Histograms {
+		fmt.Fprintf(w, "%-40s count=%d sum=%d\n", h.Name, h.Count, h.Sum)
+		cum := int64(0)
+		for i, n := range h.Counts {
+			cum += n
+			bound := "+Inf"
+			if i < len(h.Bounds) {
+				bound = time.Duration(h.Bounds[i]).String()
+			}
+			if n > 0 {
+				fmt.Fprintf(w, "%-40s   le=%-8s %d\n", h.Name, bound, cum)
+			}
+		}
+	}
+}
+
+// WriteJSON writes the registry snapshot as JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Handler returns an expvar-style HTTP handler serving the registry
+// snapshot as JSON (text with ?format=text).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			r.WriteText(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+}

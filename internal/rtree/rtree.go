@@ -1,6 +1,7 @@
 package rtree
 
 import (
+	"context"
 	"fmt"
 
 	"tsq/internal/geom"
@@ -108,8 +109,15 @@ func (t *Tree) Capacity() (int, int) { return t.minE, t.maxE }
 // is how the experiments count disk accesses; callers driving their own
 // traversals (ST-index, MT-index) go through Load.
 func (t *Tree) Load(id storage.PageID) (*Node, error) {
+	return t.LoadCtx(nil, id)
+}
+
+// LoadCtx is Load with per-query read attribution: when ctx carries a
+// storage.QueryIO, the page fetch is credited to it. A nil ctx behaves
+// exactly like Load.
+func (t *Tree) LoadCtx(ctx context.Context, id storage.PageID) (*Node, error) {
 	buf := make([]byte, t.mgr.PageSize())
-	if err := t.mgr.Read(id, buf); err != nil {
+	if err := t.mgr.ReadCtx(ctx, id, buf); err != nil {
 		return nil, err
 	}
 	return decodeNode(id, t.dim, buf)

@@ -16,6 +16,11 @@ type SearchStats struct {
 	NodeAccesses int
 	// LeafAccesses counts leaf nodes fetched (the paper's DA_leaf).
 	LeafAccesses int
+	// Pruned counts internal entries not descended into: rejected by the
+	// query-rectangle intersection in Search, or by the MINDIST lower
+	// bound in NearestNeighbors. It measures the filtering power the
+	// paper's disk-access figures come from.
+	Pruned int
 }
 
 // Search returns the record ids of all entries whose rectangles intersect
@@ -56,6 +61,8 @@ func (t *Tree) walk(id storage.PageID, st *SearchStats, visit func(*Node) (bool,
 			if err := t.walk(e.Child, st, visit, emit, descend); err != nil {
 				return err
 			}
+		} else {
+			st.Pruned++
 		}
 	}
 	return nil
@@ -135,6 +142,9 @@ func (t *Tree) NearestNeighbors(p geom.Point, k int) ([]Neighbor, SearchStats, e
 		for _, e := range n.Entries {
 			d := e.Rect.MinDist(p)
 			if (len(out) == k && d > worst()) || d > upper {
+				if !n.Leaf {
+					st.Pruned++
+				}
 				continue
 			}
 			if n.Leaf {

@@ -8,6 +8,7 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -248,15 +249,59 @@ func (m *Manager) Free(id PageID) {
 	m.stats.frees.Add(1)
 }
 
+// QueryIO attributes page traffic to one logical query. A pointer is
+// carried in a context.Context (WithQueryIO) past the R*-tree and heap
+// file down to the manager, which adds every read it serves for that
+// context to the struct as well as to its global counters. Counters are
+// atomic so one QueryIO may be shared by the parallel probes of a
+// single query.
+type QueryIO struct {
+	Reads atomic.Int64 // page reads that reached the backend
+	Hits  atomic.Int64 // reads served by the buffer pool
+}
+
+// Total returns all page fetches attributed so far (reads + hits).
+func (q *QueryIO) Total() int64 { return q.Reads.Load() + q.Hits.Load() }
+
+type queryIOKey struct{}
+
+// WithQueryIO attaches qio to ctx for per-query read attribution.
+func WithQueryIO(ctx context.Context, qio *QueryIO) context.Context {
+	return context.WithValue(ctx, queryIOKey{}, qio)
+}
+
+// QueryIOFrom returns the QueryIO in ctx, or nil. A nil ctx is allowed
+// (hot paths with attribution disabled pass nil rather than building a
+// context).
+func QueryIOFrom(ctx context.Context) *QueryIO {
+	if ctx == nil {
+		return nil
+	}
+	qio, _ := ctx.Value(queryIOKey{}).(*QueryIO)
+	return qio
+}
+
 // Read copies the contents of page id into buf (which must be at least one
 // page long), going through the buffer pool when one is configured.
 func (m *Manager) Read(id PageID, buf []byte) error {
+	return m.ReadCtx(nil, id, buf)
+}
+
+// ReadCtx is Read with per-query attribution: when ctx carries a
+// QueryIO, the fetch is counted there as well as in the global stats.
+// The lookup is one context value access per page read and allocates
+// nothing, so the path is identical to Read when attribution is off.
+func (m *Manager) ReadCtx(ctx context.Context, id PageID, buf []byte) error {
 	if id == NilPage {
 		return errors.New("storage: read of nil page")
 	}
+	qio := QueryIOFrom(ctx)
 	if m.pool != nil {
 		if m.pool.get(id, buf[:m.pageSize]) {
 			m.stats.hits.Add(1)
+			if qio != nil {
+				qio.Hits.Add(1)
+			}
 			return nil
 		}
 	}
@@ -264,6 +309,9 @@ func (m *Manager) Read(id PageID, buf []byte) error {
 		return err
 	}
 	m.stats.reads.Add(1)
+	if qio != nil {
+		qio.Reads.Add(1)
+	}
 	if m.pool != nil {
 		m.pool.put(id, buf[:m.pageSize])
 	}

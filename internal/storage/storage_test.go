@@ -2,9 +2,12 @@ package storage
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"path/filepath"
+	"runtime"
+	"sync"
 	"testing"
 )
 
@@ -368,5 +371,178 @@ func TestManagerConcurrentMixed(t *testing.T) {
 	st := m.Stats()
 	if st.Reads == 0 || st.Writes == 0 || st.Allocs == 0 {
 		t.Errorf("implausible counters after hammering: %+v", st)
+	}
+}
+
+// TestStatsResetRaceSafety hammers Stats and ResetStats from concurrent
+// goroutines while readers are in flight. Under -race this is the
+// regression test that snapshotting and zeroing the counters are safe
+// against the hot read path (all fields are individually atomic).
+func TestStatsResetRaceSafety(t *testing.T) {
+	m := NewManager(Options{PageSize: 128, BufferPages: 4})
+	defer m.Close()
+	ids := make([]PageID, 8)
+	for i := range ids {
+		id, err := m.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		if err := m.Write(id, bytes.Repeat([]byte{byte(i)}, 128)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			qio := &QueryIO{}
+			ctx := WithQueryIO(context.Background(), qio)
+			buf := make([]byte, 128)
+			for i := 0; i < 500; i++ {
+				if err := m.ReadCtx(ctx, ids[(w+i)%len(ids)], buf); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if qio.Total() != 500 {
+				errs <- fmt.Errorf("worker %d: QueryIO attributed %d fetches, want 500", w, qio.Total())
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() { // resetter
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			m.ResetStats()
+			runtime.Gosched()
+		}
+	}()
+	// The snapshotter runs until the readers and the resetter finish; it
+	// waits on its own WaitGroup so stopping it cannot deadlock with wg.
+	var snap sync.WaitGroup
+	snap.Add(1)
+	go func() {
+		defer snap.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				st := m.Stats()
+				if st.Reads < 0 || st.Hits < 0 {
+					errs <- fmt.Errorf("negative counters in snapshot: %+v", st)
+					return
+				}
+				runtime.Gosched() // keep the readers scheduled on small GOMAXPROCS
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	snap.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// TestStatsSnapshotConsistency checks the accounting identity the
+// EXPLAIN ANALYZE cross-check relies on: with no resets in flight,
+// counters only grow, and the sum of every query's attributed I/O
+// (QueryIO) equals the manager's global counter deltas exactly — even
+// when the queries run as a concurrent batch.
+func TestStatsSnapshotConsistency(t *testing.T) {
+	m := NewManager(Options{PageSize: 128, BufferPages: 4})
+	defer m.Close()
+	ids := make([]PageID, 12)
+	for i := range ids {
+		id, err := m.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		if err := m.Write(id, bytes.Repeat([]byte{byte(i)}, 128)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const queries = 8
+	const readsPerQuery = 400
+	before := m.Stats()
+	qios := make([]QueryIO, queries)
+	var wg sync.WaitGroup
+	errs := make(chan error, queries+1)
+	for w := 0; w < queries; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := WithQueryIO(context.Background(), &qios[w])
+			buf := make([]byte, 128)
+			for i := 0; i < readsPerQuery; i++ {
+				if err := m.ReadCtx(ctx, ids[(w*7+i)%len(ids)], buf); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	// Monitor: every snapshot taken mid-batch must be internally
+	// consistent — monotonically non-decreasing, never past the total
+	// the batch will reach.
+	stop := make(chan struct{})
+	var monitor sync.WaitGroup
+	monitor.Add(1)
+	go func() {
+		defer monitor.Done()
+		prev := before
+		for {
+			st := m.Stats()
+			if st.Reads < prev.Reads || st.Hits < prev.Hits || st.Writes < prev.Writes {
+				errs <- fmt.Errorf("counters went backwards: %+v then %+v", prev, st)
+				return
+			}
+			fetched := (st.Reads - before.Reads) + (st.Hits - before.Hits)
+			if fetched > queries*readsPerQuery {
+				errs <- fmt.Errorf("snapshot shows %d fetches, batch only issues %d", fetched, queries*readsPerQuery)
+				return
+			}
+			prev = st
+			select {
+			case <-stop:
+				return
+			default:
+				runtime.Gosched() // keep the batch scheduled on small GOMAXPROCS
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	monitor.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	after := m.Stats()
+	var qReads, qHits int64
+	for i := range qios {
+		qReads += qios[i].Reads.Load()
+		qHits += qios[i].Hits.Load()
+	}
+	if qReads != after.Reads-before.Reads {
+		t.Errorf("queries attribute %d backend reads, manager counted %d", qReads, after.Reads-before.Reads)
+	}
+	if qHits != after.Hits-before.Hits {
+		t.Errorf("queries attribute %d buffer hits, manager counted %d", qHits, after.Hits-before.Hits)
+	}
+	if got := qReads + qHits; got != queries*readsPerQuery {
+		t.Errorf("attributed %d fetches in total, want %d", got, queries*readsPerQuery)
 	}
 }

@@ -31,9 +31,12 @@ package tsq
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"sync"
+	"time"
 
 	"tsq/internal/core"
+	"tsq/internal/obs"
 	"tsq/internal/query"
 	"tsq/internal/series"
 	"tsq/internal/storage"
@@ -64,6 +67,45 @@ type RawMatch = core.RawMatch
 // cost model: disk accesses (all levels and leaf level), candidates,
 // full-record comparisons, and index traversals.
 type Stats = core.QueryStats
+
+// Trace collects the spans of a traced query; see NewTrace. Render with
+// its String method (an EXPLAIN ANALYZE-style tree) or marshal it to
+// JSON.
+type Trace = obs.Trace
+
+// NewTrace returns an empty query trace. Attach it to a context with
+// WithTrace and pass that context to RangeCtx, NearestNeighborsCtx or
+// Batch; every query evaluated under the context records its span tree
+// (per-phase wall time, index-node visits, page I/O, candidate and
+// false-positive counts) into the trace. Tracing is opt-in: without a
+// trace in the context, the query engine's instrumentation is a nil
+// fast path that performs no allocations.
+func NewTrace() *Trace { return obs.New() }
+
+// WithTrace attaches a query trace to ctx.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	return obs.WithTrace(ctx, tr)
+}
+
+// Metrics is the package's default metrics registry: query counters and
+// latency histograms every DB updates. Snapshot it, render it with
+// WriteText/WriteJSON, or serve it with MetricsHandler.
+func Metrics() *obs.Registry { return obs.Default }
+
+// MetricsHandler serves the default metrics registry over HTTP as JSON
+// (append ?format=text for a flat text listing) — an expvar-style
+// endpoint for dashboards and scrapers.
+func MetricsHandler() http.Handler { return obs.Default.Handler() }
+
+// Default-registry instruments, shared by all DBs in the process.
+var (
+	mRangeQueries = obs.Default.Counter("tsq_range_queries_total")
+	mNNQueries    = obs.Default.Counter("tsq_nn_queries_total")
+	mJoinQueries  = obs.Default.Counter("tsq_join_queries_total")
+	mBatchQueries = obs.Default.Counter("tsq_batch_queries_total")
+	mRangeLatency = obs.Default.Histogram("tsq_range_latency_ns", obs.DurationBuckets())
+	mNNLatency    = obs.Default.Histogram("tsq_nn_latency_ns", obs.DurationBuckets())
+)
 
 // Pipeline is a sequence of transformation-set steps applied in order;
 // Flatten rewrites it to a single set by composition.
@@ -339,27 +381,60 @@ func (db *DB) rangeOpts(ts []Transform, opts QueryOptions) core.RangeOptions {
 // with D(t(s), t(q)) within the threshold, distances measured on normal
 // forms.
 func (db *DB) Range(q Series, ts []Transform, thr Threshold, opts QueryOptions) ([]Match, Stats, error) {
+	return db.RangeCtx(nil, q, ts, thr, opts)
+}
+
+// RangeCtx is Range under a context: attach a trace with WithTrace to
+// record the query's span tree (EXPLAIN ANALYZE); without one the query
+// runs the untraced fast path. The context does not cancel the query.
+func (db *DB) RangeCtx(ctx context.Context, q Series, ts []Transform, thr Threshold, opts QueryOptions) ([]Match, Stats, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	qr, err := db.ds.QueryRecord(q)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	return db.rangeRecord(qr, ts, thr, opts)
+	return db.rangeRecord(ctx, qr, ts, thr, opts)
 }
 
 // RangeByID runs Range with a stored series as the query point.
 func (db *DB) RangeByID(id int64, ts []Transform, thr Threshold, opts QueryOptions) ([]Match, Stats, error) {
+	return db.RangeByIDCtx(nil, id, ts, thr, opts)
+}
+
+// RangeByIDCtx is RangeByID under a context; see RangeCtx.
+func (db *DB) RangeByIDCtx(ctx context.Context, id int64, ts []Transform, thr Threshold, opts QueryOptions) ([]Match, Stats, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	r := db.ds.Record(id)
 	if r == nil {
 		return nil, Stats{}, fmt.Errorf("tsq: no series with id %d", id)
 	}
-	return db.rangeRecord(r, ts, thr, opts)
+	return db.rangeRecord(ctx, r, ts, thr, opts)
 }
 
-func (db *DB) rangeRecord(qr *core.Record, ts []Transform, thr Threshold, opts QueryOptions) ([]Match, Stats, error) {
+// rangeRecord opens the root span (when ctx carries a trace), dispatches
+// to the chosen algorithm and records the query metrics.
+func (db *DB) rangeRecord(ctx context.Context, qr *core.Record, ts []Transform, thr Threshold, opts QueryOptions) ([]Match, Stats, error) {
+	start := time.Now()
+	var root *obs.Span
+	if tr := obs.FromContext(ctx); tr != nil {
+		root = tr.Start(obs.KindQuery, fmt.Sprintf("range %s (%d transforms)", opts.Algorithm, len(ts)))
+		ctx = obs.ContextWithSpan(ctx, root)
+	}
+	m, st, err := db.rangeDispatch(ctx, qr, ts, thr, opts)
+	if root != nil {
+		root.Set(obs.AMatches, int64(len(m)))
+		root.Set(obs.ACandidates, int64(st.Candidates))
+		root.Set(obs.ATransforms, int64(len(ts)))
+		root.EndErr(err)
+	}
+	mRangeQueries.Inc()
+	mRangeLatency.ObserveDuration(time.Since(start))
+	return m, st, err
+}
+
+func (db *DB) rangeDispatch(ctx context.Context, qr *core.Record, ts []Transform, thr Threshold, opts QueryOptions) ([]Match, Stats, error) {
 	eps := thr.Epsilon(db.ds.N)
 	if opts.QueryTransform != nil {
 		qr = qr.ApplyTransform(*opts.QueryTransform)
@@ -369,7 +444,7 @@ func (db *DB) rangeRecord(qr *core.Record, ts []Transform, thr Threshold, opts Q
 		if opts.PaperQueryRect {
 			mode = core.QRectPaper
 		}
-		plan, err := db.ix.PlanRange(qr, ts, eps, mode, core.DefaultCostParams())
+		plan, err := db.ix.PlanRangeCtx(ctx, qr, ts, eps, mode, core.DefaultCostParams())
 		if err != nil {
 			return nil, Stats{}, err
 		}
@@ -382,21 +457,17 @@ func (db *DB) rangeRecord(qr *core.Record, ts []Transform, thr Threshold, opts Q
 			opts.Algorithm = MTIndex
 			ro := db.rangeOpts(ts, opts)
 			ro.Groups = plan.Groups
-			return db.ix.MTIndexRange(qr, ts, eps, ro)
+			return db.ix.MTIndexRangeCtx(ctx, qr, ts, eps, ro)
 		}
 	}
 	switch opts.Algorithm {
 	case SeqScan:
-		if opts.Workers > 1 {
-			m, st := core.SeqScanRangeParallel(db.ds, qr, ts, eps, db.rangeOpts(ts, opts), opts.Workers)
-			return m, st, nil
-		}
-		m, st := core.SeqScanRange(db.ds, qr, ts, eps, db.rangeOpts(ts, opts))
+		m, st := core.SeqScanRangeCtx(ctx, db.ds, qr, ts, eps, db.rangeOpts(ts, opts))
 		return m, st, nil
 	case STIndex:
-		return db.ix.STIndexRange(qr, ts, eps, db.rangeOpts(ts, opts))
+		return db.ix.STIndexRangeCtx(ctx, qr, ts, eps, db.rangeOpts(ts, opts))
 	case MTIndex:
-		return db.ix.MTIndexRange(qr, ts, eps, db.rangeOpts(ts, opts))
+		return db.ix.MTIndexRangeCtx(ctx, qr, ts, eps, db.rangeOpts(ts, opts))
 	default:
 		return nil, Stats{}, fmt.Errorf("tsq: unknown algorithm %v", opts.Algorithm)
 	}
@@ -477,6 +548,7 @@ func (db *DB) Batch(ctx context.Context, reqs []BatchRequest, workers int) []Bat
 		idx = append(idx, i)
 	}
 	exec := core.NewExecutor(db.ix, workers)
+	mBatchQueries.Add(int64(len(execReqs)))
 	for j, res := range exec.Run(ctx, execReqs) {
 		results[idx[j]] = BatchResult{Matches: res.Matches, NN: res.NN, Stats: res.Stats, Err: res.Err}
 	}
@@ -488,6 +560,7 @@ func (db *DB) Batch(ctx context.Context, reqs []BatchRequest, workers int) []Bat
 func (db *DB) Join(ts []Transform, thr Threshold, opts QueryOptions) ([]JoinMatch, Stats, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	mJoinQueries.Inc()
 	eps := thr.Epsilon(db.ds.N)
 	switch opts.Algorithm {
 	case SeqScan:
@@ -525,8 +598,15 @@ func (db *DB) ClosestPairs(ts []Transform, k int, alg Algorithm) ([]JoinMatch, S
 // transformed distance to q, with the minimizing transformation for each.
 // Only the Algorithm, OneSided and QueryTransform options apply.
 func (db *DB) NearestNeighbors(q Series, ts []Transform, k int, opts QueryOptions) ([]NNMatch, Stats, error) {
+	return db.NearestNeighborsCtx(nil, q, ts, k, opts)
+}
+
+// NearestNeighborsCtx is NearestNeighbors under a context; attach a
+// trace with WithTrace to record the traversal's span tree.
+func (db *DB) NearestNeighborsCtx(ctx context.Context, q Series, ts []Transform, k int, opts QueryOptions) ([]NNMatch, Stats, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	start := time.Now()
 	qr, err := db.ds.QueryRecord(q)
 	if err != nil {
 		return nil, Stats{}, err
@@ -534,16 +614,33 @@ func (db *DB) NearestNeighbors(q Series, ts []Transform, k int, opts QueryOption
 	if opts.QueryTransform != nil {
 		qr = qr.ApplyTransform(*opts.QueryTransform)
 	}
+	var root *obs.Span
+	if tr := obs.FromContext(ctx); tr != nil {
+		root = tr.Start(obs.KindQuery, fmt.Sprintf("nn %s (k=%d)", opts.Algorithm, k))
+		ctx = obs.ContextWithSpan(ctx, root)
+	}
 	oneSided := opts.OneSided || opts.QueryTransform != nil
+	var m []NNMatch
+	var st Stats
 	switch opts.Algorithm {
 	case SeqScan:
-		m, st := core.SeqScanNN(db.ds, qr, ts, k, oneSided)
-		return m, st, nil
+		m, st = core.SeqScanNNCtx(ctx, db.ds, qr, ts, k, oneSided)
 	case MTIndex, STIndex:
-		return db.ix.MTIndexNN(qr, ts, k, oneSided)
+		m, st, err = db.ix.MTIndexNNCtx(ctx, qr, ts, k, oneSided)
 	default:
-		return nil, Stats{}, fmt.Errorf("tsq: unknown algorithm %v", opts.Algorithm)
+		err = fmt.Errorf("tsq: unknown algorithm %v", opts.Algorithm)
 	}
+	if root != nil {
+		root.Set(obs.AMatches, int64(len(m)))
+		root.Set(obs.ACandidates, int64(st.Candidates))
+		root.EndErr(err)
+	}
+	mNNQueries.Inc()
+	mNNLatency.ObserveDuration(time.Since(start))
+	if err != nil {
+		return nil, st, err
+	}
+	return m, st, nil
 }
 
 // Explain returns the planner's cost comparison for a range query with
