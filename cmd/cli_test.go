@@ -9,6 +9,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -287,5 +289,53 @@ func TestCLIErrors(t *testing.T) {
 	cmd = exec.Command(filepath.Join(bin, "tsinspect"), "/nonexistent.tsq")
 	if err := cmd.Run(); err == nil {
 		t.Error("tsinspect accepted a missing file")
+	}
+}
+
+func TestCLIInspectReport(t *testing.T) {
+	// Acceptance: the -inspect report's tree height and total entry count
+	// match ground truth on a generated Fig. 5-style workload.
+	dir := t.TempDir()
+	data := filepath.Join(dir, "stocks.csv")
+	dbPath := filepath.Join(dir, "stocks.tsq")
+	runTool(t, "tsgen", "-kind", "stocks", "-count", "300", "-length", "128", "-out", data)
+	runTool(t, "tsquery", "-data", data, "-save", dbPath)
+
+	info := runTool(t, "tsquery", "-db", dbPath, "-info")
+	im := regexp.MustCompile(`tree height (\d+)`).FindStringSubmatch(info)
+	if im == nil {
+		t.Fatalf("no tree height in -info output:\n%s", info)
+	}
+	wantHeight := im[1]
+
+	out := runTool(t, "tsquery", "-db", dbPath, "-pipeline", "mv(5..20)", "-per-mbr", "4", "-inspect")
+	hm := regexp.MustCompile(`R\*-tree: height=(\d+) entries=(\d+) nodes=(\d+)`).FindStringSubmatch(out)
+	if hm == nil {
+		t.Fatalf("no R*-tree header in -inspect output:\n%s", out)
+	}
+	if hm[1] != wantHeight {
+		t.Errorf("-inspect height = %s, -info reports %s", hm[1], wantHeight)
+	}
+	entries, _ := strconv.Atoi(hm[2])
+	nodes, _ := strconv.Atoi(hm[3])
+	// Ground truth: one leaf entry per series plus one internal entry per
+	// non-root node.
+	if want := 300 + nodes - 1; entries != want {
+		t.Errorf("-inspect entries = %d with %d nodes, want %d", entries, nodes, want)
+	}
+	for _, needle := range []string{
+		"index health: 300 series of length 128",
+		"leaf occupancy",
+		"heap: 300 records (300 live, 0 deleted)",
+		"storage: reads=",
+		"transformation groups:",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("-inspect output missing %q:\n%s", needle, out)
+		}
+	}
+	// mv(5..20) is 16 transforms in groups of 4.
+	if rows := regexp.MustCompile(`(?m)^\d+ +4 `).FindAllString(out, -1); len(rows) != 4 {
+		t.Errorf("expected 4 groups of size 4 in:\n%s", out)
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"runtime"
 	"runtime/debug"
@@ -126,26 +127,38 @@ type benchFile struct {
 const benchSchemaVersion = 2
 
 // collectMeta captures the run environment. The git revision comes from
-// the build info's VCS stamp; "unknown" when the binary was built
-// without one (go run, test binaries).
+// the build info's VCS stamp, falling back to `git rev-parse HEAD`;
+// "unknown" when neither is available (go run outside a repo, no git
+// binary) — degraded metadata must never fail a benchmark run.
 func collectMeta() benchMeta {
-	meta := benchMeta{
+	return benchMeta{
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		NumCPU:      runtime.NumCPU(),
 		PageSize:    storage.DefaultPageSize,
-		GitRevision: "unknown",
+		GitRevision: gitRevision(),
 	}
+}
+
+// gitRevision resolves the source revision: the build info VCS stamp
+// when the binary was built from a repo, else `git rev-parse HEAD` in
+// the working directory, else "unknown". All failure modes (no build
+// info, no git binary, not a repository) degrade silently.
+func gitRevision() string {
 	if info, ok := debug.ReadBuildInfo(); ok {
 		for _, s := range info.Settings {
-			if s.Key == "vcs.revision" {
-				meta.GitRevision = s.Value
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
 			}
 		}
 	}
-	return meta
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if rev := strings.TrimSpace(string(out)); err == nil && rev != "" {
+		return rev
+	}
+	return "unknown"
 }
 
 // parseWorkers parses "-workers 1,4,16"; empty means the default sweep.

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestGitRevisionDegradesGracefully: with no git binary on PATH (and no
+// VCS stamp in the test binary's build info), gitRevision must fall back
+// to "unknown" rather than erroring — benchmark runs in stripped
+// containers still produce a valid envelope.
+func TestGitRevisionDegradesGracefully(t *testing.T) {
+	t.Setenv("PATH", "")
+	rev := gitRevision()
+	if rev == "" {
+		t.Fatal("gitRevision returned empty, want a hash or \"unknown\"")
+	}
+	// Test binaries carry no vcs.revision stamp and PATH has no git, so
+	// the only valid answer here is the fallback.
+	if rev != "unknown" {
+		t.Fatalf("gitRevision = %q, want \"unknown\" with no git available", rev)
+	}
+	meta := collectMeta()
+	if meta.GitRevision != rev {
+		t.Errorf("collectMeta revision = %q, want %q", meta.GitRevision, rev)
+	}
+}
+
+// TestGitRevisionNotInRepo: with git available but run outside any
+// repository, the rev-parse fallback must degrade to "unknown".
+func TestGitRevisionNotInRepo(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	rev := gitRevision()
+	if rev == "" {
+		t.Fatal("gitRevision returned empty")
+	}
+	if rev != "unknown" {
+		t.Fatalf("gitRevision = %q outside a repo, want \"unknown\"", rev)
+	}
+}

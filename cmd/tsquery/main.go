@@ -17,6 +17,7 @@ import (
 	_ "net/http/pprof" // -debug-addr serves /debug/pprof/
 	"os"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"tsq"
@@ -30,6 +31,19 @@ func main() {
 		os.Exit(1)
 	}
 }
+
+// debugState is what the late-bound /index endpoint needs: the open
+// database and the transformation groups the current invocation
+// queries with.
+type debugState struct {
+	db     *tsq.DB
+	ts     []tsq.Transform
+	groups [][]int
+}
+
+// setDebugState publishes the opened DB to the debug server; nil when
+// -debug-addr is not in use.
+var setDebugState func(db *tsq.DB, ts []tsq.Transform, groups [][]int)
 
 func run() error {
 	var (
@@ -53,17 +67,37 @@ func run() error {
 		info      = flag.Bool("info", false, "print database shape information and exit")
 		explain   = flag.Bool("explain", false, "print the planner's cost comparison and an EXPLAIN ANALYZE of all three algorithms instead of running the query")
 		trace     = flag.Bool("trace", false, "print the query's span tree after running it")
-		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this address while the command runs")
+		inspect   = flag.Bool("inspect", false, "print the index health report (R*-tree occupancy/overlap, heap utilization, transformation groups) and exit")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /index, /queries, /rates and /debug/pprof/ on this address while the command runs")
 	)
 	flag.Parse()
 	if *debugAddr != "" {
+		// The DB and pipeline are resolved after flag handling; the
+		// /index handler late-binds through this pointer (503 until set).
+		var dbgState atomic.Pointer[debugState]
+		setDebugState = func(db *tsq.DB, ts []tsq.Transform, groups [][]int) {
+			dbgState.Store(&debugState{db: db, ts: ts, groups: groups})
+		}
+		tsq.EnableFlightRecorder(tsq.RecorderOptions{})
+		tsq.StartSampler(tsq.SamplerOptions{})
+		defer tsq.StopSampler()
 		http.Handle("/metrics", tsq.MetricsHandler())
+		http.Handle("/queries", tsq.QueriesHandler())
+		http.Handle("/rates", tsq.RatesHandler())
+		http.HandleFunc("/index", func(w http.ResponseWriter, req *http.Request) {
+			st := dbgState.Load()
+			if st == nil {
+				http.Error(w, "database not open yet", http.StatusServiceUnavailable)
+				return
+			}
+			tsq.IndexHandler(st.db, st.ts, st.groups).ServeHTTP(w, req)
+		})
 		go func() {
 			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "tsquery: debug server: %v\n", err)
 			}
 		}()
-		fmt.Printf("debug server on http://%s (/metrics, /debug/pprof/)\n", *debugAddr)
+		fmt.Printf("debug server on http://%s (/metrics, /index, /queries, /rates, /debug/pprof/)\n", *debugAddr)
 	}
 	var db *tsq.DB
 	var names []string
@@ -149,6 +183,19 @@ func run() error {
 		opts.Algorithm = tsq.SeqScan
 	default:
 		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+
+	groups := db.QueryGroups(ts, opts)
+	if setDebugState != nil {
+		setDebugState(db, ts, groups)
+	}
+	if *inspect {
+		hr, err := db.IndexHealth(context.Background(), ts, groups)
+		if err != nil {
+			return err
+		}
+		fmt.Print(hr.String())
+		return nil
 	}
 
 	if *explain {

@@ -216,6 +216,7 @@ func (ix *Index) rangeGroup(ctx context.Context, q *Record, ts []transform.Trans
 	if parent != nil {
 		probe = parent.Child(obs.KindProbe, fmt.Sprintf("probe %d/%d", gi+1, ngroups))
 		probe.Set(obs.ATransforms, int64(len(g)))
+		probe.Set(obs.AGroupIndex, int64(gi))
 		qio = &storage.QueryIO{}
 		ctx = storage.WithQueryIO(ctx, qio)
 		defer func() {
@@ -269,6 +270,10 @@ func (ix *Index) rangeGroup(ctx context.Context, q *Record, ts []transform.Trans
 		vsp.Set(obs.AMatches, int64(len(matches)))
 		vsp.Set(obs.AFalsePositives, int64(falsePos))
 		vsp.EndErr(err)
+		// Rolled up on the probe so per-group health folds read one span.
+		probe.Set(obs.ACandidates, int64(vst.Candidates))
+		probe.Set(obs.AMatches, int64(len(matches)))
+		probe.Set(obs.AFalsePositives, int64(falsePos))
 	}
 	st.Add(vst)
 	if err != nil {

@@ -1,0 +1,73 @@
+package heapfile
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tsq/internal/storage"
+)
+
+// TestComputeHealth checks liveness tallies and space accounting
+// against a heap with known appends and deletions.
+func TestComputeHealth(t *testing.T) {
+	mgr := storage.NewManager(storage.Options{PageSize: 4096})
+	f, err := Create(mgr, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	const n = 50
+	var wantBytes int64
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("s%02d", i)
+		if _, err := f.Append(randRec(rng, 64, name)); err != nil {
+			t.Fatal(err)
+		}
+		wantBytes += int64(recSize(64, len(name)))
+	}
+	for _, rec := range []int64{3, 17, 41} {
+		name := fmt.Sprintf("s%02d", rec)
+		if err := f.Delete(rec); err != nil {
+			t.Fatal(err)
+		}
+		wantBytes -= int64(recSize(64, len(name)))
+	}
+
+	h, err := f.ComputeHealth(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Records != n || h.Live != n-3 || h.Deleted != 3 {
+		t.Errorf("liveness = %+v, want records=%d live=%d deleted=3", h, n, n-3)
+	}
+	if h.RecordPages != n || h.DirectoryPages != len(f.dirPages) {
+		t.Errorf("pages = %+v", h)
+	}
+	if h.BytesUsed != wantBytes {
+		t.Errorf("bytes used = %d, want %d", h.BytesUsed, wantBytes)
+	}
+	if h.BytesAllocated != int64(n)*4096 {
+		t.Errorf("bytes allocated = %d", h.BytesAllocated)
+	}
+	want := float64(wantBytes) / float64(int64(n)*4096)
+	if h.Utilization != want {
+		t.Errorf("utilization = %v, want %v", h.Utilization, want)
+	}
+}
+
+// TestComputeHealthEmpty checks the fresh heap.
+func TestComputeHealthEmpty(t *testing.T) {
+	mgr := storage.NewManager(storage.Options{PageSize: 1024})
+	f, err := Create(mgr, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := f.ComputeHealth(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Records != 0 || h.Live != 0 || h.Utilization != 0 || h.DirectoryPages != 1 {
+		t.Errorf("empty heap health = %+v", h)
+	}
+}

@@ -65,6 +65,64 @@ func (h *Histogram) Count() int64 { return h.n.Load() }
 // Sum returns the sum of all observations.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
 
+// Quantile estimates the q-quantile (0 < q <= 1) of the observations by
+// linear interpolation within the bucket the target rank falls into —
+// the same estimate Prometheus's histogram_quantile computes. The first
+// bucket interpolates from zero; ranks landing in the unbounded last
+// bucket return the highest bound (the estimate cannot exceed what the
+// buckets resolve). An empty histogram returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return quantileFromBuckets(h.bounds, counts, q)
+}
+
+// quantileFromBuckets is the shared quantile estimator over one set of
+// per-bucket (non-cumulative) counts; the sampler reuses it on windowed
+// bucket deltas.
+func quantileFromBuckets(bounds []int64, counts []int64, q float64) float64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next < target {
+			cum = next
+			continue
+		}
+		if i >= len(bounds) {
+			// Unbounded last bucket: the bucket layout resolves nothing
+			// beyond its highest bound.
+			if len(bounds) == 0 {
+				return 0
+			}
+			return float64(bounds[len(bounds)-1])
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = float64(bounds[i-1])
+		}
+		hi := float64(bounds[i])
+		return lo + (hi-lo)*(target-cum)/float64(c)
+	}
+	// Unreachable with total > 0; keep the compiler satisfied.
+	return 0
+}
+
 // DurationBuckets returns the default latency bounds: 1µs to 10s,
 // decade-spaced with a 1-2-5-style midpoint, in nanoseconds.
 func DurationBuckets() []int64 {
@@ -79,6 +137,7 @@ func DurationBuckets() []int64 {
 type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
+	funcs    map[string]func() int64
 	hists    map[string]*Histogram
 }
 
@@ -86,6 +145,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
+		funcs:    make(map[string]func() int64),
 		hists:    make(map[string]*Histogram),
 	}
 }
@@ -113,6 +173,25 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
+// CounterFunc registers a function-backed counter: fn is sampled at
+// snapshot time and its value appears alongside regular counters. Use
+// it to mirror counters maintained elsewhere (e.g. the storage
+// manager's atomic I/O totals) into the registry so window samplers
+// can rate them. The value must be monotonically non-decreasing for
+// rate derivation to make sense. The first registration of a name
+// wins; a name already taken by a regular counter is left alone.
+func (r *Registry) CounterFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.counters[name]; ok {
+		return
+	}
+	if _, ok := r.funcs[name]; ok {
+		return
+	}
+	r.funcs[name] = fn
+}
+
 // Histogram returns the histogram registered under name, creating it
 // with the given bounds on first use (later bounds are ignored).
 func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
@@ -138,13 +217,19 @@ type CounterSnap struct {
 	Value int64  `json:"value"`
 }
 
-// HistogramSnap is one histogram in a Snapshot.
+// HistogramSnap is one histogram in a Snapshot. P50/P95/P99 are
+// bucket-interpolated quantile estimates over the whole recorded
+// history (see Histogram.Quantile); windowed quantiles come from the
+// Sampler.
 type HistogramSnap struct {
 	Name   string  `json:"name"`
 	Count  int64   `json:"count"`
 	Sum    int64   `json:"sum"`
 	Bounds []int64 `json:"bounds"`
 	Counts []int64 `json:"counts"` // len(Bounds)+1; last bucket unbounded
+	P50    float64 `json:"p50"`
+	P95    float64 `json:"p95"`
+	P99    float64 `json:"p99"`
 }
 
 // Snapshot is a point-in-time copy of a registry, sorted by name.
@@ -161,6 +246,9 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, c := range r.counters {
 		snap.Counters = append(snap.Counters, CounterSnap{Name: name, Value: c.Value()})
 	}
+	for name, fn := range r.funcs {
+		snap.Counters = append(snap.Counters, CounterSnap{Name: name, Value: fn()})
+	}
 	for name, h := range r.hists {
 		hs := HistogramSnap{
 			Name:   name,
@@ -172,6 +260,9 @@ func (r *Registry) Snapshot() Snapshot {
 		for i := range h.counts {
 			hs.Counts[i] = h.counts[i].Load()
 		}
+		hs.P50 = quantileFromBuckets(hs.Bounds, hs.Counts, 0.50)
+		hs.P95 = quantileFromBuckets(hs.Bounds, hs.Counts, 0.95)
+		hs.P99 = quantileFromBuckets(hs.Bounds, hs.Counts, 0.99)
 		snap.Histograms = append(snap.Histograms, hs)
 	}
 	sort.Slice(snap.Counters, func(i, j int) bool { return snap.Counters[i].Name < snap.Counters[j].Name })

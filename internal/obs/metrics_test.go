@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestHistogramQuantile checks the bucket-interpolated estimator on a
+// known distribution: uniform counts across bounded buckets place the
+// quantiles by exact linear interpolation.
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]int64{100, 200, 300})
+	// 100 observations per bounded bucket: (0,100], (100,200], (200,300].
+	for i := 0; i < 100; i++ {
+		h.Observe(50)
+		h.Observe(150)
+		h.Observe(250)
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.50, 150}, // rank 150 → middle of bucket (100,200]
+		{0.25, 75},  // rank 75 → 3/4 into bucket (0,100]
+		{0.95, 285}, // rank 285 → 85/100 into bucket (200,300]
+		{1.00, 300},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+// TestHistogramQuantileEdges covers the empty histogram, out-of-range q,
+// and ranks that land in the unbounded last bucket.
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := NewHistogram([]int64{100})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram Quantile = %v, want 0", got)
+	}
+	h.Observe(50)
+	h.Observe(500) // overflow bucket
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %v, want 0", got)
+	}
+	// Rank 2 lands in the unbounded bucket: clamp to the highest bound.
+	if got := h.Quantile(0.99); got != 100 {
+		t.Errorf("overflow-bucket Quantile = %v, want 100 (highest bound)", got)
+	}
+	// q > 1 clamps to 1.
+	if got := h.Quantile(2); got != 100 {
+		t.Errorf("Quantile(2) = %v, want 100", got)
+	}
+	// A histogram with no bounds has a single unbounded bucket and
+	// resolves nothing.
+	h2 := NewHistogram(nil)
+	h2.Observe(7)
+	if got := h2.Quantile(0.5); got != 0 {
+		t.Errorf("boundless Quantile = %v, want 0", got)
+	}
+}
+
+// TestSnapshotQuantiles checks that Snapshot carries p50/p95/p99 and that
+// the text rendering includes them.
+func TestSnapshotQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("tsq_range_latency_ns", []int64{1000, 2000})
+	for i := 0; i < 10; i++ {
+		h.Observe(500)
+	}
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("%d histograms, want 1", len(snap.Histograms))
+	}
+	hs := snap.Histograms[0]
+	if hs.P50 != 500 || hs.P95 != 950 || hs.P99 != 990 {
+		t.Errorf("quantiles = p50=%v p95=%v p99=%v, want 500/950/990", hs.P50, hs.P95, hs.P99)
+	}
+	var b strings.Builder
+	r.WriteText(&b)
+	if !strings.Contains(b.String(), "p50=") || !strings.Contains(b.String(), "p99=") {
+		t.Errorf("text output missing quantiles:\n%s", b.String())
+	}
+}
+
+// TestCounterFunc registers function-backed counters and checks sampling
+// at snapshot time, name precedence, and first-registration-wins.
+func TestCounterFunc(t *testing.T) {
+	r := NewRegistry()
+	v := int64(41)
+	r.CounterFunc("tsq_pages_read_total", func() int64 { return v })
+	v = 42
+	snap := r.Snapshot()
+	if len(snap.Counters) != 1 || snap.Counters[0].Value != 42 {
+		t.Fatalf("snapshot counters = %+v, want one sampled at 42", snap.Counters)
+	}
+	// Second registration under the same name is ignored.
+	r.CounterFunc("tsq_pages_read_total", func() int64 { return -1 })
+	if got := r.Snapshot().Counters[0].Value; got != 42 {
+		t.Errorf("second CounterFunc overrode the first: %d", got)
+	}
+	// A regular counter under the same name takes precedence.
+	r.Counter("dup").Add(7)
+	r.CounterFunc("dup", func() int64 { return -1 })
+	for _, c := range r.Snapshot().Counters {
+		if c.Name == "dup" && c.Value != 7 {
+			t.Errorf("func-backed counter shadowed regular counter: %d", c.Value)
+		}
+	}
+}

@@ -99,8 +99,13 @@ const (
 	AFalsePositives
 	// ATransforms counts transformations covered by the span's group.
 	ATransforms
+	// AGroupIndex is the MT-index transformation-group ordinal a probe
+	// span belongs to (not a counter — set once, used to attribute the
+	// probe's candidate/false-positive counts to its group in index
+	// health reports).
+	AGroupIndex
 
-	numAttrs = int(ATransforms) + 1
+	numAttrs = int(AGroupIndex) + 1
 )
 
 // String names the attribute as rendered in the span tree.
@@ -126,6 +131,8 @@ func (a Attr) String() string {
 		return "false_pos"
 	case ATransforms:
 		return "transforms"
+	case AGroupIndex:
+		return "group"
 	default:
 		return "attr"
 	}
@@ -237,6 +244,12 @@ func (s *Span) Get(a Attr) int64 {
 		return 0
 	}
 	return s.attrs[a]
+}
+
+// Has reports whether attribute a was assigned on s. It distinguishes
+// an explicit zero (e.g. group ordinal 0) from never-set.
+func (s *Span) Has(a Attr) bool {
+	return s != nil && s.set&(1<<a) != 0
 }
 
 // End closes the span successfully. Nil-safe; the first End wins.

@@ -149,7 +149,11 @@ func (r *Registry) WriteText(w io.Writer) {
 		fmt.Fprintf(w, "%-40s %d\n", c.Name, c.Value)
 	}
 	for _, h := range snap.Histograms {
-		fmt.Fprintf(w, "%-40s count=%d sum=%d\n", h.Name, h.Count, h.Sum)
+		fmt.Fprintf(w, "%-40s count=%d sum=%d p50=%s p95=%s p99=%s\n",
+			h.Name, h.Count, h.Sum,
+			time.Duration(h.P50).Round(time.Microsecond),
+			time.Duration(h.P95).Round(time.Microsecond),
+			time.Duration(h.P99).Round(time.Microsecond))
 		cum := int64(0)
 		for i, n := range h.Counts {
 			cum += n

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SamplerOptions configures a Sampler. Zero values pick defaults.
+type SamplerOptions struct {
+	// Interval between registry snapshots (default 1s).
+	Interval time.Duration
+	// Window is the number of snapshots retained (default 300 — five
+	// minutes at the default interval).
+	Window int
+}
+
+func (o SamplerOptions) withDefaults() SamplerOptions {
+	if o.Interval <= 0 {
+		o.Interval = time.Second
+	}
+	if o.Window <= 0 {
+		o.Window = 300
+	}
+	return o
+}
+
+// timedSnap is one registry snapshot with its capture time.
+type timedSnap struct {
+	at   time.Time
+	snap Snapshot
+}
+
+// Sampler periodically snapshots a Registry into a fixed ring and
+// derives windowed rates from snapshot deltas: QPS from counter deltas,
+// latency quantiles from histogram bucket deltas, ratios (e.g. buffer
+// hits / page reads) left to the caller from the per-counter rates. The
+// sampling goroutine runs only between Start and Stop; a stopped or
+// never-started Sampler still answers Rates from whatever it holds.
+// The query hot path never touches the Sampler — it reads the same
+// lock-free instruments the registry already exposes — so enabling it
+// adds no per-query allocations or contention.
+type Sampler struct {
+	reg  *Registry
+	opts SamplerOptions
+
+	mu   sync.Mutex
+	ring []timedSnap // oldest first, len <= opts.Window
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewSampler returns a Sampler over reg. Call Start to begin sampling.
+func NewSampler(reg *Registry, opts SamplerOptions) *Sampler {
+	return &Sampler{reg: reg, opts: opts.withDefaults()}
+}
+
+// Start launches the background sampling goroutine. Starting a running
+// sampler is a no-op.
+func (s *Sampler) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stop != nil {
+		return
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	s.record(time.Now()) // immediate baseline snapshot
+	go s.run(s.stop, s.done)
+}
+
+// Stop halts sampling and waits for the goroutine to exit. Retained
+// snapshots stay queryable. Stopping a stopped sampler is a no-op.
+func (s *Sampler) Stop() {
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+func (s *Sampler) run(stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(s.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-t.C:
+			s.mu.Lock()
+			s.record(now)
+			s.mu.Unlock()
+		}
+	}
+}
+
+// record appends a snapshot to the ring. Caller holds mu.
+func (s *Sampler) record(now time.Time) {
+	s.ring = append(s.ring, timedSnap{at: now, snap: s.reg.Snapshot()})
+	if len(s.ring) > s.opts.Window {
+		s.ring = s.ring[len(s.ring)-s.opts.Window:]
+	}
+}
+
+// Sample takes one snapshot immediately, outside the ticker schedule.
+// Useful in tests and for on-demand refresh before Rates.
+func (s *Sampler) Sample() {
+	s.mu.Lock()
+	s.record(time.Now())
+	s.mu.Unlock()
+}
+
+// RateStat is one counter's movement over a window.
+type RateStat struct {
+	Delta  int64   `json:"delta"`
+	PerSec float64 `json:"per_sec"`
+}
+
+// WindowHistogram is one histogram's movement over a window: the
+// observation rate and quantiles estimated from bucket deltas — i.e.
+// the latency distribution of only the queries inside the window.
+type WindowHistogram struct {
+	Count  int64   `json:"count"`
+	PerSec float64 `json:"per_sec"`
+	P50    float64 `json:"p50"`
+	P95    float64 `json:"p95"`
+	P99    float64 `json:"p99"`
+}
+
+// WindowStats is the derived view over one sliding window.
+type WindowStats struct {
+	Window     string                     `json:"window"` // requested span, e.g. "1m0s"
+	Seconds    float64                    `json:"seconds"`
+	Samples    int                        `json:"samples"` // snapshots spanned
+	Counters   map[string]RateStat        `json:"counters"`
+	Histograms map[string]WindowHistogram `json:"histograms"`
+}
+
+// Rates derives per-window statistics for each requested span. A window
+// spanning fewer than two snapshots yields zeroed stats (Samples
+// reports how many it had). The newest snapshot is the window's end;
+// the baseline is the oldest retained snapshot within the span.
+func (s *Sampler) Rates(windows ...time.Duration) []WindowStats {
+	s.mu.Lock()
+	ring := make([]timedSnap, len(s.ring))
+	copy(ring, s.ring)
+	s.mu.Unlock()
+
+	out := make([]WindowStats, 0, len(windows))
+	for _, w := range windows {
+		out = append(out, deriveWindow(ring, w))
+	}
+	return out
+}
+
+func deriveWindow(ring []timedSnap, window time.Duration) WindowStats {
+	ws := WindowStats{
+		Window:     window.String(),
+		Counters:   map[string]RateStat{},
+		Histograms: map[string]WindowHistogram{},
+	}
+	if len(ring) == 0 {
+		return ws
+	}
+	newest := ring[len(ring)-1]
+	cutoff := newest.at.Add(-window)
+	// Oldest snapshot not older than the cutoff is the baseline.
+	i := sort.Search(len(ring), func(i int) bool { return !ring[i].at.Before(cutoff) })
+	ws.Samples = len(ring) - i
+	if ws.Samples < 2 {
+		return ws
+	}
+	base := ring[i]
+	ws.Seconds = newest.at.Sub(base.at).Seconds()
+	if ws.Seconds <= 0 {
+		return ws
+	}
+
+	baseCounters := make(map[string]int64, len(base.snap.Counters))
+	for _, c := range base.snap.Counters {
+		baseCounters[c.Name] = c.Value
+	}
+	for _, c := range newest.snap.Counters {
+		d := c.Value - baseCounters[c.Name] // absent in base → counted from 0
+		ws.Counters[c.Name] = RateStat{Delta: d, PerSec: float64(d) / ws.Seconds}
+	}
+
+	baseHists := make(map[string]HistogramSnap, len(base.snap.Histograms))
+	for _, h := range base.snap.Histograms {
+		baseHists[h.Name] = h
+	}
+	for _, h := range newest.snap.Histograms {
+		wh := WindowHistogram{}
+		deltas := append([]int64(nil), h.Counts...)
+		if bh, ok := baseHists[h.Name]; ok && len(bh.Counts) == len(deltas) {
+			for i := range deltas {
+				deltas[i] -= bh.Counts[i]
+			}
+		}
+		for _, d := range deltas {
+			wh.Count += d
+		}
+		wh.PerSec = float64(wh.Count) / ws.Seconds
+		wh.P50 = quantileFromBuckets(h.Bounds, deltas, 0.50)
+		wh.P95 = quantileFromBuckets(h.Bounds, deltas, 0.95)
+		wh.P99 = quantileFromBuckets(h.Bounds, deltas, 0.99)
+		ws.Histograms[h.Name] = wh
+	}
+	return ws
+}
+
+// Handler serves windowed stats as JSON for the given spans.
+func (s *Sampler) Handler(windows ...time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.Rates(windows...))
+	})
+}

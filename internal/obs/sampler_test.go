@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSamplerWindowedRates drives the derivation directly through the
+// ring (no wall-clock sleeps): two synthetic snapshots a known span
+// apart must yield exact deltas, rates, and windowed quantiles.
+func TestSamplerWindowedRates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("tsq_range_queries_total")
+	h := r.Histogram("tsq_range_latency_ns", []int64{1000, 2000, 4000})
+
+	s := NewSampler(r, SamplerOptions{Window: 10})
+	base := time.Now()
+	c.Add(100)
+	for i := 0; i < 100; i++ {
+		h.Observe(500) // first bucket
+	}
+	s.mu.Lock()
+	s.ring = append(s.ring, timedSnap{at: base, snap: r.Snapshot()})
+	s.mu.Unlock()
+
+	// Ten seconds later: 50 more queries, all in the (2000,4000] bucket.
+	c.Add(50)
+	for i := 0; i < 50; i++ {
+		h.Observe(3000)
+	}
+	s.mu.Lock()
+	s.ring = append(s.ring, timedSnap{at: base.Add(10 * time.Second), snap: r.Snapshot()})
+	s.mu.Unlock()
+
+	stats := s.Rates(time.Minute)
+	if len(stats) != 1 {
+		t.Fatalf("%d windows, want 1", len(stats))
+	}
+	ws := stats[0]
+	if ws.Samples != 2 || ws.Seconds != 10 {
+		t.Fatalf("samples=%d seconds=%v, want 2/10", ws.Samples, ws.Seconds)
+	}
+	cr := ws.Counters["tsq_range_queries_total"]
+	if cr.Delta != 50 || cr.PerSec != 5 {
+		t.Errorf("counter rate = %+v, want delta=50 per_sec=5", cr)
+	}
+	wh := ws.Histograms["tsq_range_latency_ns"]
+	if wh.Count != 50 || wh.PerSec != 5 {
+		t.Errorf("histogram window = %+v, want count=50 per_sec=5", wh)
+	}
+	// All 50 windowed observations sit in (2000,4000]: the cumulative
+	// history would put p50 in the first bucket, but the window must not.
+	if wh.P50 != 3000 {
+		t.Errorf("windowed p50 = %v, want 3000", wh.P50)
+	}
+	if wh.P99 <= 2000 || wh.P99 > 4000 {
+		t.Errorf("windowed p99 = %v, want in (2000,4000]", wh.P99)
+	}
+}
+
+// TestSamplerWindowSelection checks that a short window picks a later
+// baseline than a long one, and that a window with one snapshot zeroes.
+func TestSamplerWindowSelection(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("q")
+	s := NewSampler(r, SamplerOptions{Window: 10})
+	base := time.Now()
+	for i := 0; i < 4; i++ {
+		c.Add(10)
+		s.mu.Lock()
+		s.ring = append(s.ring, timedSnap{at: base.Add(time.Duration(i) * time.Minute), snap: r.Snapshot()})
+		s.mu.Unlock()
+	}
+	stats := s.Rates(time.Minute, time.Hour, time.Second)
+	if d := stats[0].Counters["q"].Delta; d != 10 {
+		t.Errorf("1m delta = %d, want 10 (last two snapshots)", d)
+	}
+	if d := stats[1].Counters["q"].Delta; d != 30 {
+		t.Errorf("1h delta = %d, want 30 (full ring)", d)
+	}
+	if stats[2].Samples >= 2 || len(stats[2].Counters) != 0 {
+		t.Errorf("1s window = %+v, want zeroed", stats[2])
+	}
+}
+
+// TestSamplerRingEviction checks the ring honors its capacity.
+func TestSamplerRingEviction(t *testing.T) {
+	r := NewRegistry()
+	s := NewSampler(r, SamplerOptions{Window: 3})
+	for i := 0; i < 10; i++ {
+		s.Sample()
+	}
+	s.mu.Lock()
+	n := len(s.ring)
+	s.mu.Unlock()
+	if n != 3 {
+		t.Errorf("ring holds %d snapshots, want 3", n)
+	}
+}
+
+// TestSamplerStartStop exercises the background goroutine lifecycle:
+// Start samples a baseline immediately, Stop blocks until the goroutine
+// exits, and both are idempotent (run under -race).
+func TestSamplerStartStop(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("q").Add(5)
+	s := NewSampler(r, SamplerOptions{Interval: time.Millisecond, Window: 100})
+	s.Start()
+	s.Start() // no-op
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s.mu.Lock()
+		n := len(s.ring)
+		s.mu.Unlock()
+		if n >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sampler took only %d snapshots in 2s", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	s.Stop() // no-op
+	s.mu.Lock()
+	n := len(s.ring)
+	s.mu.Unlock()
+	time.Sleep(5 * time.Millisecond)
+	s.mu.Lock()
+	after := len(s.ring)
+	s.mu.Unlock()
+	if after != n {
+		t.Errorf("sampler kept sampling after Stop: %d -> %d", n, after)
+	}
+	// Restart works.
+	s.Start()
+	s.Stop()
+}

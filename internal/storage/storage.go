@@ -175,6 +175,25 @@ type managerStats struct {
 	hits   atomic.Int64
 }
 
+// global tallies the same operations across every Manager in the
+// process. Unlike per-manager stats it is never reset by ResetStats, so
+// it stays monotonic — the property registry samplers need to derive
+// windowed rates (QPS of page reads, buffer hit ratio) without holding
+// a reference to each open manager. The cost is one extra atomic add
+// per already-atomic counter bump.
+var global managerStats
+
+// GlobalStats snapshots the process-wide counters.
+func GlobalStats() Stats {
+	return Stats{
+		Reads:  global.reads.Load(),
+		Writes: global.writes.Load(),
+		Allocs: global.allocs.Load(),
+		Frees:  global.frees.Load(),
+		Hits:   global.hits.Load(),
+	}
+}
+
 // Options configures a Manager.
 type Options struct {
 	// PageSize is the page size in bytes; DefaultPageSize if zero.
@@ -233,6 +252,7 @@ func (m *Manager) Alloc() (PageID, error) {
 		return NilPage, err
 	}
 	m.stats.allocs.Add(1)
+	global.allocs.Add(1)
 	return id, nil
 }
 
@@ -247,6 +267,7 @@ func (m *Manager) Free(id PageID) {
 	defer m.mu.Unlock()
 	m.freeList = append(m.freeList, id)
 	m.stats.frees.Add(1)
+	global.frees.Add(1)
 }
 
 // QueryIO attributes page traffic to one logical query. A pointer is
@@ -299,6 +320,7 @@ func (m *Manager) ReadCtx(ctx context.Context, id PageID, buf []byte) error {
 	if m.pool != nil {
 		if m.pool.get(id, buf[:m.pageSize]) {
 			m.stats.hits.Add(1)
+			global.hits.Add(1)
 			if qio != nil {
 				qio.Hits.Add(1)
 			}
@@ -309,6 +331,7 @@ func (m *Manager) ReadCtx(ctx context.Context, id PageID, buf []byte) error {
 		return err
 	}
 	m.stats.reads.Add(1)
+	global.reads.Add(1)
 	if qio != nil {
 		qio.Reads.Add(1)
 	}
@@ -327,6 +350,7 @@ func (m *Manager) Write(id PageID, buf []byte) error {
 		return err
 	}
 	m.stats.writes.Add(1)
+	global.writes.Add(1)
 	if m.pool != nil {
 		m.pool.put(id, buf[:m.pageSize])
 	}

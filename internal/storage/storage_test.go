@@ -546,3 +546,48 @@ func TestStatsSnapshotConsistency(t *testing.T) {
 		t.Errorf("attributed %d fetches in total, want %d", got, queries*readsPerQuery)
 	}
 }
+
+// TestGlobalStats checks that the process-wide counters mirror manager
+// operations and, unlike per-manager stats, survive ResetStats. Deltas
+// are compared (other managers in the process may also count).
+func TestGlobalStats(t *testing.T) {
+	before := GlobalStats()
+	m := NewManager(Options{PageSize: 128, BufferPages: 4})
+	id, err := m.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	if err := m.Write(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	m.DropBuffer()
+	if err := m.Read(id, buf); err != nil { // backend read
+		t.Fatal(err)
+	}
+	if err := m.Read(id, buf); err != nil { // buffered hit
+		t.Fatal(err)
+	}
+	m.Free(id)
+	m.ResetStats()
+
+	after := GlobalStats()
+	if d := after.Allocs - before.Allocs; d < 1 {
+		t.Errorf("global allocs delta = %d, want >= 1", d)
+	}
+	if d := after.Writes - before.Writes; d < 1 {
+		t.Errorf("global writes delta = %d, want >= 1", d)
+	}
+	if d := after.Reads - before.Reads; d < 1 {
+		t.Errorf("global reads delta = %d, want >= 1", d)
+	}
+	if d := after.Hits - before.Hits; d < 1 {
+		t.Errorf("global hits delta = %d, want >= 1", d)
+	}
+	if d := after.Frees - before.Frees; d < 1 {
+		t.Errorf("global frees delta = %d, want >= 1", d)
+	}
+	if s := m.Stats(); s != (Stats{}) {
+		t.Errorf("manager stats not reset: %+v", s)
+	}
+}

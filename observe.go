@@ -1,0 +1,172 @@
+// Aggregate observability: index health reports, the slow-query flight
+// recorder, and the windowed stats sampler. The recorder and sampler
+// are process-wide (like the default metrics registry) and disabled by
+// default; when disabled the query hot path pays exactly one atomic
+// pointer load and zero allocations (pinned by benchmark).
+
+package tsq
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"tsq/internal/core"
+	"tsq/internal/obs"
+	"tsq/internal/storage"
+)
+
+// HealthReport is an index health analysis; see DB.IndexHealth.
+type HealthReport = core.HealthReport
+
+// GroupHealth is the per-transformation-group section of a HealthReport.
+type GroupHealth = core.GroupHealth
+
+// QueryRecord is one query retained by the flight recorder.
+type QueryRecord = obs.QueryRecord
+
+// RecorderSnapshot is the drained state of the flight recorder.
+type RecorderSnapshot = obs.RecorderSnapshot
+
+// RecorderOptions configures the flight recorder; zero values pick
+// defaults (128 slow slots, 64 sampled, 10ms threshold).
+type RecorderOptions = obs.RecorderOptions
+
+// SamplerOptions configures the stats sampler; zero values pick
+// defaults (1s interval, 300 snapshots retained).
+type SamplerOptions = obs.SamplerOptions
+
+// WindowStats is one sliding window of derived rates; see RatesHandler.
+type WindowStats = obs.WindowStats
+
+// IndexHealth walks the DB's index read-only and reports its structural
+// health: R*-tree per-level occupancy/margin/overlap/dead space, heap
+// file liveness and utilization, storage counters, and — when ts is
+// non-empty — per-transformation-group rectangle volumes (groups nil
+// profiles all of ts as one group). Fold traced queries into the
+// report's group counters with HealthReport.FoldTrace.
+func (db *DB) IndexHealth(ctx context.Context, ts []Transform, groups [][]int) (*HealthReport, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.ix.Health(ctx, ts, groups)
+}
+
+// QueryGroups resolves the transformation partition a range query with
+// these options would use (nil when the whole set forms one group) —
+// pass it to IndexHealth to profile the same groups queries run with.
+func (db *DB) QueryGroups(ts []Transform, opts QueryOptions) [][]int {
+	return db.rangeOpts(ts, opts).Groups
+}
+
+// IndexHandler serves db's health report — the `-debug-addr` /index
+// endpoint. JSON by default, the -inspect text report with
+// ?format=text; ts/groups select the transformation groups profiled.
+// The walk reads every index page, so each request is a full (buffered)
+// index scan — an operator action, not a scrape target.
+func IndexHandler(db *DB, ts []Transform, groups [][]int) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		hr, err := db.IndexHealth(req.Context(), ts, groups)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			hr.WriteText(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(hr)
+	})
+}
+
+// flightRecorder and statsSampler are the process-wide instances; nil
+// means disabled. One atomic load on the query path decides.
+var (
+	flightRecorder atomic.Pointer[obs.Recorder]
+	statsSampler   atomic.Pointer[obs.Sampler]
+)
+
+// EnableFlightRecorder installs a process-wide slow-query flight
+// recorder and returns it. Completed Range and NearestNeighbors queries
+// above opts.Threshold are retained in a fixed ring; queries below it
+// are reservoir-sampled. A recorder already installed is replaced (its
+// contents are dropped).
+func EnableFlightRecorder(opts RecorderOptions) *obs.Recorder {
+	rec := obs.NewRecorder(opts)
+	flightRecorder.Store(rec)
+	return rec
+}
+
+// DisableFlightRecorder removes the process-wide recorder; the query
+// path reverts to a single nil-pointer check.
+func DisableFlightRecorder() { flightRecorder.Store(nil) }
+
+// FlightRecorderSnapshot drains the current recorder contents; the zero
+// snapshot when no recorder is installed.
+func FlightRecorderSnapshot() RecorderSnapshot { return flightRecorder.Load().Snapshot() }
+
+// QueriesHandler serves the flight recorder contents as JSON — the
+// `-debug-addr` /queries endpoint. 503 while no recorder is installed.
+func QueriesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		rec := flightRecorder.Load()
+		if rec == nil {
+			http.Error(w, "flight recorder not enabled", http.StatusServiceUnavailable)
+			return
+		}
+		rec.Handler().ServeHTTP(w, req)
+	})
+}
+
+// StartSampler launches the process-wide windowed stats sampler over
+// the default metrics registry (plus the function-backed storage
+// counters) and returns it. A sampler already running is stopped and
+// replaced.
+func StartSampler(opts SamplerOptions) *obs.Sampler {
+	s := obs.NewSampler(obs.Default, opts)
+	if old := statsSampler.Swap(s); old != nil {
+		old.Stop()
+	}
+	s.Start()
+	return s
+}
+
+// StopSampler stops and removes the process-wide sampler.
+func StopSampler() {
+	if old := statsSampler.Swap(nil); old != nil {
+		old.Stop()
+	}
+}
+
+// DefaultRateWindows are the spans RatesHandler reports.
+var DefaultRateWindows = []time.Duration{10 * time.Second, time.Minute, 5 * time.Minute}
+
+// RatesHandler serves windowed rates (QPS, page-read and buffer-hit
+// rates, windowed latency quantiles) as JSON — the `-debug-addr`
+// /rates endpoint. 503 while no sampler is running.
+func RatesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s := statsSampler.Load()
+		if s == nil {
+			http.Error(w, "stats sampler not running", http.StatusServiceUnavailable)
+			return
+		}
+		s.Handler(DefaultRateWindows...).ServeHTTP(w, req)
+	})
+}
+
+// The storage layer's process-wide I/O counters, mirrored into the
+// default registry as function-backed counters: sampled only at
+// snapshot time, so the mirroring itself costs nothing per query. With
+// these the sampler can derive buffer hit ratio and page-read rates
+// over its windows.
+func init() {
+	obs.Default.CounterFunc("tsq_pages_read_total", func() int64 { return storage.GlobalStats().Reads })
+	obs.Default.CounterFunc("tsq_buffer_hits_total", func() int64 { return storage.GlobalStats().Hits })
+	obs.Default.CounterFunc("tsq_pages_written_total", func() int64 { return storage.GlobalStats().Writes })
+}

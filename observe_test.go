@@ -1,0 +1,262 @@
+package tsq
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tsq/internal/datagen"
+	"tsq/internal/obs"
+)
+
+// openPagedTestDB builds a file-backed DB so queries fetch records
+// through the buffer pool and the storage counters move.
+func openPagedTestDB(t testing.TB, seed int64, count, n int) *DB {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "observe.tsq")
+	db, err := CreateFile(path, datagen.RandomWalks(seed, count, n), nil, Options{PageSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// TestTracedNNFacadeCrossCheck runs a traced nearest-neighbor query
+// through the public facade and reconciles the span tree's attributes
+// against the storage counters exactly: every page fetch the manager
+// counted must be attributed to a probe span, and the node-visit count
+// must equal the disk-access statistic.
+func TestTracedNNFacadeCrossCheck(t *testing.T) {
+	db := openPagedTestDB(t, 5, 150, 32)
+	ts := MovingAverages(32, 2, 6)
+	q := db.Get(3)
+
+	want, wantSt, err := db.NearestNeighbors(q, ts, 5, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	before := db.DiskStats()
+	got, st, err := db.NearestNeighborsCtx(ctx, q, ts, 5, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := db.DiskStats()
+
+	if len(got) != len(want) || st != wantSt {
+		t.Errorf("traced NN diverged: %d results (want %d), stats %+v (want %+v)",
+			len(got), len(want), st, wantSt)
+	}
+	wantIO := (after.Reads - before.Reads) + (after.Hits - before.Hits)
+	gotIO := tr.Sum(obs.KindProbe, obs.APagesRead) + tr.Sum(obs.KindProbe, obs.ABufferHits)
+	if gotIO != wantIO {
+		t.Errorf("trace attributes %d page fetches, storage counted %d", gotIO, wantIO)
+	}
+	if wantIO == 0 {
+		t.Error("paged NN query performed no page fetches; cross-check is vacuous")
+	}
+	if nodes := tr.Sum(obs.KindProbe, obs.ANodes); nodes != int64(st.DAAll) {
+		t.Errorf("trace nodes = %d, stats DAAll = %d", nodes, st.DAAll)
+	}
+	if m := tr.Sum(obs.KindQuery, obs.AMatches); m != int64(len(got)) {
+		t.Errorf("root span matches = %d, want %d", m, len(got))
+	}
+}
+
+// TestDisabledObservabilityAddsNoAllocs pins the hot-path contract:
+// with no flight recorder installed the per-query hook is one atomic
+// pointer load — zero allocations — and a facade query allocates
+// exactly as much as it did before a recorder was ever enabled.
+func TestDisabledObservabilityAddsNoAllocs(t *testing.T) {
+	DisableFlightRecorder()
+	StopSampler()
+
+	// The hook exactly as rangeRecord / NearestNeighborsCtx run it.
+	hook := testing.AllocsPerRun(100, func() {
+		if rec := flightRecorder.Load(); rec != nil {
+			rec.Record("range", MTIndex.String(), time.Microsecond, nil, nil)
+		}
+	})
+	if hook != 0 {
+		t.Errorf("disabled recorder hook allocates %.0f/op, want 0", hook)
+	}
+
+	db := openTestDB(t, 2, 200, 64)
+	ts := MovingAverages(64, 5, 20)
+	thr := Correlation(0.95)
+	run := func() {
+		if _, _, err := db.RangeByID(10, ts, thr, QueryOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := testing.AllocsPerRun(20, run)
+
+	// Enable, query, then disable: the cycle must leave no residue on
+	// the disabled path.
+	EnableFlightRecorder(RecorderOptions{Threshold: time.Nanosecond})
+	StartSampler(SamplerOptions{Interval: time.Hour})
+	run()
+	DisableFlightRecorder()
+	StopSampler()
+
+	after := testing.AllocsPerRun(20, run)
+	if after > base {
+		t.Errorf("disabled path allocates %.0f/op after an enable cycle, %.0f/op before: recorder left %v allocs behind",
+			after, base, after-base)
+	}
+}
+
+// TestFlightRecorderCapturesFacadeQueries: enabled recorder retains
+// range and NN queries with their trace-derived attribute counts.
+func TestFlightRecorderCapturesFacadeQueries(t *testing.T) {
+	db := openTestDB(t, 7, 150, 32)
+	ts := MovingAverages(32, 2, 6)
+
+	// Threshold 1ns: every query lands in the slow ring, deterministic.
+	EnableFlightRecorder(RecorderOptions{SlowN: 8, Threshold: time.Nanosecond})
+	defer DisableFlightRecorder()
+
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	matches, _, err := db.RangeCtx(ctx, db.Get(0), ts, Correlation(0.9), QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.NearestNeighbors(db.Get(1), ts, 3, QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := FlightRecorderSnapshot()
+	if snap.Total != 2 || len(snap.Slow) != 2 {
+		t.Fatalf("snapshot total=%d slow=%d, want 2 and 2", snap.Total, len(snap.Slow))
+	}
+	rangeRec, nnRec := snap.Slow[0], snap.Slow[1]
+	if rangeRec.Kind != "range" || nnRec.Kind != "nn" {
+		t.Fatalf("kinds = %q, %q, want range, nn", rangeRec.Kind, nnRec.Kind)
+	}
+	if rangeRec.Label != MTIndex.String() {
+		t.Errorf("range label = %q, want %q", rangeRec.Label, MTIndex.String())
+	}
+	// The traced range query carries its trace and attribute rollups.
+	if rangeRec.Trace == nil {
+		t.Fatal("traced range query recorded without its trace")
+	}
+	if rangeRec.Matches != int64(len(matches)) {
+		t.Errorf("recorded matches = %d, query returned %d", rangeRec.Matches, len(matches))
+	}
+	if rangeRec.Transforms != int64(len(ts)) {
+		t.Errorf("recorded transforms = %d, want %d", rangeRec.Transforms, len(ts))
+	}
+	// The untraced NN query is still recorded, with zero attributes.
+	if nnRec.Trace != nil || nnRec.Matches != 0 {
+		t.Errorf("untraced NN record carries trace data: %+v", nnRec)
+	}
+	if nnRec.DurationNs <= 0 {
+		t.Errorf("recorded duration = %d, want > 0", nnRec.DurationNs)
+	}
+}
+
+// TestObservabilityHandlers drives the three -debug-addr endpoints:
+// 503 while disabled, well-formed JSON once enabled.
+func TestObservabilityHandlers(t *testing.T) {
+	DisableFlightRecorder()
+	StopSampler()
+
+	rr := httptest.NewRecorder()
+	QueriesHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/queries", nil))
+	if rr.Code != 503 {
+		t.Errorf("/queries while disabled: status %d, want 503", rr.Code)
+	}
+	rr = httptest.NewRecorder()
+	RatesHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/rates", nil))
+	if rr.Code != 503 {
+		t.Errorf("/rates while stopped: status %d, want 503", rr.Code)
+	}
+
+	EnableFlightRecorder(RecorderOptions{Threshold: time.Nanosecond})
+	StartSampler(SamplerOptions{Interval: time.Hour})
+	defer DisableFlightRecorder()
+	defer StopSampler()
+
+	db := openPagedTestDB(t, 9, 120, 32)
+	ts := MovingAverages(32, 2, 6)
+	if _, _, err := db.Range(db.Get(2), ts, Correlation(0.9), QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	rr = httptest.NewRecorder()
+	QueriesHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/queries", nil))
+	if rr.Code != 200 {
+		t.Fatalf("/queries: status %d", rr.Code)
+	}
+	var snap RecorderSnapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("/queries JSON: %v", err)
+	}
+	if snap.Total != 1 || len(snap.Slow) != 1 || snap.Slow[0].Kind != "range" {
+		t.Errorf("/queries snapshot: %+v", snap)
+	}
+
+	rr = httptest.NewRecorder()
+	RatesHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/rates", nil))
+	if rr.Code != 200 {
+		t.Fatalf("/rates: status %d", rr.Code)
+	}
+	var windows []WindowStats
+	if err := json.Unmarshal(rr.Body.Bytes(), &windows); err != nil {
+		t.Fatalf("/rates JSON: %v", err)
+	}
+	if len(windows) != len(DefaultRateWindows) {
+		t.Errorf("/rates returned %d windows, want %d", len(windows), len(DefaultRateWindows))
+	}
+
+	groups := db.QueryGroups(ts, QueryOptions{})
+	rr = httptest.NewRecorder()
+	IndexHandler(db, ts, groups).ServeHTTP(rr, httptest.NewRequest("GET", "/index", nil))
+	if rr.Code != 200 {
+		t.Fatalf("/index: status %d", rr.Code)
+	}
+	var hr HealthReport
+	if err := json.Unmarshal(rr.Body.Bytes(), &hr); err != nil {
+		t.Fatalf("/index JSON: %v", err)
+	}
+	if hr.Series != 120 || hr.Tree == nil || hr.Tree.Entries == 0 || hr.Heap == nil {
+		t.Errorf("/index report: series=%d tree=%v heap=%v", hr.Series, hr.Tree, hr.Heap)
+	}
+	rr = httptest.NewRecorder()
+	IndexHandler(db, ts, groups).ServeHTTP(rr, httptest.NewRequest("GET", "/index?format=text", nil))
+	if !strings.Contains(rr.Body.String(), "index health: 120 series") {
+		t.Errorf("/index?format=text body:\n%s", rr.Body.String())
+	}
+}
+
+// Benchmark pair pinning the flight-recorder overhead on the query hot
+// path: Disabled is the production default (one atomic load), Enabled
+// pays the record under a short mutex hold.
+func benchmarkRangeRecorder(b *testing.B, enabled bool) {
+	DisableFlightRecorder()
+	if enabled {
+		EnableFlightRecorder(RecorderOptions{Threshold: time.Nanosecond})
+		defer DisableFlightRecorder()
+	}
+	db := openTestDB(b, 2, 200, 64)
+	ts := MovingAverages(64, 5, 20)
+	thr := Correlation(0.95)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := db.RangeByID(10, ts, thr, QueryOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRangeRecorderDisabled(b *testing.B) { benchmarkRangeRecorder(b, false) }
+func BenchmarkRangeRecorderEnabled(b *testing.B)  { benchmarkRangeRecorder(b, true) }

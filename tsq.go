@@ -430,7 +430,11 @@ func (db *DB) rangeRecord(ctx context.Context, qr *core.Record, ts []Transform, 
 		root.EndErr(err)
 	}
 	mRangeQueries.Inc()
-	mRangeLatency.ObserveDuration(time.Since(start))
+	dur := time.Since(start)
+	mRangeLatency.ObserveDuration(dur)
+	if rec := flightRecorder.Load(); rec != nil {
+		rec.Record("range", opts.Algorithm.String(), dur, err, obs.FromContext(ctx))
+	}
 	return m, st, err
 }
 
@@ -636,7 +640,11 @@ func (db *DB) NearestNeighborsCtx(ctx context.Context, q Series, ts []Transform,
 		root.EndErr(err)
 	}
 	mNNQueries.Inc()
-	mNNLatency.ObserveDuration(time.Since(start))
+	dur := time.Since(start)
+	mNNLatency.ObserveDuration(dur)
+	if rec := flightRecorder.Load(); rec != nil {
+		rec.Record("nn", opts.Algorithm.String(), dur, err, obs.FromContext(ctx))
+	}
 	if err != nil {
 		return nil, st, err
 	}
