@@ -12,14 +12,20 @@
 //	tsbench -fig 3 | -fig 4   # MBR decomposition illustrations
 //	tsbench -fig all -queries 100
 //	tsbench -fig none -throughput           # concurrent queries/sec sweep
+//	tsbench -fig none -verify-sweep -backend=disk  # naive vs pipeline I/O A/B
 //	tsbench -fig 5 -json results.json       # machine-readable results
 //
 // -throughput runs the batch executor over the Fig. 5 workload at worker
 // counts 1, 4 and GOMAXPROCS (or -workers a,b,c) and reports queries per
-// second. -json writes every measured point, wrapped in an envelope of
-// run metadata (schema version, GOMAXPROCS, NumCPU, page size, git
-// revision), to a file ("-" for stdout) — the format the repo's
-// BENCH_*.json trajectory files record.
+// second. -verify-sweep runs the same MT-index workload through the
+// naive record-at-a-time verifier and the I/O-aware pipeline
+// (lower-bound skip, page-ordered batched fetch, early abandoning) on
+// the chosen -backend (mem, or disk for a temp page file) and reports
+// page reads, readahead, and verification effort per query. -json
+// writes every measured point, wrapped in an envelope of run metadata
+// (schema version, GOMAXPROCS, NumCPU, page size, git revision), to a
+// file ("-" for stdout) — the format the repo's BENCH_*.json trajectory
+// files record.
 package main
 
 import (
@@ -53,6 +59,8 @@ func main() {
 		tpQueries  = flag.Int("tpqueries", 256, "throughput sweep: queries per batch")
 		workers    = flag.String("workers", "", "throughput sweep: comma-separated worker counts (default 1,4,GOMAXPROCS)")
 		jsonOut    = flag.String("json", "", "write machine-readable results to this file (- for stdout)")
+		verify     = flag.Bool("verify-sweep", false, "run the naive-vs-pipeline verification A/B sweep")
+		backend    = flag.String("backend", "mem", "verify sweep backend: mem, or disk for a temp page file")
 	)
 	flag.Parse()
 	if *outDir != "" {
@@ -79,6 +87,12 @@ func main() {
 			err = runThroughput(cfg, *tpCount, *tpQueries, wc, &results)
 		}
 		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *verify {
+		if err := runVerifySweep(cfg, *backend, &results); err != nil {
 			fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -198,6 +212,29 @@ func runThroughput(cfg bench.Config, count, queries int, workerCounts []int, res
 			DiskReads:     r.DiskPerQuery,
 			QueriesPerSec: r.QueriesPerSec,
 			SingleCPU:     r.Workers == 1,
+		})
+	}
+	fmt.Println()
+	return nil
+}
+
+// runVerifySweep runs the naive-vs-pipeline verification A/B on the
+// chosen backend and prints (and records) I/O and effort per query.
+func runVerifySweep(cfg bench.Config, backend string, results *[]benchResult) error {
+	fmt.Printf("=== Verification A/B: MT-index, MV(6..29), 8 per MBR, backend=%s ===\n", backend)
+	rows, err := bench.VerifySweep(cfg, backend)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%10s %12s %11s %11s %11s %12s %11s %11s %11s\n",
+		"mode", "sec/query", "candidates", "skipped lb", "abandoned", "comparisons", "pages read", "prefetched", "buffer hits")
+	for _, r := range rows {
+		fmt.Printf("%10s %12.6f %11.1f %11.1f %11.1f %12.1f %11.1f %11.1f %11.1f\n",
+			r.Mode, r.SecPerQuery, r.Candidates, r.SkippedLB, r.Abandoned, r.Comparisons, r.PagesRead, r.Prefetched, r.BufferHits)
+		*results = append(*results, benchResult{
+			Name:      fmt.Sprintf("verify/%s/%s", r.Backend, r.Mode),
+			NsPerOp:   r.SecPerQuery * 1e9,
+			DiskReads: r.PagesRead,
 		})
 	}
 	fmt.Println()

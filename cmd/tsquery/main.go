@@ -329,12 +329,14 @@ func printTrace(tr *tsq.Trace) {
 // ratio, false positives) side by side — Fig. 5 for one query.
 func explainAnalyze(db *tsq.DB, id int64, ts []tsq.Transform, thr tsq.Threshold, opts tsq.QueryOptions) error {
 	type row struct {
-		name    string
-		da      int64
-		cand    int64
-		fp      int64
-		matches int
-		dur     time.Duration
+		name      string
+		da        int64
+		cand      int64
+		skipped   int64
+		abandoned int64
+		fp        int64
+		matches   int
+		dur       time.Duration
 	}
 	var rows []row
 	fmt.Println("\n=== EXPLAIN ANALYZE ===")
@@ -361,35 +363,39 @@ func explainAnalyze(db *tsq.DB, id int64, ts []tsq.Transform, thr tsq.Threshold,
 
 		fmt.Printf("\n--- %s ---\n", ar.name)
 		fmt.Print(tr.String())
-		storageIO := (after.Reads - before.Reads) + (after.Hits - before.Hits)
+		storageIO := (after.Reads - before.Reads) + (after.Hits - before.Hits) +
+			(after.Prefetched - before.Prefetched)
 		tracedIO := tr.Sum(obs.KindProbe, obs.APagesRead) + tr.Sum(obs.KindProbe, obs.ABufferHits) +
+			tr.Sum(obs.KindProbe, obs.APagesPrefetched) +
 			tr.Sum(obs.KindPlan, obs.APagesRead) + tr.Sum(obs.KindPlan, obs.ABufferHits)
 		verdict := "OK"
 		if tracedIO != storageIO {
 			verdict = "MISMATCH"
 		}
-		fmt.Printf("cross-check: trace attributes %d page fetches, storage counted %d — %s\n",
-			tracedIO, storageIO, verdict)
+		fmt.Printf("cross-check: trace attributes %d page fetches (%d prefetched), storage counted %d — %s\n",
+			tracedIO, tr.Sum(obs.KindProbe, obs.APagesPrefetched), storageIO, verdict)
 		rows = append(rows, row{
-			name:    ar.name,
-			da:      storageIO,
-			cand:    int64(st.Candidates),
-			fp:      tr.Sum(obs.KindVerify, obs.AFalsePositives),
-			matches: len(matches),
-			dur:     dur,
+			name:      ar.name,
+			da:        storageIO,
+			cand:      int64(st.Candidates),
+			skipped:   int64(st.SkippedLB),
+			abandoned: int64(st.Abandoned),
+			fp:        tr.Sum(obs.KindVerify, obs.AFalsePositives),
+			matches:   len(matches),
+			dur:       dur,
 		})
 	}
 
 	nS := int64(db.Len())
-	fmt.Printf("\n%-10s %14s %12s %12s %11s %9s %12s\n",
-		"algorithm", "disk accesses", "candidates", "cand ratio", "false pos", "matches", "time")
+	fmt.Printf("\n%-10s %14s %12s %12s %11s %11s %11s %9s %12s\n",
+		"algorithm", "disk accesses", "candidates", "cand ratio", "skipped lb", "abandoned", "false pos", "matches", "time")
 	for _, r := range rows {
 		ratio := 0.0
 		if nS > 0 {
 			ratio = float64(r.cand) / float64(nS)
 		}
-		fmt.Printf("%-10s %14d %12d %12.3f %11d %9d %12s\n",
-			r.name, r.da, r.cand, ratio, r.fp, r.matches, r.dur.Round(time.Microsecond))
+		fmt.Printf("%-10s %14d %12d %12.3f %11d %11d %11d %9d %12s\n",
+			r.name, r.da, r.cand, ratio, r.skipped, r.abandoned, r.fp, r.matches, r.dur.Round(time.Microsecond))
 	}
 	return nil
 }
@@ -414,4 +420,8 @@ func resolveQuery(db *tsq.DB, names []string, arg string) (int64, error) {
 func printStats(st tsq.Stats) {
 	fmt.Printf("stats: %d index searches, %d node accesses (%d leaf), %d candidates, %d comparisons\n",
 		st.IndexSearches, st.DAAll, st.DALeaf, st.Candidates, st.Comparisons)
+	if st.SkippedLB > 0 || st.Abandoned > 0 {
+		fmt.Printf("pipeline: %d candidates skipped by the DFT-prefix bound, %d verifications abandoned early\n",
+			st.SkippedLB, st.Abandoned)
+	}
 }

@@ -17,6 +17,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"time"
@@ -154,7 +156,11 @@ func Fig6(cfg Config, numTransforms []int) ([]RangeRow, error) {
 }
 
 func rangePoint(db *tsq.DB, cfg Config, ts []tsq.Transform, thr tsq.Threshold, x int) (RangeRow, error) {
-	base := tsq.QueryOptions{PaperQueryRect: cfg.PaperQueryRect}
+	// NaiveVerify: the figures replicate the paper's Eq. 18 accounting,
+	// which retrieves and compares every candidate; the I/O-aware
+	// pipeline (which skips and abandons some) is measured by
+	// VerifySweep instead.
+	base := tsq.QueryOptions{PaperQueryRect: cfg.PaperQueryRect, NaiveVerify: true}
 	seqOpts := base
 	seqOpts.Algorithm = tsq.SeqScan
 	stOpts := base
@@ -209,7 +215,7 @@ func Fig7(cfg Config, numTransforms []int) ([]JoinRow, error) {
 		return nil, err
 	}
 	thr := tsq.Correlation(0.99)
-	base := tsq.QueryOptions{PaperQueryRect: cfg.PaperQueryRect}
+	base := tsq.QueryOptions{PaperQueryRect: cfg.PaperQueryRect, NaiveVerify: true}
 	var rows []JoinRow
 	for _, nt := range numTransforms {
 		ts := tsq.MovingAverages(cfg.Length, 5, 5+nt-1)
@@ -293,6 +299,7 @@ func mbrSweep(cfg Config, makeTs func(n int) []tsq.Transform, perMBRs []int) ([]
 			Algorithm:        tsq.MTIndex,
 			TransformsPerMBR: per,
 			PaperQueryRect:   cfg.PaperQueryRect,
+			NaiveVerify:      true, // Eq. 18/20 cost model, see rangePoint
 		}
 		sec, _, stats, err := runRange(db, cfg, ts, thr, opts)
 		if err != nil {
@@ -424,7 +431,7 @@ func Throughput(cfg Config, count, queries int, workerCounts []int) ([]Throughpu
 	}
 	ts := tsq.MovingAverages(cfg.Length, 10, 25)
 	thr := tsq.Correlation(0.96)
-	opts := tsq.QueryOptions{}
+	opts := tsq.QueryOptions{NaiveVerify: true} // Eq. 18 accounting, see rangePoint
 	if cfg.PaperQueryRect {
 		opts.PaperQueryRect = true
 	}
@@ -461,6 +468,103 @@ func Throughput(cfg Config, count, queries int, workerCounts []int) ([]Throughpu
 			QueriesPerSec: float64(queries) / elapsed,
 			SecPerQuery:   elapsed / float64(queries),
 			DiskPerQuery:  float64(stats.DAAll+stats.Candidates) / float64(queries),
+		})
+	}
+	return rows, nil
+}
+
+// VerifyRow is one arm of the I/O-aware verification A/B: the same
+// MT-index range workload evaluated with the naive record-at-a-time
+// verifier (the paper's cost-model baseline) or the pipeline
+// (lower-bound skip, page-ordered batched fetch, early abandoning).
+type VerifyRow struct {
+	Mode        string // "naive" or "pipeline"
+	Backend     string // "mem" or "disk"
+	Queries     int
+	SecPerQuery float64
+	AvgOutput   float64
+	// Per-query verification effort.
+	Candidates  float64 // records actually retrieved and verified
+	SkippedLB   float64 // candidates rejected by the DFT-prefix bound, never fetched
+	Abandoned   float64 // distance evaluations cut short by the eps cutoff
+	Comparisons float64
+	// Per-query page traffic of the index's storage manager.
+	PagesRead  float64 // backend reads (one per ordered run with readahead)
+	Prefetched float64 // pages delivered by the tail of a batched run read
+	BufferHits float64
+}
+
+// VerifySweep measures both verification modes over the stock data set
+// on the given backend ("mem", or "disk" for a temp page file that
+// exercises the heap-file fetch path). Matches are identical across
+// modes; the sweep isolates I/O and comparison savings.
+func VerifySweep(cfg Config, backend string) ([]VerifyRow, error) {
+	cfg = cfg.WithDefaults()
+	if backend == "" {
+		backend = "mem"
+	}
+	ss := datagen.StockMarket(cfg.Seed, cfg.StockCount, cfg.Length, datagen.DefaultMarketOptions())
+	var db *tsq.DB
+	var err error
+	var cleanup func()
+	switch backend {
+	case "mem":
+		db, err = openDB(ss)
+	case "disk":
+		// 4 KiB pages so a full record fits in one heap page, and a small
+		// buffer pool so candidate fetches actually reach the backend.
+		dir, derr := os.MkdirTemp("", "tsq-bench-")
+		if derr != nil {
+			return nil, derr
+		}
+		path := filepath.Join(dir, "bench.tsq")
+		db, err = tsq.CreateFile(path, ss, nil, tsq.Options{PageSize: 4096, BufferPages: 32})
+		cleanup = func() {
+			db.Close()
+			os.RemoveAll(dir)
+		}
+	default:
+		return nil, fmt.Errorf("bench: unknown backend %q", backend)
+	}
+	if err != nil {
+		if cleanup != nil {
+			cleanup()
+		}
+		return nil, err
+	}
+	if cleanup != nil {
+		defer cleanup()
+	}
+	ts := tsq.MovingAverages(cfg.Length, 6, 29)
+	thr := tsq.Correlation(0.96)
+	var rows []VerifyRow
+	for _, mode := range []string{"naive", "pipeline"} {
+		opts := tsq.QueryOptions{
+			Algorithm:        tsq.MTIndex,
+			TransformsPerMBR: 8,
+			PaperQueryRect:   cfg.PaperQueryRect,
+			NaiveVerify:      mode == "naive",
+		}
+		db.ResetDiskStats()
+		sec, avgOut, stats, err := runRange(db, cfg, ts, thr, opts)
+		if err != nil {
+			return nil, err
+		}
+		disk := db.DiskStats()
+		nq := float64(cfg.Queries)
+		rows = append(rows, VerifyRow{
+			Mode:        mode,
+			Backend:     backend,
+			Queries:     cfg.Queries,
+			SecPerQuery: sec,
+			AvgOutput:   avgOut,
+			Candidates:  float64(stats.Candidates) / nq,
+			SkippedLB:   float64(stats.SkippedLB) / nq,
+			Abandoned:   float64(stats.Abandoned) / nq,
+			Comparisons: float64(stats.Comparisons) / nq,
+			PagesRead:   float64(disk.Reads) / nq,
+			Prefetched:  float64(disk.Prefetched) / nq,
+			BufferHits:  float64(disk.Hits) / nq,
 		})
 	}
 	return rows, nil

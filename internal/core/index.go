@@ -241,6 +241,43 @@ func (ix *Index) fetchCtx(ctx context.Context, id int64) (*Record, error) {
 	return heapToRecord(id, hr), nil
 }
 
+// fetchBatchCtx retrieves several records at once. In paged mode the
+// heap page I/O is serviced in ascending page order with run batching
+// (heapfile.FetchBatch), so a candidate set clustered on consecutive
+// heap pages costs one backend call per run instead of one random read
+// per record. The result is parallel to ids; nil entries are deleted
+// records. Records already known deleted in the in-memory dataset are
+// never fetched (mirroring fetchCtx).
+func (ix *Index) fetchBatchCtx(ctx context.Context, ids []int64) ([]*Record, error) {
+	out := make([]*Record, len(ids))
+	if ix.heap == nil {
+		for i, id := range ids {
+			out[i] = ix.ds.Record(id)
+		}
+		return out, nil
+	}
+	fetchIdx := make([]int, 0, len(ids))
+	fetchIDs := make([]int64, 0, len(ids))
+	for i, id := range ids {
+		if ix.ds.Record(id) == nil {
+			continue // deleted: no page read, out[i] stays nil
+		}
+		fetchIdx = append(fetchIdx, i)
+		fetchIDs = append(fetchIDs, id)
+	}
+	hrs, err := ix.heap.FetchBatch(ctx, fetchIDs)
+	if err != nil {
+		return nil, err
+	}
+	for j, hr := range hrs {
+		if hr == nil {
+			continue // tombstoned on disk
+		}
+		out[fetchIdx[j]] = heapToRecord(fetchIDs[j], hr)
+	}
+	return out, nil
+}
+
 // Insert adds a new series to the dataset, the heap (when paged) and the
 // tree, returning its id.
 func (ix *Index) Insert(name string, s series.Series) (int64, error) {

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tsq/internal/series"
+	"tsq/internal/transform"
+)
+
+// TestPipelineMatchesNaiveAllPaths is the bit-identity contract of the
+// I/O-aware candidate pipeline: on randomized datasets, every query path
+// (sequential scan, ST-index, MT-index), sided-ness, and worker count
+// returns exactly the matches of the naive record-at-a-time verifier —
+// same records, same transformation indices, same distance bits, same
+// order after SortMatches. The pipeline may only change how much I/O and
+// arithmetic the answer costs, never the answer.
+func TestPipelineMatchesNaiveAllPaths(t *testing.T) {
+	for _, paged := range []bool{false, true} {
+		opts := DefaultIndexOptions()
+		if paged {
+			opts.Paged = true
+			opts.BufferPages = 8
+		}
+		ds, ix := buildFixture(t, 21, 300, 64, opts)
+		ts := transform.MovingAverageSet(64, 4, 19) // 16 transforms
+		var totalSkipped, totalAbandoned int
+		for trial := 0; trial < 6; trial++ {
+			q := ds.Records[trial*37%len(ds.Records)]
+			eps := series.DistanceForCorrelation(64, 0.88+0.02*float64(trial%3))
+			for _, variant := range []RangeOptions{
+				{Mode: QRectSafe},
+				{Mode: QRectSafe, OneSided: true},
+				{Mode: QRectSafe, Workers: 4},
+				{Mode: QRectSafe, Groups: EqualPartition(len(ts), 4)},
+			} {
+				naive := variant
+				naive.NaiveVerify = true
+
+				wantSeq, seqNaiveSt := SeqScanRange(ds, q, ts, eps, naive)
+				gotSeq, seqSt := SeqScanRange(ds, q, ts, eps, variant)
+				if !reflect.DeepEqual(gotSeq, wantSeq) {
+					t.Fatalf("paged=%v trial=%d %+v: seqscan pipeline diverged", paged, trial, variant)
+				}
+				if seqSt.Candidates != seqNaiveSt.Candidates || seqSt.Comparisons != seqNaiveSt.Comparisons {
+					t.Fatalf("paged=%v trial=%d: seqscan effort accounting changed: %+v vs %+v", paged, trial, seqSt, seqNaiveSt)
+				}
+
+				wantST, stNaiveSt, err := ix.STIndexRange(q, ts, eps, naive)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotST, stSt, err := ix.STIndexRange(q, ts, eps, variant)
+				if err != nil {
+					t.Fatal(err)
+				}
+				SortMatches(wantST)
+				SortMatches(gotST)
+				if !reflect.DeepEqual(gotST, wantST) {
+					t.Fatalf("paged=%v trial=%d %+v: ST pipeline diverged", paged, trial, variant)
+				}
+				if stSt.Candidates+stSt.SkippedLB != stNaiveSt.Candidates {
+					t.Fatalf("paged=%v trial=%d: ST candidates %d + skipped %d != naive %d",
+						paged, trial, stSt.Candidates, stSt.SkippedLB, stNaiveSt.Candidates)
+				}
+
+				wantMT, mtNaiveSt, err := ix.MTIndexRange(q, ts, eps, naive)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotMT, mtSt, err := ix.MTIndexRange(q, ts, eps, variant)
+				if err != nil {
+					t.Fatal(err)
+				}
+				SortMatches(wantMT)
+				SortMatches(gotMT)
+				if !reflect.DeepEqual(gotMT, wantMT) {
+					t.Fatalf("paged=%v trial=%d %+v: MT pipeline diverged", paged, trial, variant)
+				}
+				if mtSt.Candidates+mtSt.SkippedLB != mtNaiveSt.Candidates {
+					t.Fatalf("paged=%v trial=%d: MT candidates %d + skipped %d != naive %d",
+						paged, trial, mtSt.Candidates, mtSt.SkippedLB, mtNaiveSt.Candidates)
+				}
+				if mtNaiveSt.SkippedLB != 0 || mtNaiveSt.Abandoned != 0 {
+					t.Fatalf("naive path reported pipeline work: %+v", mtNaiveSt)
+				}
+				totalSkipped += mtSt.SkippedLB
+				totalAbandoned += mtSt.Abandoned
+			}
+		}
+		if totalSkipped == 0 || totalAbandoned == 0 {
+			t.Fatalf("paged=%v: degenerate workload: skipped=%d abandoned=%d — pipeline never engaged",
+				paged, totalSkipped, totalAbandoned)
+		}
+	}
+}
+
+// TestPipelineMatchesNaiveOrdered covers the Sec. 4.4 binary-search path
+// (orderable scale sets): the pipeline's abandoning predicate must leave
+// the bisection's qualifying prefix — and therefore the answer — intact.
+func TestPipelineMatchesNaiveOrdered(t *testing.T) {
+	opts := DefaultIndexOptions()
+	opts.Paged = true
+	ds, ix := buildFixture(t, 9, 200, 64, opts)
+	ts := transform.ScaleSet(64, []float64{1, 2, 3, 5, 8, 13, 21, 34})
+	for trial := 0; trial < 5; trial++ {
+		q := ds.Records[trial*41%len(ds.Records)]
+		eps := 10.0 + 15.0*float64(trial)
+		naive := RangeOptions{UseOrdering: true, NaiveVerify: true}
+		pipe := RangeOptions{UseOrdering: true}
+		want, _ := SeqScanRange(ds, q, ts, eps, naive)
+		got, _ := SeqScanRange(ds, q, ts, eps, pipe)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: ordered seqscan pipeline diverged", trial)
+		}
+		wantMT, _, err := ix.MTIndexRange(q, ts, eps, RangeOptions{Mode: QRectSafe, UseOrdering: true, NaiveVerify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotMT, _, err := ix.MTIndexRange(q, ts, eps, RangeOptions{Mode: QRectSafe, UseOrdering: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		SortMatches(wantMT)
+		SortMatches(gotMT)
+		if !reflect.DeepEqual(gotMT, wantMT) {
+			t.Fatalf("trial %d: ordered MT pipeline diverged", trial)
+		}
+	}
+}
+
+// TestOrderedBatchFetchFewerReads is the acceptance criterion of the
+// page-ordered fetch: on a paged index without a buffer pool, MT-index
+// range queries through the pipeline reach the backend strictly fewer
+// times than naive record-at-a-time verification, while returning the
+// identical result set.
+func TestOrderedBatchFetchFewerReads(t *testing.T) {
+	opts := DefaultIndexOptions()
+	opts.Paged = true // BufferPages 0: every fetch reaches the backend
+	ds, ix := buildFixture(t, 31, 400, 64, opts)
+	ts := transform.MovingAverageSet(64, 5, 20)
+	eps := series.DistanceForCorrelation(64, 0.9)
+	var naiveReads, pipeReads int64
+	for trial := 0; trial < 8; trial++ {
+		q := ds.Records[trial*53%len(ds.Records)]
+
+		ix.ResetDiskStats()
+		want, _, err := ix.MTIndexRange(q, ts, eps, RangeOptions{Mode: QRectSafe, NaiveVerify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		naiveReads += ix.DiskStats().Reads
+
+		ix.ResetDiskStats()
+		got, _, err := ix.MTIndexRange(q, ts, eps, RangeOptions{Mode: QRectSafe})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := ix.DiskStats()
+		pipeReads += st.Reads
+
+		SortMatches(want)
+		SortMatches(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: result sets differ between fetch strategies", trial)
+		}
+	}
+	if pipeReads >= naiveReads {
+		t.Errorf("page-ordered pipeline reads = %d, naive = %d: no I/O win", pipeReads, naiveReads)
+	}
+}
+
+// verifyBenchCandidates builds a candidate list over the whole record
+// range, optionally shuffled, with nil features so the lower bound does
+// not thin the set (the benchmark isolates fetch order).
+func verifyBenchCandidates(n int, shuffled bool) []candidate {
+	cands := make([]candidate, n)
+	for i := range cands {
+		cands[i] = candidate{rec: int64(i)}
+	}
+	if shuffled {
+		rng := rand.New(rand.NewSource(77))
+		rng.Shuffle(n, func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	}
+	return cands
+}
+
+func benchmarkVerifyFetch(b *testing.B, shuffled bool) {
+	opts := DefaultIndexOptions()
+	opts.Paged = true
+	ds, ix := buildFixture(b, 13, 512, 64, opts)
+	ts := transform.MovingAverageSet(64, 5, 12)
+	g := identityIndexes(len(ts))
+	q := ds.Records[0]
+	eps := series.DistanceForCorrelation(64, 0.95)
+	cands := verifyBenchCandidates(512, shuffled)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := ix.verifySerial(nil, cands, ts, g, q, eps, nil, RangeOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVerifyFetchOrdered measures the batched verification pipeline
+// over candidates already in heap-page order (the common case: BuildIndex
+// appends records before tree construction, so candidate runs are
+// consecutive pages).
+func BenchmarkVerifyFetchOrdered(b *testing.B) { benchmarkVerifyFetch(b, false) }
+
+// BenchmarkVerifyFetchUnordered is the same workload with the candidate
+// list shuffled: FetchBatch must sort by page to recover the run structure.
+func BenchmarkVerifyFetchUnordered(b *testing.B) { benchmarkVerifyFetch(b, true) }
+
+// TestBatchVerifyAllocsPerCandidate pins the allocation contract of the
+// batched verification path: adding a candidate costs only its record
+// decode (heapfile Rec + arrays + name, wrapped into a Record) — no
+// per-candidate bookkeeping in the batching layer.
+func TestBatchVerifyAllocsPerCandidate(t *testing.T) {
+	opts := DefaultIndexOptions()
+	opts.Paged = true
+	ds, ix := buildFixture(t, 13, 512, 64, opts)
+	ts := transform.MovingAverageSet(64, 5, 12)
+	g := identityIndexes(len(ts))
+	q := ds.Records[0]
+	eps := series.DistanceForCorrelation(64, 0.95)
+	measure := func(n int) float64 {
+		cands := verifyBenchCandidates(n, false)
+		return testing.AllocsPerRun(10, func() {
+			if _, _, _, err := ix.verifySerial(nil, cands, ts, g, q, eps, nil, RangeOptions{}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small, large := measure(64), measure(256)
+	perCandidate := (large - small) / 192
+	// Decode allocates 5 (Rec, Raw, Mags, Phases, name); the Record
+	// wrapper adds 2 (the struct and the renormalized series). Anything
+	// above that is batching overhead.
+	if perCandidate > 7.5 {
+		t.Errorf("%.2f allocations per candidate, want <= 7.5 (decode + Record wrap only)", perCandidate)
+	}
+}

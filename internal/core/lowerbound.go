@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math"
+
+	"tsq/internal/geom"
+	"tsq/internal/transform"
+)
+
+// This file implements the DFT-prefix lower bound of the I/O-aware
+// candidate pipeline: a distance bound computed from the indexed feature
+// point alone, so a candidate whose bound already exceeds eps is
+// rejected before its record page is fetched.
+//
+// Soundness is Parseval's theorem restricted to a coefficient subset.
+// The predicate distance is D² = Σ_f |t(x)_f - t(y)_f|² over all n
+// coefficients, every term non-negative, and the leaf entry stores
+// exactly the inputs of terms 1..K (a point entry's Rect.Lo is the
+// record's feature vector [mean, std, |F_1|, ∠F_1, ..., |F_K|, ∠F_K]).
+// The partial sum over coefficients 1..K therefore lower-bounds D²; no
+// qualifying record can be rejected. Under UseSymmetry the partial sum
+// is doubled: for real series the mirror coefficient n-f conjugates
+// coefficient f, and the built-in transformations act symmetrically on
+// mirror pairs, so term n-f equals term f — the same Eq. 6 assumption
+// the index's query rectangles already rely on. The comparison runs
+// against transform.AbandonCutoff(eps), a hair above eps², so
+// floating-point noise in the mirror coefficients can never turn the
+// bound into a false dismissal.
+
+// skipByPrefixLB reports whether the candidate at feature point feat is
+// provably outside eps for every transformation of the group, using
+// only the indexed coefficients. feat follows Record.Feature layout;
+// the per-coefficient terms are the exact expressions of the
+// DistancePolar / DistancePolarLeft kernels evaluated on coefficients
+// 1..K.
+func (ix *Index) skipByPrefixLB(feat geom.Point, sub []transform.Transform, q *Record, eps float64, oneSided bool) bool {
+	cut := transform.AbandonCutoff(eps)
+	sym := 1.0
+	if ix.opts.UseSymmetry {
+		sym = 2.0
+	}
+	for _, t := range sub {
+		var s float64
+		for j := 1; j <= ix.opts.K; j++ {
+			mu := t.A[2*j]*feat[2*j] + t.B[2*j]
+			var mv, dp float64
+			if oneSided {
+				mv = q.Mags[j]
+				dp = t.A[2*j+1]*feat[2*j+1] + t.B[2*j+1] - q.Phases[j]
+			} else {
+				mv = t.A[2*j]*q.Mags[j] + t.B[2*j]
+				dp = t.A[2*j+1] * (feat[2*j+1] - q.Phases[j])
+			}
+			s += mu*mu + mv*mv - 2*mu*mv*math.Cos(dp)
+		}
+		if sym*s <= cut {
+			return false // this transformation may still qualify
+		}
+	}
+	return true
+}
+
+// prefixLB returns the lower bound itself (min over the group) — the
+// quantity skipByPrefixLB compares against eps. Exposed for tests: the
+// pipeline only needs the boolean.
+func (ix *Index) prefixLB(feat geom.Point, sub []transform.Transform, q *Record, oneSided bool) float64 {
+	sym := 1.0
+	if ix.opts.UseSymmetry {
+		sym = 2.0
+	}
+	best := math.Inf(1)
+	for _, t := range sub {
+		var s float64
+		for j := 1; j <= ix.opts.K; j++ {
+			mu := t.A[2*j]*feat[2*j] + t.B[2*j]
+			var mv, dp float64
+			if oneSided {
+				mv = q.Mags[j]
+				dp = t.A[2*j+1]*feat[2*j+1] + t.B[2*j+1] - q.Phases[j]
+			} else {
+				mv = t.A[2*j]*q.Mags[j] + t.B[2*j]
+				dp = t.A[2*j+1] * (feat[2*j+1] - q.Phases[j])
+			}
+			s += mu*mu + mv*mv - 2*mu*mv*math.Cos(dp)
+		}
+		if s < 0 {
+			s = 0
+		}
+		if lb := math.Sqrt(sym * s); lb < best {
+			best = lb
+		}
+	}
+	return best
+}

@@ -36,7 +36,14 @@ func SeqScanNN(ds *Dataset, q *Record, ts []transform.Transform, k int, oneSided
 		m := NNMatch{RecordID: r.ID, Distance: math.Inf(1)}
 		for i, t := range ts {
 			st.Comparisons++
-			if d := distancePred(t, r, q, oneSided); d < m.Distance {
+			// Abandon against the running minimum: an abandoned
+			// evaluation proves d > m.Distance, which cannot update it.
+			d, abandoned := distancePredAbandon(t, r, q, m.Distance, oneSided)
+			if abandoned {
+				st.Abandoned++
+				continue
+			}
+			if d < m.Distance {
 				m.Distance, m.TransformIdx = d, i
 			}
 		}
@@ -126,6 +133,8 @@ func (ix *Index) MTIndexNNCtx(ctx context.Context, q *Record, ts []transform.Tra
 			sp.Set(obs.AMatches, int64(nMatches))
 			sp.Set(obs.APagesRead, qio.Reads.Load())
 			sp.Set(obs.ABufferHits, qio.Hits.Load())
+			sp.Set(obs.APagesPrefetched, qio.Prefetched.Load())
+			sp.Set(obs.AAbandoned, int64(st.Abandoned))
 			sp.EndErr(retErr)
 		}()
 	}
@@ -165,6 +174,13 @@ func (ix *Index) MTIndexNNCtx(ctx context.Context, q *Record, ts []transform.Tra
 
 	var results []NNMatch
 	worst := math.Inf(1)
+	// Per-leaf candidate buffer for the batched fetch, reused across
+	// leaves.
+	type nnCand struct {
+		lb  float64
+		rec int64
+	}
+	var leafCands []nnCand
 	h := &nnHeap{{bound: 0, page: ix.tree.Root()}}
 	for h.Len() > 0 {
 		e := heap.Pop(h).(nnEntry)
@@ -176,24 +192,53 @@ func (ix *Index) MTIndexNNCtx(ctx context.Context, q *Record, ts []transform.Tra
 			return nil, st, err
 		}
 		st.DAAll++
-		if n.Leaf {
-			st.DALeaf++
+		if !n.Leaf {
+			for _, ent := range n.Entries {
+				y := transform.ApplyMBRs(mult, add, ent.Rect)
+				lb := lowerBound(y)
+				if len(results) == k && lb > worst {
+					pruned++
+					continue
+				}
+				heap.Push(h, nnEntry{bound: lb, page: ent.Child})
+			}
+			continue
 		}
+		st.DALeaf++
+		// Collect the leaf's surviving entries, fetch their records in
+		// one page-ordered batch, then verify in entry order. The bound
+		// is re-checked per entry as it tightens, so the candidates
+		// actually verified — and every statistic derived from them —
+		// are exactly those of record-at-a-time traversal; batching can
+		// only prefetch a page for an entry the tightening bound later
+		// rejects.
+		leafCands = leafCands[:0]
 		for _, ent := range n.Entries {
 			y := transform.ApplyMBRs(mult, add, ent.Rect)
 			lb := lowerBound(y)
 			if len(results) == k && lb > worst {
-				if !n.Leaf {
-					pruned++
-				}
 				continue
 			}
-			if !n.Leaf {
-				heap.Push(h, nnEntry{bound: lb, page: ent.Child})
-				continue
+			leafCands = append(leafCands, nnCand{lb: lb, rec: ent.Rec})
+		}
+		var recs []*Record
+		if ix.heap != nil && len(leafCands) > 1 {
+			ids := make([]int64, len(leafCands))
+			for i, c := range leafCands {
+				ids[i] = c.rec
 			}
-			r, err := ix.fetchCtx(ctx, ent.Rec)
-			if err != nil {
+			if recs, err = ix.fetchBatchCtx(ctx, ids); err != nil {
+				return nil, st, err
+			}
+		}
+		for ci, c := range leafCands {
+			if len(results) == k && c.lb > worst {
+				continue // bound tightened since the batch was formed
+			}
+			var r *Record
+			if recs != nil {
+				r = recs[ci]
+			} else if r, err = ix.fetchCtx(ctx, c.rec); err != nil {
 				return nil, st, err
 			}
 			if r == nil || r.ID == q.ID {
@@ -203,7 +248,14 @@ func (ix *Index) MTIndexNNCtx(ctx context.Context, q *Record, ts []transform.Tra
 			m := NNMatch{RecordID: r.ID, Distance: math.Inf(1)}
 			for i, t := range ts {
 				st.Comparisons++
-				if d := distancePred(t, r, q, oneSided); d < m.Distance {
+				// Abandon against the running minimum: an abandoned
+				// evaluation proves d > m.Distance and cannot update it.
+				d, abandoned := distancePredAbandon(t, r, q, m.Distance, oneSided)
+				if abandoned {
+					st.Abandoned++
+					continue
+				}
+				if d < m.Distance {
 					m.Distance, m.TransformIdx = d, i
 				}
 			}

@@ -14,14 +14,79 @@ import (
 // identical matches and statistics. The extra falsePos return counts
 // candidates that produced no match — the paper's false positives, the
 // filter quality the trace reports.
-func (ix *Index) verifySerial(ctx context.Context, candidates []int64, sub []transform.Transform, g []int, q *Record, eps float64, ordered *orderedSet, opts RangeOptions) ([]Match, QueryStats, int, error) {
+//
+// Unless opts.NaiveVerify, this is the I/O-aware pipeline: candidates
+// whose DFT-prefix lower bound already exceeds eps are dropped without
+// retrieval (SkippedLB), the survivors' record pages are fetched in one
+// page-ordered batch, and the surviving distance evaluations run
+// through the early-abandoning kernels. Verification still happens in
+// the caller's candidate order, so matches — values and order — are
+// identical to the naive path.
+func (ix *Index) verifySerial(ctx context.Context, candidates []candidate, sub []transform.Transform, g []int, q *Record, eps float64, ordered *orderedSet, opts RangeOptions) ([]Match, QueryStats, int, error) {
 	var st QueryStats
 	var falsePos int
 	var out []Match
-	for _, recID := range candidates {
-		r, err := ix.fetchCtx(ctx, recID)
+	if opts.NaiveVerify {
+		for _, c := range candidates {
+			r, err := ix.fetchCtx(ctx, c.rec)
+			if err != nil {
+				return nil, st, falsePos, err
+			}
+			if r == nil { // deleted since the entry was written
+				continue
+			}
+			st.Candidates++
+			before := len(out)
+			if ordered != nil {
+				out = appendOrderedMatches(out, ordered, r, q, eps, &st, g, true)
+			} else {
+				for i, t := range sub {
+					st.Comparisons++
+					d := distancePred(t, r, q, opts.OneSided)
+					if d <= eps {
+						out = append(out, Match{RecordID: r.ID, TransformIdx: g[i], Distance: d})
+					}
+				}
+			}
+			if len(out) == before {
+				falsePos++
+			}
+		}
+		return out, st, falsePos, nil
+	}
+	survivors := candidates
+	if len(candidates) > 0 {
+		survivors = make([]candidate, 0, len(candidates))
+		for _, c := range candidates {
+			if c.feat != nil && ix.skipByPrefixLB(c.feat, sub, q, eps, opts.OneSided) {
+				st.SkippedLB++
+				continue
+			}
+			survivors = append(survivors, c)
+		}
+	}
+	var recs []*Record
+	if ix.heap != nil && len(survivors) > 1 {
+		ids := make([]int64, len(survivors))
+		for i, c := range survivors {
+			ids[i] = c.rec
+		}
+		var err error
+		recs, err = ix.fetchBatchCtx(ctx, ids)
 		if err != nil {
 			return nil, st, falsePos, err
+		}
+	}
+	for i, c := range survivors {
+		var r *Record
+		if recs != nil {
+			r = recs[i]
+		} else {
+			var err error
+			r, err = ix.fetchCtx(ctx, c.rec)
+			if err != nil {
+				return nil, st, falsePos, err
+			}
 		}
 		if r == nil { // deleted since the entry was written
 			continue
@@ -29,13 +94,17 @@ func (ix *Index) verifySerial(ctx context.Context, candidates []int64, sub []tra
 		st.Candidates++
 		before := len(out)
 		if ordered != nil {
-			out = appendOrderedMatches(out, ordered, r, q, eps, &st, g)
+			out = appendOrderedMatches(out, ordered, r, q, eps, &st, g, false)
 		} else {
-			for i, t := range sub {
+			for ti, t := range sub {
 				st.Comparisons++
-				d := distancePred(t, r, q, opts.OneSided)
+				d, abandoned := distancePredAbandon(t, r, q, eps, opts.OneSided)
+				if abandoned {
+					st.Abandoned++
+					continue
+				}
 				if d <= eps {
-					out = append(out, Match{RecordID: r.ID, TransformIdx: g[i], Distance: d})
+					out = append(out, Match{RecordID: r.ID, TransformIdx: g[ti], Distance: d})
 				}
 			}
 		}
@@ -47,10 +116,12 @@ func (ix *Index) verifySerial(ctx context.Context, candidates []int64, sub []tra
 }
 
 // verifyParallel shards the verification of one transformation
-// rectangle's candidates across opts.Workers goroutines. Empty candidate
-// sets and non-positive worker counts fall back to the serial path (a
-// zero divisor would otherwise panic in the chunk computation).
-func (ix *Index) verifyParallel(ctx context.Context, candidates []int64, sub []transform.Transform, g []int, q *Record, eps float64, ordered *orderedSet, opts RangeOptions) ([]Match, QueryStats, int, error) {
+// rectangle's candidates across opts.Workers goroutines, each shard
+// running verifySerial on its chunk (so every shard gets the same
+// lower-bound skip and page-ordered batch fetch). Empty candidate sets
+// and non-positive worker counts fall back to the serial path (a zero
+// divisor would otherwise panic in the chunk computation).
+func (ix *Index) verifyParallel(ctx context.Context, candidates []candidate, sub []transform.Transform, g []int, q *Record, eps float64, ordered *orderedSet, opts RangeOptions) ([]Match, QueryStats, int, error) {
 	workers := opts.Workers
 	if workers > len(candidates) {
 		workers = len(candidates)
@@ -77,32 +148,7 @@ func (ix *Index) verifyParallel(ctx context.Context, candidates []int64, sub []t
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			sh := &shards[w]
-			for _, recID := range candidates[lo:hi] {
-				r, err := ix.fetchCtx(ctx, recID)
-				if err != nil {
-					sh.err = err
-					return
-				}
-				if r == nil {
-					continue
-				}
-				sh.stats.Candidates++
-				before := len(sh.matches)
-				if ordered != nil {
-					sh.matches = appendOrderedMatches(sh.matches, ordered, r, q, eps, &sh.stats, g)
-				} else {
-					for i, t := range sub {
-						sh.stats.Comparisons++
-						d := distancePred(t, r, q, opts.OneSided)
-						if d <= eps {
-							sh.matches = append(sh.matches, Match{RecordID: r.ID, TransformIdx: g[i], Distance: d})
-						}
-					}
-				}
-				if len(sh.matches) == before {
-					sh.falsePos++
-				}
-			}
+			sh.matches, sh.stats, sh.falsePos, sh.err = ix.verifySerial(ctx, candidates[lo:hi], sub, g, q, eps, ordered, opts)
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -208,11 +254,22 @@ func SeqScanRangeParallel(ds *Dataset, q *Record, ts []transform.Transform, eps 
 				}
 				sh.stats.Candidates++
 				if ordered != nil {
-					sh.matches = appendOrderedMatches(sh.matches, ordered, r, q, eps, &sh.stats, identityIndexes(len(ts)))
+					sh.matches = appendOrderedMatches(sh.matches, ordered, r, q, eps, &sh.stats, identityIndexes(len(ts)), opts.NaiveVerify)
 					continue
 				}
 				for i, t := range ts {
 					sh.stats.Comparisons++
+					if !opts.NaiveVerify {
+						d, abandoned := distancePredAbandon(t, r, q, eps, opts.OneSided)
+						if abandoned {
+							sh.stats.Abandoned++
+							continue
+						}
+						if d <= eps {
+							sh.matches = append(sh.matches, Match{RecordID: r.ID, TransformIdx: i, Distance: d})
+						}
+						continue
+					}
 					d := distancePred(t, r, q, opts.OneSided)
 					if d <= eps {
 						sh.matches = append(sh.matches, Match{RecordID: r.ID, TransformIdx: i, Distance: d})

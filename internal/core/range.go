@@ -36,6 +36,16 @@ type QueryStats struct {
 	// IndexSearches counts index traversals (|T| for ST-index, the number
 	// of transformation rectangles for MT-index).
 	IndexSearches int
+	// SkippedLB counts candidates rejected by the DFT-prefix lower bound
+	// before their record was retrieved; they are not counted in
+	// Candidates (nothing was fetched) and save both the page read and
+	// the full-record comparisons.
+	SkippedLB int
+	// Abandoned counts distance evaluations cut short by the
+	// early-abandoning cutoff. Each is still counted in Comparisons (it
+	// is one predicate evaluation); this reports how many of them
+	// stopped before the full n coefficients.
+	Abandoned int
 }
 
 // Add accumulates other into s.
@@ -45,6 +55,8 @@ func (s *QueryStats) Add(other QueryStats) {
 	s.Candidates += other.Candidates
 	s.Comparisons += other.Comparisons
 	s.IndexSearches += other.IndexSearches
+	s.SkippedLB += other.SkippedLB
+	s.Abandoned += other.Abandoned
 }
 
 // RangeOptions tunes the index-based range algorithms.
@@ -71,6 +83,13 @@ type RangeOptions struct {
 	// is compared as given; pre-transform it (e.g. by a momentum) with
 	// Record.ApplyTransform when the predicate calls for it.
 	OneSided bool
+	// NaiveVerify disables the I/O-aware candidate pipeline — the
+	// DFT-prefix lower-bound skip, the page-ordered batched fetch, and
+	// the early-abandoning distance kernels — and verifies candidates
+	// record-at-a-time in index return order with full distance
+	// computations. The answers are bit-identical either way; the flag
+	// exists for parity tests and before/after benchmarks.
+	NaiveVerify bool
 }
 
 // SeqScanRange answers Query 1 by scanning the whole relation: for every
@@ -88,11 +107,22 @@ func SeqScanRange(ds *Dataset, q *Record, ts []transform.Transform, eps float64,
 		}
 		st.Candidates++
 		if ordered != nil {
-			out = appendOrderedMatches(out, ordered, r, q, eps, &st, identityIndexes(len(ts)))
+			out = appendOrderedMatches(out, ordered, r, q, eps, &st, identityIndexes(len(ts)), opts.NaiveVerify)
 			continue
 		}
 		for i, t := range ts {
 			st.Comparisons++
+			if !opts.NaiveVerify {
+				d, abandoned := distancePredAbandon(t, r, q, eps, opts.OneSided)
+				if abandoned {
+					st.Abandoned++
+					continue
+				}
+				if d <= eps {
+					out = append(out, Match{RecordID: r.ID, TransformIdx: i, Distance: d})
+				}
+				continue
+			}
 			d := distancePred(t, r, q, opts.OneSided)
 			if d <= eps {
 				out = append(out, Match{RecordID: r.ID, TransformIdx: i, Distance: d})
@@ -136,6 +166,18 @@ func distancePred(t transform.Transform, r, q *Record, oneSided bool) float64 {
 		return t.DistancePolarLeft(r.Mags, r.Phases, q.Mags, q.Phases)
 	}
 	return t.DistancePolar(r.Mags, r.Phases, q.Mags, q.Phases)
+}
+
+// distancePredAbandon is distancePred through the early-abandoning
+// kernels: when the partial sum proves the distance exceeds eps, it
+// stops and reports abandoned=true (the candidate is a non-match for
+// this transformation). Non-abandoned evaluations return the
+// bit-identical distancePred value.
+func distancePredAbandon(t transform.Transform, r, q *Record, eps float64, oneSided bool) (float64, bool) {
+	if oneSided {
+		return t.DistancePolarLeftAbandon(r.Mags, r.Phases, q.Mags, q.Phases, eps)
+	}
+	return t.DistancePolarAbandon(r.Mags, r.Phases, q.Mags, q.Phases, eps)
 }
 
 // STIndexRange answers Query 1 with one index traversal per transformation
@@ -222,6 +264,7 @@ func (ix *Index) rangeGroup(ctx context.Context, q *Record, ts []transform.Trans
 		defer func() {
 			probe.Set(obs.APagesRead, qio.Reads.Load())
 			probe.Set(obs.ABufferHits, qio.Hits.Load())
+			probe.Set(obs.APagesPrefetched, qio.Prefetched.Load())
 			probe.EndErr(retErr)
 		}()
 	}
@@ -269,6 +312,8 @@ func (ix *Index) rangeGroup(ctx context.Context, q *Record, ts []transform.Trans
 		vsp.Set(obs.AComparisons, int64(vst.Comparisons))
 		vsp.Set(obs.AMatches, int64(len(matches)))
 		vsp.Set(obs.AFalsePositives, int64(falsePos))
+		vsp.Set(obs.ASkippedLB, int64(vst.SkippedLB))
+		vsp.Set(obs.AAbandoned, int64(vst.Abandoned))
 		vsp.EndErr(err)
 		// Rolled up on the probe so per-group health folds read one span.
 		probe.Set(obs.ACandidates, int64(vst.Candidates))
@@ -282,10 +327,21 @@ func (ix *Index) rangeGroup(ctx context.Context, q *Record, ts []transform.Trans
 	return matches, st, nil
 }
 
+// candidate is one record admitted by the index filter: its id plus the
+// feature point stored in the leaf entry (the rectangle of a point entry
+// is degenerate, so Rect.Lo is the record's indexed feature vector).
+// Carrying the point out of the traversal lets verification apply the
+// DFT-prefix lower bound before fetching the record page; nodes are
+// decoded fresh per load, so the slice reference stays valid.
+type candidate struct {
+	rec  int64
+	feat geom.Point
+}
+
 // filter runs the Algorithm 1 traversal for one transformation rectangle,
-// returning candidate record ids. phaseDims, when non-nil, selects
+// returning the candidates. phaseDims, when non-nil, selects
 // modulo-2*pi comparison for the marked dimensions (one-sided mode).
-func (ix *Index) filter(mult, add, qrect geom.Rect, phaseDims []bool, st *QueryStats) ([]int64, error) {
+func (ix *Index) filter(mult, add, qrect geom.Rect, phaseDims []bool, st *QueryStats) ([]candidate, error) {
 	return ix.filterCtx(nil, mult, add, qrect, phaseDims, st, nil)
 }
 
@@ -293,10 +349,10 @@ func (ix *Index) filter(mult, add, qrect geom.Rect, phaseDims []bool, st *QueryS
 // rtree.LoadCtx so a storage.QueryIO in ctx sees them, and when sp is
 // non-nil the traversal counters (nodes, leaves, pruned subtrees,
 // candidates) are recorded on it. The caller closes sp.
-func (ix *Index) filterCtx(ctx context.Context, mult, add, qrect geom.Rect, phaseDims []bool, st *QueryStats, sp *obs.Span) ([]int64, error) {
+func (ix *Index) filterCtx(ctx context.Context, mult, add, qrect geom.Rect, phaseDims []bool, st *QueryStats, sp *obs.Span) ([]candidate, error) {
 	da0, dl0 := st.DAAll, st.DALeaf
 	var pruned int64
-	var out []int64
+	var out []candidate
 	var walk func(id storage.PageID) error
 	walk = func(id storage.PageID) error {
 		n, err := ix.tree.LoadCtx(ctx, id)
@@ -323,7 +379,7 @@ func (ix *Index) filterCtx(ctx context.Context, mult, add, qrect geom.Rect, phas
 				continue
 			}
 			if n.Leaf {
-				out = append(out, e.Rec)
+				out = append(out, candidate{rec: e.Rec, feat: e.Rect.Lo})
 			} else if err := walk(e.Child); err != nil {
 				return err
 			}
@@ -371,11 +427,21 @@ func orderedPrefix(ts []transform.Transform, useOrdering bool) *orderedSet {
 // appendOrderedMatches finds the largest qualifying scale by binary search
 // (Definition 1 guarantees all smaller scales qualify) and appends one
 // match per qualifying transformation. groupIdx maps local positions to
-// the caller's transformation indices.
-func appendOrderedMatches(out []Match, o *orderedSet, r, q *Record, eps float64, st *QueryStats, groupIdx []int) []Match {
+// the caller's transformation indices. Unless naive, the predicate runs
+// through the early-abandoning kernel; the qualify/fail decisions (and
+// hence the binary search path) are identical either way.
+func appendOrderedMatches(out []Match, o *orderedSet, r, q *Record, eps float64, st *QueryStats, groupIdx []int, naive bool) []Match {
 	k := o.set.LargestQualifying(func(t transform.Transform) bool {
 		st.Comparisons++
-		return t.DistancePolar(r.Mags, r.Phases, q.Mags, q.Phases) <= eps
+		if naive {
+			return t.DistancePolar(r.Mags, r.Phases, q.Mags, q.Phases) <= eps
+		}
+		d, abandoned := t.DistancePolarAbandon(r.Mags, r.Phases, q.Mags, q.Phases, eps)
+		if abandoned {
+			st.Abandoned++
+			return false
+		}
+		return d <= eps
 	})
 	for i := 0; i <= k; i++ {
 		out = append(out, Match{RecordID: r.ID, TransformIdx: groupIdx[o.perm[i]], Distance: -1})

@@ -60,8 +60,8 @@ func TestTracedRangeCrossCheck(t *testing.T) {
 		if st != wantSt {
 			t.Errorf("workers=%d: stats = %+v, want %+v", workers, st, wantSt)
 		}
-		wantIO := (after.Reads - before.Reads) + (after.Hits - before.Hits)
-		gotIO := tr.Sum(obs.KindProbe, obs.APagesRead) + tr.Sum(obs.KindProbe, obs.ABufferHits)
+		wantIO := (after.Reads - before.Reads) + (after.Hits - before.Hits) + (after.Prefetched - before.Prefetched)
+		gotIO := tr.Sum(obs.KindProbe, obs.APagesRead) + tr.Sum(obs.KindProbe, obs.ABufferHits) + tr.Sum(obs.KindProbe, obs.APagesPrefetched)
 		if gotIO != wantIO {
 			t.Errorf("workers=%d: trace attributes %d page fetches, storage counted %d", workers, gotIO, wantIO)
 		}
@@ -112,8 +112,8 @@ func TestTracedNNCrossCheck(t *testing.T) {
 	if len(got) != len(want) || st != wantSt {
 		t.Errorf("traced NN diverged: %d results (want %d), stats %+v (want %+v)", len(got), len(want), st, wantSt)
 	}
-	wantIO := (after.Reads - before.Reads) + (after.Hits - before.Hits)
-	gotIO := tr.Sum(obs.KindProbe, obs.APagesRead) + tr.Sum(obs.KindProbe, obs.ABufferHits)
+	wantIO := (after.Reads - before.Reads) + (after.Hits - before.Hits) + (after.Prefetched - before.Prefetched)
+	gotIO := tr.Sum(obs.KindProbe, obs.APagesRead) + tr.Sum(obs.KindProbe, obs.ABufferHits) + tr.Sum(obs.KindProbe, obs.APagesPrefetched)
 	if gotIO != wantIO {
 		t.Errorf("trace attributes %d page fetches, storage counted %d", gotIO, wantIO)
 	}

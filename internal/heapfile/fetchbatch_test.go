@@ -1,0 +1,216 @@
+package heapfile
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tsq/internal/storage"
+)
+
+func buildHeap(t testing.TB, count, n int) (*storage.Manager, *File) {
+	t.Helper()
+	mgr := storage.NewManager(storage.Options{PageSize: 1024})
+	f, err := Create(mgr, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < count; i++ {
+		if _, err := f.Append(randRec(rng, n, fmt.Sprintf("r%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return mgr, f
+}
+
+// TestFetchBatchParity: FetchBatch returns exactly what record-at-a-time
+// Read returns, parallel to the requested ids — including duplicates,
+// reversed order, and tombstoned records (nil).
+func TestFetchBatchParity(t *testing.T) {
+	mgr, f := buildHeap(t, 60, 16)
+	defer mgr.Close()
+	for _, rec := range []int64{3, 17, 44} {
+		if err := f.Delete(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := []int64{59, 3, 0, 17, 17, 58, 1, 44, 0, 30, 29, 28, 31}
+	got, err := f.FetchBatch(nil, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ids) {
+		t.Fatalf("batch returned %d records for %d ids", len(got), len(ids))
+	}
+	for i, id := range ids {
+		want, err := f.Read(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case want == nil && got[i] == nil:
+		case want == nil || got[i] == nil:
+			t.Errorf("ids[%d]=%d: batch nil=%v, read nil=%v", i, id, got[i] == nil, want == nil)
+		case !recsEqual(got[i], want):
+			t.Errorf("ids[%d]=%d: batch record differs from Read", i, id)
+		}
+	}
+	// Empty batch.
+	if out, err := f.FetchBatch(nil, nil); err != nil || len(out) != 0 {
+		t.Errorf("empty batch: out=%v err=%v", out, err)
+	}
+}
+
+// TestFetchBatchOutOfRange: any invalid id fails the whole batch before
+// any I/O.
+func TestFetchBatchOutOfRange(t *testing.T) {
+	mgr, f := buildHeap(t, 5, 8)
+	defer mgr.Close()
+	for _, ids := range [][]int64{{-1}, {5}, {0, 99, 1}} {
+		if _, err := f.FetchBatch(nil, ids); err == nil {
+			t.Errorf("FetchBatch(%v) succeeded", ids)
+		}
+	}
+}
+
+// TestFetchBatchRunIO: a batch over consecutively appended records is one
+// page run — one backend Read, the rest Prefetched — while the same ids
+// fetched one at a time cost one Read each.
+func TestFetchBatchRunIO(t *testing.T) {
+	mgr, f := buildHeap(t, 32, 16)
+	defer mgr.Close()
+	ids := make([]int64, 32)
+	for i := range ids {
+		ids[i] = int64(31 - i) // descending: the batch must still sort into one run
+	}
+	mgr.ResetStats()
+	if _, err := f.FetchBatch(nil, ids); err != nil {
+		t.Fatal(err)
+	}
+	st := mgr.Stats()
+	if st.Reads != 1 || st.Prefetched != 31 {
+		t.Errorf("batch: reads=%d prefetched=%d, want 1/31", st.Reads, st.Prefetched)
+	}
+	mgr.ResetStats()
+	for _, id := range ids {
+		if _, err := f.Read(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = mgr.Stats()
+	if st.Reads != 32 || st.Prefetched != 0 {
+		t.Errorf("record-at-a-time: reads=%d prefetched=%d, want 32/0", st.Reads, st.Prefetched)
+	}
+}
+
+// TestFetchBatchDuplicatePagesReadOnce: repeated ids do not re-read their
+// page within a batch.
+func TestFetchBatchDuplicatePagesReadOnce(t *testing.T) {
+	mgr, f := buildHeap(t, 4, 8)
+	defer mgr.Close()
+	mgr.ResetStats()
+	out, err := f.FetchBatch(nil, []int64{2, 2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := mgr.Stats()
+	if got := st.Reads + st.Prefetched; got != 1 {
+		t.Errorf("4 duplicate ids cost %d page fetches, want 1", got)
+	}
+	for i := 1; i < len(out); i++ {
+		if !recsEqual(out[i], out[0]) {
+			t.Errorf("duplicate id decode %d differs from first", i)
+		}
+	}
+}
+
+// TestFetchBatchAllocsPerCandidate pins the allocation contract: growing
+// the batch costs only the decode allocations per added record (the Rec,
+// its three arrays, and the name — no per-candidate bookkeeping).
+func TestFetchBatchAllocsPerCandidate(t *testing.T) {
+	mgr, f := buildHeap(t, 128, 16)
+	defer mgr.Close()
+	idsFor := func(n int) []int64 {
+		ids := make([]int64, n)
+		for i := range ids {
+			ids[i] = int64(i)
+		}
+		return ids
+	}
+	measure := func(ids []int64) float64 {
+		return testing.AllocsPerRun(20, func() {
+			if _, err := f.FetchBatch(nil, ids); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small, large := measure(idsFor(32)), measure(idsFor(128))
+	perCandidate := (large - small) / 96
+	// Decode allocates the Rec, Raw, Mags, Phases, and the name string: 5.
+	if perCandidate > 5.5 {
+		t.Errorf("%.2f allocations per candidate, want <= 5.5 (decode only)", perCandidate)
+	}
+}
+
+// FuzzFetchBatch drives random append/delete/sync interleavings and
+// random id multisets (duplicates, boundary ids, arbitrary order) and
+// asserts FetchBatch parity with record-at-a-time Read.
+func FuzzFetchBatch(f *testing.F) {
+	f.Add(int64(1), uint8(20), uint16(8))
+	f.Add(int64(7), uint8(1), uint16(32))
+	f.Add(int64(99), uint8(200), uint16(64))
+	f.Fuzz(func(t *testing.T, seed int64, opCount uint8, idCount uint16) {
+		rng := rand.New(rand.NewSource(seed))
+		mgr := storage.NewManager(storage.Options{PageSize: 512})
+		defer mgr.Close()
+		hf, err := Create(mgr, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Interleave appends, deletes, and directory syncs; syncs can
+		// allocate directory pages mid-stream, breaking up the
+		// otherwise-consecutive record page runs.
+		for op := 0; op < int(opCount); op++ {
+			switch {
+			case hf.Len() == 0 || rng.Intn(3) != 0:
+				name := fmt.Sprintf("n%d", op)
+				if _, err := hf.Append(randRec(rng, 8, name)); err != nil {
+					t.Fatal(err)
+				}
+			case rng.Intn(2) == 0:
+				if err := hf.Delete(int64(rng.Intn(hf.Len()))); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				if err := hf.Sync(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if hf.Len() == 0 {
+			return
+		}
+		ids := make([]int64, int(idCount)%128)
+		for i := range ids {
+			ids[i] = int64(rng.Intn(hf.Len()))
+		}
+		got, err := hf.FetchBatch(nil, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, id := range ids {
+			want, err := hf.Read(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch {
+			case want == nil && got[i] == nil:
+			case want == nil || got[i] == nil:
+				t.Fatalf("seed=%d ids[%d]=%d: batch nil=%v, read nil=%v", seed, i, id, got[i] == nil, want == nil)
+			case !recsEqual(got[i], want):
+				t.Fatalf("seed=%d ids[%d]=%d: batch record differs from Read", seed, i, id)
+			}
+		}
+	})
+}

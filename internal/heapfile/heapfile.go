@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
+	"sort"
 
 	"tsq/internal/storage"
 )
@@ -176,6 +177,13 @@ func (f *File) ReadCtx(ctx context.Context, rec int64) (*Rec, error) {
 	if err := f.mgr.ReadCtx(ctx, f.pages[rec], buf); err != nil {
 		return nil, err
 	}
+	return f.decodeRec(buf, rec)
+}
+
+// decodeRec decodes the record page image in buf into a Rec. The CRC
+// field is zeroed for the checksum and restored afterwards, so the same
+// image can be decoded more than once (duplicate ids in a batch).
+func (f *File) decodeRec(buf []byte, rec int64) (*Rec, error) {
 	if buf[0] == 'D' {
 		return nil, nil // tombstone
 	}
@@ -184,7 +192,9 @@ func (f *File) ReadCtx(ctx context.Context, rec int64) (*Rec, error) {
 	}
 	stored := binary.LittleEndian.Uint32(buf[8:])
 	binary.LittleEndian.PutUint32(buf[8:], 0)
-	if sum := crc32.ChecksumIEEE(buf); sum != stored {
+	sum := crc32.ChecksumIEEE(buf)
+	binary.LittleEndian.PutUint32(buf[8:], stored)
+	if sum != stored {
 		return nil, fmt.Errorf("heapfile: record %d fails its checksum (page %d)", rec, f.pages[rec])
 	}
 	nameLen := int(binary.LittleEndian.Uint16(buf[2:]))
@@ -210,6 +220,79 @@ func (f *File) ReadCtx(ctx context.Context, rec int64) (*Rec, error) {
 		}
 	}
 	out.Name = string(buf[off : off+nameLen])
+	return out, nil
+}
+
+// FetchBatch fetches the given records, servicing the page I/O in
+// ascending page order: the ids are sorted by record page, maximal runs
+// of consecutive pages are read with one storage.ReadRunCtx call each
+// (one backend access plus readahead on run-capable backends), and each
+// page is fetched at most once per call even when ids repeat. The
+// result is parallel to ids — out[i] is the record for ids[i], nil if
+// tombstoned — so callers keep their own candidate order while the
+// underlying I/O happens in file order. Allocation per record is the
+// decode itself (the Rec and its arrays); the run buffer and the sort
+// order are shared across the whole batch.
+func (f *File) FetchBatch(ctx context.Context, ids []int64) ([]*Rec, error) {
+	out := make([]*Rec, len(ids))
+	for _, rec := range ids {
+		if rec < 0 || rec >= int64(len(f.pages)) {
+			return nil, fmt.Errorf("heapfile: record %d out of range [0, %d)", rec, len(f.pages))
+		}
+	}
+	order := make([]int32, len(ids))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := f.pages[ids[order[a]]], f.pages[ids[order[b]]]
+		if pa != pb {
+			return pa < pb
+		}
+		return order[a] < order[b]
+	})
+	ps := f.mgr.PageSize()
+	var runBuf []byte
+	for start := 0; start < len(order); {
+		// Extend the run while page ids stay consecutive (or repeat).
+		end, distinct := start+1, 1
+		for end < len(order) {
+			prev, cur := f.pages[ids[order[end-1]]], f.pages[ids[order[end]]]
+			if cur == prev {
+				end++
+				continue
+			}
+			if cur == prev+1 {
+				end++
+				distinct++
+				continue
+			}
+			break
+		}
+		first := f.pages[ids[order[start]]]
+		if need := distinct * ps; cap(runBuf) < need {
+			grow := 2 * cap(runBuf)
+			if grow < need {
+				grow = need
+			}
+			runBuf = make([]byte, grow)
+		}
+		buf := runBuf[:distinct*ps]
+		if err := f.mgr.ReadRunCtx(ctx, first, distinct, buf); err != nil {
+			return nil, err
+		}
+		for j := start; j < end; j++ {
+			idx := order[j]
+			rec := ids[idx]
+			off := int(f.pages[rec]-first) * ps
+			r, err := f.decodeRec(buf[off:off+ps], rec)
+			if err != nil {
+				return nil, err
+			}
+			out[idx] = r
+		}
+		start = end
+	}
 	return out, nil
 }
 

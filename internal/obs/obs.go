@@ -104,8 +104,17 @@ const (
 	// probe's candidate/false-positive counts to its group in index
 	// health reports).
 	AGroupIndex
+	// APagesPrefetched counts pages delivered by the tail of a batched
+	// run read (the first page of a run counts as APagesRead).
+	APagesPrefetched
+	// ASkippedLB counts candidates rejected by the DFT-prefix lower
+	// bound before their record page was fetched.
+	ASkippedLB
+	// AAbandoned counts distance evaluations cut short by the
+	// early-abandoning cutoff (each still counts in AComparisons).
+	AAbandoned
 
-	numAttrs = int(AGroupIndex) + 1
+	numAttrs = int(AAbandoned) + 1
 )
 
 // String names the attribute as rendered in the span tree.
@@ -133,6 +142,12 @@ func (a Attr) String() string {
 		return "transforms"
 	case AGroupIndex:
 		return "group"
+	case APagesPrefetched:
+		return "pages_prefetched"
+	case ASkippedLB:
+		return "candidates_skipped_lb"
+	case AAbandoned:
+		return "abandoned"
 	default:
 		return "attr"
 	}

@@ -1,0 +1,45 @@
+package series
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDistEuclideanAbandonAgreesWithExact: not abandoned means
+// bit-identical to EuclideanDistance; abandoned means the exact
+// distance exceeds eps.
+func TestDistEuclideanAbandonAgreesWithExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var abandons, passes int
+	for trial := 0; trial < 5000; trial++ {
+		n := 2 + rng.Intn(120)
+		a := make(Series, n)
+		b := make(Series, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		exact := EuclideanDistance(a, b)
+		eps := exact * (0.5 + rng.Float64())
+		d, abandoned := DistEuclideanAbandon(a, b, eps)
+		if abandoned {
+			abandons++
+			if exact <= eps {
+				t.Fatalf("trial %d: abandoned at eps=%v but exact %v qualifies", trial, eps, exact)
+			}
+		} else {
+			passes++
+			if d != exact {
+				t.Fatalf("trial %d: non-abandoned %v != exact %v", trial, d, exact)
+			}
+		}
+		// eps equal to the true distance must never abandon (boundary
+		// slack contract).
+		if _, ab := DistEuclideanAbandon(a, b, exact); ab {
+			t.Fatalf("trial %d: abandoned at eps == exact distance", trial)
+		}
+	}
+	if abandons == 0 || passes == 0 {
+		t.Fatalf("degenerate trial mix: %d abandons, %d passes", abandons, passes)
+	}
+}

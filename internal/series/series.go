@@ -93,6 +93,28 @@ func EuclideanDistance(a, b Series) float64 {
 	return math.Sqrt(ss)
 }
 
+// DistEuclideanAbandon is EuclideanDistance with an early-abandoning
+// cutoff: squared differences are non-negative, so the partial sums
+// grow monotonically and the loop stops as soon as they prove the
+// distance exceeds eps. When it abandons it returns (lb, true) with lb
+// a lower bound on the true distance; otherwise the value is
+// bit-identical to EuclideanDistance and abandoned is false. The
+// cutoff sits slightly above eps² so the abandon decision can never
+// disagree with the exact kernel at the boundary (sqrt rounding).
+func DistEuclideanAbandon(a, b Series, eps float64) (float64, bool) {
+	checkLen("DistEuclideanAbandon", a, b)
+	cut := eps*eps*(1+1e-9) + 1e-9
+	var ss float64
+	for i := range a {
+		d := a[i] - b[i]
+		ss += d * d
+		if ss > cut {
+			return math.Sqrt(ss), true
+		}
+	}
+	return math.Sqrt(ss), false
+}
+
 // CityBlockDistance returns the L1 distance between two equal-length series.
 func CityBlockDistance(a, b Series) float64 {
 	checkLen("CityBlockDistance", a, b)

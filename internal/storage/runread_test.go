@@ -1,0 +1,212 @@
+package storage
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"testing"
+)
+
+// fillPage returns a page-sized buffer whose contents identify the page.
+func fillPage(ps int, tag byte) []byte {
+	data := make([]byte, ps)
+	for i := range data {
+		data[i] = tag ^ byte(i)
+	}
+	return data
+}
+
+// allocRun allocates n consecutive pages and writes identifying data.
+func allocRun(t *testing.T, m *Manager, n int) []PageID {
+	t.Helper()
+	ids := make([]PageID, n)
+	for i := range ids {
+		id, err := m.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && id != ids[i-1]+1 {
+			t.Fatalf("pages not consecutive: %d after %d", id, ids[i-1])
+		}
+		ids[i] = id
+		if err := m.Write(id, fillPage(m.PageSize(), byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ids
+}
+
+func checkRunData(t *testing.T, m *Manager, buf []byte, n int) {
+	t.Helper()
+	ps := m.PageSize()
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(buf[i*ps:(i+1)*ps], fillPage(ps, byte(i))) {
+			t.Errorf("page %d of run has wrong contents", i)
+		}
+	}
+}
+
+// TestReadRunOneReadPlusPrefetched is the accounting contract of the
+// batched run read: a run of n cold pages on a RunReader backend costs
+// one backend Read plus n-1 Prefetched, and the data matches per-page
+// reads exactly.
+func TestReadRunOneReadPlusPrefetched(t *testing.T) {
+	m := NewManager(Options{PageSize: 64}) // MemBackend implements RunReader
+	defer m.Close()
+	ids := allocRun(t, m, 5)
+	m.ResetStats()
+
+	qio := &QueryIO{}
+	ctx := WithQueryIO(context.Background(), qio)
+	buf := make([]byte, 5*64)
+	if err := m.ReadRunCtx(ctx, ids[0], 5, buf); err != nil {
+		t.Fatal(err)
+	}
+	checkRunData(t, m, buf, 5)
+	st := m.Stats()
+	if st.Reads != 1 || st.Prefetched != 4 || st.Hits != 0 {
+		t.Errorf("reads=%d prefetched=%d hits=%d, want 1/4/0", st.Reads, st.Prefetched, st.Hits)
+	}
+	if qio.Reads.Load() != 1 || qio.Prefetched.Load() != 4 {
+		t.Errorf("qio reads=%d prefetched=%d, want 1/4", qio.Reads.Load(), qio.Prefetched.Load())
+	}
+	if qio.Total() != 5 {
+		t.Errorf("qio.Total() = %d, want 5", qio.Total())
+	}
+}
+
+// TestReadRunSinglePageIsPlainRead: a run of length 1 takes the ordinary
+// per-page path — no Prefetched, one Read.
+func TestReadRunSinglePageIsPlainRead(t *testing.T) {
+	m := NewManager(Options{PageSize: 64})
+	defer m.Close()
+	ids := allocRun(t, m, 1)
+	m.ResetStats()
+	buf := make([]byte, 64)
+	if err := m.ReadRunCtx(nil, ids[0], 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Reads != 1 || st.Prefetched != 0 {
+		t.Errorf("reads=%d prefetched=%d, want 1/0", st.Reads, st.Prefetched)
+	}
+}
+
+// TestReadRunPoolHitSplitsSegments: a page resident in the buffer pool is
+// served as a Hit and splits the surrounding misses into two separately
+// fetched segments.
+func TestReadRunPoolHitSplitsSegments(t *testing.T) {
+	m := NewManager(Options{PageSize: 64, BufferPages: 16})
+	defer m.Close()
+	ids := allocRun(t, m, 5)
+	m.DropBuffer()
+	probe := make([]byte, 64)
+	if err := m.Read(ids[2], probe); err != nil { // cache the middle page only
+		t.Fatal(err)
+	}
+	m.ResetStats()
+
+	qio := &QueryIO{}
+	ctx := WithQueryIO(context.Background(), qio)
+	buf := make([]byte, 5*64)
+	if err := m.ReadRunCtx(ctx, ids[0], 5, buf); err != nil {
+		t.Fatal(err)
+	}
+	checkRunData(t, m, buf, 5)
+	st := m.Stats()
+	// Segments [0,1] and [3,4]: one Read plus one Prefetched each; page 2
+	// is a pool hit.
+	if st.Reads != 2 || st.Prefetched != 2 || st.Hits != 1 {
+		t.Errorf("reads=%d prefetched=%d hits=%d, want 2/2/1", st.Reads, st.Prefetched, st.Hits)
+	}
+	if qio.Total() != 5 {
+		t.Errorf("qio.Total() = %d, want 5", qio.Total())
+	}
+
+	// The whole run is now pooled: re-reading it is all hits.
+	m.ResetStats()
+	if err := m.ReadRunCtx(nil, ids[0], 5, buf); err != nil {
+		t.Fatal(err)
+	}
+	st = m.Stats()
+	if st.Reads != 0 || st.Prefetched != 0 || st.Hits != 5 {
+		t.Errorf("warm rerun: reads=%d prefetched=%d hits=%d, want 0/0/5", st.Reads, st.Prefetched, st.Hits)
+	}
+}
+
+// noRunBackend hides the RunReader method of the wrapped backend: the
+// embedded interface value only promotes Backend's method set.
+type noRunBackend struct{ Backend }
+
+// TestReadRunWithoutRunReaderCountsPerPage: on a backend that cannot
+// service run reads, every miss in the run is an ordinary Read and
+// nothing is Prefetched, but the data is identical.
+func TestReadRunWithoutRunReaderCountsPerPage(t *testing.T) {
+	inner := NewMemBackend(64)
+	m := NewManager(Options{PageSize: 64, Backend: noRunBackend{inner}})
+	defer m.Close()
+	ids := allocRun(t, m, 4)
+	m.ResetStats()
+	buf := make([]byte, 4*64)
+	if err := m.ReadRunCtx(nil, ids[0], 4, buf); err != nil {
+		t.Fatal(err)
+	}
+	checkRunData(t, m, buf, 4)
+	st := m.Stats()
+	if st.Reads != 4 || st.Prefetched != 0 {
+		t.Errorf("reads=%d prefetched=%d, want 4/0", st.Reads, st.Prefetched)
+	}
+}
+
+// TestReadRunFileBackend exercises the positioned-read fast path of the
+// file backend and its parity with per-page reads.
+func TestReadRunFileBackend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	b, err := NewFileBackend(path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(Options{PageSize: 128, Backend: b})
+	defer m.Close()
+	ids := allocRun(t, m, 6)
+	m.ResetStats()
+	buf := make([]byte, 6*128)
+	if err := m.ReadRunCtx(nil, ids[0], 6, buf); err != nil {
+		t.Fatal(err)
+	}
+	checkRunData(t, m, buf, 6)
+	st := m.Stats()
+	if st.Reads != 1 || st.Prefetched != 5 {
+		t.Errorf("reads=%d prefetched=%d, want 1/5", st.Reads, st.Prefetched)
+	}
+	// Per-page parity.
+	single := make([]byte, 128)
+	for i, id := range ids {
+		if err := m.Read(id, single); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(single, buf[i*128:(i+1)*128]) {
+			t.Errorf("page %d: run read and page read disagree", i)
+		}
+	}
+}
+
+// TestReadRunErrors: nil first page and unallocated pages in the run
+// surface as errors, not silent zero pages.
+func TestReadRunErrors(t *testing.T) {
+	m := NewManager(Options{PageSize: 64})
+	defer m.Close()
+	buf := make([]byte, 3*64)
+	if err := m.ReadRunCtx(nil, NilPage, 3, buf); err == nil {
+		t.Error("run read starting at NilPage succeeded")
+	}
+	ids := allocRun(t, m, 1)
+	// Run extends past the last allocated page.
+	if err := m.ReadRunCtx(nil, ids[0], 3, buf); err == nil {
+		t.Error("run read past allocation succeeded")
+	}
+	// Zero-length run is a no-op.
+	if err := m.ReadRunCtx(nil, ids[0], 0, nil); err != nil {
+		t.Errorf("zero-length run read: %v", err)
+	}
+}

@@ -29,11 +29,12 @@ const DefaultPageSize = 4096
 
 // Stats counts the physical operations performed by a Manager.
 type Stats struct {
-	Reads  int64 // page reads that reached the backend
-	Writes int64 // page writes that reached the backend
-	Allocs int64 // pages allocated
-	Frees  int64 // pages freed
-	Hits   int64 // buffer pool hits (reads served without backend access)
+	Reads      int64 // page reads that reached the backend
+	Writes     int64 // page writes that reached the backend
+	Allocs     int64 // pages allocated
+	Frees      int64 // pages freed
+	Hits       int64 // buffer pool hits (reads served without backend access)
+	Prefetched int64 // pages delivered by the tail of a batched run read
 }
 
 // Backend is the raw page store under the manager.
@@ -46,6 +47,17 @@ type Backend interface {
 	Grow(id PageID) error
 	// Close releases backend resources.
 	Close() error
+}
+
+// RunReader is an optional Backend capability: fetching a run of n
+// consecutive pages with one call. On a file this is a single
+// sequential pread — one seek plus streaming — which is why the
+// manager counts a run as one Read plus n-1 Prefetched rather than n
+// random Reads. Backends without it are served page-at-a-time.
+type RunReader interface {
+	// ReadRun fills buf (at least n pages long) with the contents of
+	// pages first..first+n-1.
+	ReadRun(first PageID, n int, buf []byte) error
 }
 
 // MemBackend keeps pages in memory. It is the default backend; it gives
@@ -84,6 +96,21 @@ func (m *MemBackend) WritePage(id PageID, buf []byte) error {
 		return fmt.Errorf("storage: write to unallocated page %d", id)
 	}
 	copy(p, buf)
+	return nil
+}
+
+// ReadRun implements RunReader: the whole run is copied under one
+// shared-lock acquisition.
+func (m *MemBackend) ReadRun(first PageID, n int, buf []byte) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for i := 0; i < n; i++ {
+		p, ok := m.pages[first+PageID(i)]
+		if !ok {
+			return fmt.Errorf("storage: read of unallocated page %d", first+PageID(i))
+		}
+		copy(buf[i*m.pageSize:(i+1)*m.pageSize], p)
+	}
 	return nil
 }
 
@@ -130,6 +157,16 @@ func (b *FileBackend) ReadPage(id PageID, buf []byte) error {
 	return nil
 }
 
+// ReadRun implements RunReader: one positional read covering the whole
+// run, so consecutive pages cost one system call and one disk seek.
+func (b *FileBackend) ReadRun(first PageID, n int, buf []byte) error {
+	_, err := b.f.ReadAt(buf[:n*b.pageSize], int64(first)*int64(b.pageSize))
+	if err != nil && !errors.Is(err, io.EOF) {
+		return fmt.Errorf("storage: read run [%d,%d): %w", first, first+PageID(n), err)
+	}
+	return nil
+}
+
 // WritePage implements Backend.
 func (b *FileBackend) WritePage(id PageID, buf []byte) error {
 	if _, err := b.f.WriteAt(buf[:b.pageSize], int64(id)*int64(b.pageSize)); err != nil {
@@ -168,11 +205,12 @@ type Manager struct {
 
 // managerStats is the Manager's live counter block; Stats() snapshots it.
 type managerStats struct {
-	reads  atomic.Int64
-	writes atomic.Int64
-	allocs atomic.Int64
-	frees  atomic.Int64
-	hits   atomic.Int64
+	reads      atomic.Int64
+	writes     atomic.Int64
+	allocs     atomic.Int64
+	frees      atomic.Int64
+	hits       atomic.Int64
+	prefetched atomic.Int64
 }
 
 // global tallies the same operations across every Manager in the
@@ -186,11 +224,12 @@ var global managerStats
 // GlobalStats snapshots the process-wide counters.
 func GlobalStats() Stats {
 	return Stats{
-		Reads:  global.reads.Load(),
-		Writes: global.writes.Load(),
-		Allocs: global.allocs.Load(),
-		Frees:  global.frees.Load(),
-		Hits:   global.hits.Load(),
+		Reads:      global.reads.Load(),
+		Writes:     global.writes.Load(),
+		Allocs:     global.allocs.Load(),
+		Frees:      global.frees.Load(),
+		Hits:       global.hits.Load(),
+		Prefetched: global.prefetched.Load(),
 	}
 }
 
@@ -277,12 +316,14 @@ func (m *Manager) Free(id PageID) {
 // atomic so one QueryIO may be shared by the parallel probes of a
 // single query.
 type QueryIO struct {
-	Reads atomic.Int64 // page reads that reached the backend
-	Hits  atomic.Int64 // reads served by the buffer pool
+	Reads      atomic.Int64 // page reads that reached the backend
+	Hits       atomic.Int64 // reads served by the buffer pool
+	Prefetched atomic.Int64 // pages delivered by the tail of a run read
 }
 
-// Total returns all page fetches attributed so far (reads + hits).
-func (q *QueryIO) Total() int64 { return q.Reads.Load() + q.Hits.Load() }
+// Total returns all page fetches attributed so far
+// (reads + hits + prefetched).
+func (q *QueryIO) Total() int64 { return q.Reads.Load() + q.Hits.Load() + q.Prefetched.Load() }
 
 type queryIOKey struct{}
 
@@ -341,6 +382,85 @@ func (m *Manager) ReadCtx(ctx context.Context, id PageID, buf []byte) error {
 	return nil
 }
 
+// ReadRunCtx copies pages first..first+n-1 into buf (which must be at
+// least n pages long), servicing the run with as few backend calls as
+// possible: pages resident in the buffer pool are copied out as hits,
+// and each maximal segment of consecutive misses goes to the backend in
+// one RunReader call when the backend supports it. A segment of k pages
+// fetched in one call is counted as one Read plus k-1 Prefetched — the
+// first page pays the seek, the rest stream behind it — in the
+// manager's stats, the process-wide stats, and any QueryIO carried by
+// ctx. Backends without RunReader are read page-at-a-time (k Reads).
+func (m *Manager) ReadRunCtx(ctx context.Context, first PageID, n int, buf []byte) error {
+	if first == NilPage {
+		return errors.New("storage: read of nil page")
+	}
+	if n <= 0 {
+		return nil
+	}
+	qio := QueryIOFrom(ctx)
+	ps := m.pageSize
+
+	// Pull what the pool already holds; remember the misses.
+	missFrom := -1 // start of the current miss segment, -1 when none open
+	flush := func(end int) error {
+		if missFrom < 0 {
+			return nil
+		}
+		segFirst, segN := first+PageID(missFrom), end-missFrom
+		segBuf := buf[missFrom*ps : end*ps]
+		rr, ok := m.backend.(RunReader)
+		if ok && segN > 1 {
+			if err := rr.ReadRun(segFirst, segN, segBuf); err != nil {
+				return err
+			}
+			m.stats.reads.Add(1)
+			global.reads.Add(1)
+			m.stats.prefetched.Add(int64(segN - 1))
+			global.prefetched.Add(int64(segN - 1))
+			if qio != nil {
+				qio.Reads.Add(1)
+				qio.Prefetched.Add(int64(segN - 1))
+			}
+		} else {
+			for i := 0; i < segN; i++ {
+				if err := m.backend.ReadPage(segFirst+PageID(i), segBuf[i*ps:(i+1)*ps]); err != nil {
+					return err
+				}
+			}
+			m.stats.reads.Add(int64(segN))
+			global.reads.Add(int64(segN))
+			if qio != nil {
+				qio.Reads.Add(int64(segN))
+			}
+		}
+		if m.pool != nil {
+			for i := 0; i < segN; i++ {
+				m.pool.put(segFirst+PageID(i), segBuf[i*ps:(i+1)*ps])
+			}
+		}
+		missFrom = -1
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if m.pool != nil && m.pool.get(first+PageID(i), buf[i*ps:(i+1)*ps]) {
+			if err := flush(i); err != nil {
+				return err
+			}
+			m.stats.hits.Add(1)
+			global.hits.Add(1)
+			if qio != nil {
+				qio.Hits.Add(1)
+			}
+			continue
+		}
+		if missFrom < 0 {
+			missFrom = i
+		}
+	}
+	return flush(n)
+}
+
 // Write stores buf as the contents of page id (write-through).
 func (m *Manager) Write(id PageID, buf []byte) error {
 	if id == NilPage {
@@ -360,11 +480,12 @@ func (m *Manager) Write(id PageID, buf []byte) error {
 // Stats returns a snapshot of the counters.
 func (m *Manager) Stats() Stats {
 	return Stats{
-		Reads:  m.stats.reads.Load(),
-		Writes: m.stats.writes.Load(),
-		Allocs: m.stats.allocs.Load(),
-		Frees:  m.stats.frees.Load(),
-		Hits:   m.stats.hits.Load(),
+		Reads:      m.stats.reads.Load(),
+		Writes:     m.stats.writes.Load(),
+		Allocs:     m.stats.allocs.Load(),
+		Frees:      m.stats.frees.Load(),
+		Hits:       m.stats.hits.Load(),
+		Prefetched: m.stats.prefetched.Load(),
 	}
 }
 
@@ -375,6 +496,7 @@ func (m *Manager) ResetStats() {
 	m.stats.allocs.Store(0)
 	m.stats.frees.Store(0)
 	m.stats.hits.Store(0)
+	m.stats.prefetched.Store(0)
 }
 
 // DropBuffer empties the buffer pool so subsequent reads are cold.

@@ -79,6 +79,7 @@ type Match struct {
 type Stats struct {
 	NodeAccesses int // index nodes fetched
 	Candidates   int // window offsets verified exactly
+	Abandoned    int // window verifications cut short by the eps cutoff
 }
 
 // subtrail is one leaf entry: window positions [Start, Start+Count) of
@@ -176,7 +177,15 @@ func (ix *Index) walk(id storage.PageID, qf geom.Point, eps float64, st *Stats, 
 		s := ix.seqs[tr.Seq]
 		for off := tr.Start; off < tr.Start+tr.Count; off++ {
 			st.Candidates++
-			d := windowDistance(s[off:off+ix.opts.Window], query)
+			// Early-abandoning verification: squared differences only
+			// accumulate, so once the partial sum passes eps² the
+			// offset cannot match. Non-abandoned distances are
+			// bit-identical to windowDistance.
+			d, abandoned := series.DistEuclideanAbandon(s[off:off+ix.opts.Window], query, eps)
+			if abandoned {
+				st.Abandoned++
+				continue
+			}
 			if d <= eps {
 				*out = append(*out, Match{Seq: tr.Seq, Offset: off, Distance: d})
 			}

@@ -377,6 +377,71 @@ func (t Transform) DistancePolarLeft(xm, xp, ym, yp []float64) float64 {
 	return math.Sqrt(s)
 }
 
+// AbandonCutoff returns the squared-distance threshold an
+// early-abandoning kernel may compare its partial sums against to prove
+// d > eps. It sits a hair above eps² so that the conclusion holds even
+// though individual polar terms can carry rounding noise of either
+// sign: a partial sum above the cutoff exceeds the full sum's possible
+// downward drift, hence the exact kernel would also report d > eps.
+// Non-abandoned computations are unaffected — they produce bit-identical
+// distances — so abandonment can never disagree with the full
+// computation about a match.
+func AbandonCutoff(eps float64) float64 { return eps*eps*(1+1e-9) + 1e-9 }
+
+// DistancePolarAbandon is DistancePolar with an early-abandoning
+// cutoff: each per-coefficient term is non-negative, so the partial
+// sums are non-decreasing and the loop can stop as soon as they prove
+// the distance exceeds eps. When it abandons it returns (lb, true)
+// with lb a lower bound on the true distance; otherwise it returns the
+// bit-identical DistancePolar value and false (the summation order is
+// unchanged, the cutoff only adds a comparison per coefficient).
+func (t Transform) DistancePolarAbandon(xm, xp, ym, yp []float64, eps float64) (float64, bool) {
+	n := t.N()
+	if len(xm) != n || len(xp) != n || len(ym) != n || len(yp) != n {
+		panic(fmt.Sprintf("transform: DistancePolarAbandon on %q (n=%d) with lengths %d/%d/%d/%d",
+			t.Name, n, len(xm), len(xp), len(ym), len(yp)))
+	}
+	cut := AbandonCutoff(eps)
+	var s float64
+	for f := 0; f < n; f++ {
+		mu := t.A[2*f]*xm[f] + t.B[2*f]
+		mv := t.A[2*f]*ym[f] + t.B[2*f]
+		s += mu*mu + mv*mv - 2*mu*mv*math.Cos(t.A[2*f+1]*(xp[f]-yp[f]))
+		if s > cut {
+			return math.Sqrt(s), true
+		}
+	}
+	if s < 0 {
+		s = 0 // rounding noise on identical inputs
+	}
+	return math.Sqrt(s), false
+}
+
+// DistancePolarLeftAbandon is DistancePolarLeft with the same
+// early-abandoning contract as DistancePolarAbandon.
+func (t Transform) DistancePolarLeftAbandon(xm, xp, ym, yp []float64, eps float64) (float64, bool) {
+	n := t.N()
+	if len(xm) != n || len(xp) != n || len(ym) != n || len(yp) != n {
+		panic(fmt.Sprintf("transform: DistancePolarLeftAbandon on %q (n=%d) with lengths %d/%d/%d/%d",
+			t.Name, n, len(xm), len(xp), len(ym), len(yp)))
+	}
+	cut := AbandonCutoff(eps)
+	var s float64
+	for f := 0; f < n; f++ {
+		mu := t.A[2*f]*xm[f] + t.B[2*f]
+		mv := ym[f]
+		dp := t.A[2*f+1]*xp[f] + t.B[2*f+1] - yp[f]
+		s += mu*mu + mv*mv - 2*mu*mv*math.Cos(dp)
+		if s > cut {
+			return math.Sqrt(s), true
+		}
+	}
+	if s < 0 {
+		s = 0
+	}
+	return math.Sqrt(s), false
+}
+
 // ApplyPolarSpectrum applies t to a polar spectrum, returning new
 // magnitude and phase arrays.
 func (t Transform) ApplyPolarSpectrum(mags, phases []float64) (outM, outP []float64) {

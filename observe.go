@@ -169,4 +169,5 @@ func init() {
 	obs.Default.CounterFunc("tsq_pages_read_total", func() int64 { return storage.GlobalStats().Reads })
 	obs.Default.CounterFunc("tsq_buffer_hits_total", func() int64 { return storage.GlobalStats().Hits })
 	obs.Default.CounterFunc("tsq_pages_written_total", func() int64 { return storage.GlobalStats().Writes })
+	obs.Default.CounterFunc("tsq_pages_prefetched_total", func() int64 { return storage.GlobalStats().Prefetched })
 }

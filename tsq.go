@@ -213,6 +213,13 @@ type QueryOptions struct {
 	// algorithms' candidate-verification phase across that many
 	// goroutines. Answers are identical to serial evaluation.
 	Workers int
+	// NaiveVerify disables the I/O-aware candidate pipeline (DFT-prefix
+	// lower-bound skipping, page-ordered batched fetch, early-abandoning
+	// distance kernels) and verifies record-at-a-time, as the paper's
+	// cost model assumes. Answers are identical either way; only the
+	// I/O and comparison effort differs. The paper-figure harness sets
+	// this so the Eq. 18/20 disk-access curves replicate exactly.
+	NaiveVerify bool
 }
 
 // DB is an indexed collection of equal-length time series. Queries may
@@ -360,6 +367,7 @@ func (db *DB) rangeOpts(ts []Transform, opts QueryOptions) core.RangeOptions {
 		UseOrdering: opts.UseOrdering,
 		OneSided:    opts.OneSided || opts.QueryTransform != nil,
 		Workers:     opts.Workers,
+		NaiveVerify: opts.NaiveVerify,
 	}
 	if opts.PaperQueryRect {
 		ro.Mode = core.QRectPaper
