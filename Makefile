@@ -17,8 +17,15 @@ race: build
 	$(GO) test -race ./...
 
 # The repo's verification recipe: tier-1 tests plus the race detector.
+# errcheck runs when installed (CI installs it; locally it is optional).
 verify: build
 	$(GO) vet ./...
+	@if command -v errcheck >/dev/null 2>&1; then \
+		echo errcheck ./...; \
+		errcheck -ignoretests ./...; \
+	else \
+		echo "errcheck not installed; skipping (go install github.com/kisielk/errcheck@latest)"; \
+	fi
 	$(GO) test ./...
 	$(GO) test -race ./...
 

@@ -292,6 +292,46 @@ func TestCLIErrors(t *testing.T) {
 	}
 }
 
+func TestCLICheck(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "stocks.csv")
+	dbPath := filepath.Join(dir, "stocks.tsq")
+	runTool(t, "tsgen", "-kind", "stocks", "-count", "60", "-length", "64", "-out", data)
+	runTool(t, "tsquery", "-data", data, "-save", dbPath)
+
+	// A clean file scrubs OK.
+	out := runTool(t, "tsquery", "-db", dbPath, "-check")
+	for _, needle := range []string{"checksums on", "result: OK"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("-check output missing %q:\n%s", needle, out)
+		}
+	}
+
+	// Flip a byte mid-file: -check must report CORRUPT and exit nonzero.
+	f, err := os.OpenFile(dbPath, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF, 0xEE, 0xDD}, st.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(filepath.Join(buildTools(t), "tsquery"), "-db", dbPath, "-check")
+	corrupt, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Errorf("-check exited zero on a corrupt file:\n%s", corrupt)
+	}
+	if !strings.Contains(string(corrupt), "result: CORRUPT") {
+		t.Errorf("-check output on corrupt file:\n%s", corrupt)
+	}
+}
+
 func TestCLIInspectReport(t *testing.T) {
 	// Acceptance: the -inspect report's tree height and total entry count
 	// match ground truth on a generated Fig. 5-style workload.

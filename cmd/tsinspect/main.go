@@ -35,7 +35,7 @@ func run(path string, verify bool) error {
 	if err != nil {
 		return err
 	}
-	defer db.Close()
+	defer func() { _ = db.Close() }() // read-only session
 
 	info, err := db.Info()
 	if err != nil {

@@ -68,6 +68,7 @@ func run() error {
 		explain   = flag.Bool("explain", false, "print the planner's cost comparison and an EXPLAIN ANALYZE of all three algorithms instead of running the query")
 		trace     = flag.Bool("trace", false, "print the query's span tree after running it")
 		inspect   = flag.Bool("inspect", false, "print the index health report (R*-tree occupancy/overlap, heap utilization, transformation groups) and exit")
+		check     = flag.Bool("check", false, "scrub the -db file (header, page checksums, structural integrity) and exit; nonzero exit status on corruption")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /index, /queries, /rates and /debug/pprof/ on this address while the command runs")
 	)
 	flag.Parse()
@@ -99,6 +100,20 @@ func run() error {
 		}()
 		fmt.Printf("debug server on http://%s (/metrics, /index, /queries, /rates, /debug/pprof/)\n", *debugAddr)
 	}
+	if *check {
+		if *dbPath == "" {
+			return fmt.Errorf("-check requires -db")
+		}
+		report, err := tsq.CheckFile(*dbPath)
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.String())
+		if !report.OK() {
+			return fmt.Errorf("%s is corrupt", *dbPath)
+		}
+		return nil
+	}
 	var db *tsq.DB
 	var names []string
 	switch {
@@ -110,7 +125,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		defer db.Close()
+		defer func() { _ = db.Close() }() // read-only session
 		names = make([]string, db.Len())
 		for i := range names {
 			names[i] = db.Name(int64(i))
@@ -127,8 +142,13 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			defer db.Close()
-			fmt.Printf("wrote %d series to %s\n", db.Len(), *save)
+			n := db.Len()
+			// Close flushes and syncs; a failure here means the file is not
+			// durable, so it must not be reported as written.
+			if err := db.Close(); err != nil {
+				return fmt.Errorf("closing %s: %w", *save, err)
+			}
+			fmt.Printf("wrote %d series to %s\n", n, *save)
 			return nil
 		}
 		db, err = tsq.Open(ss, names, tsq.Options{})

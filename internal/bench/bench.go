@@ -520,8 +520,8 @@ func VerifySweep(cfg Config, backend string) ([]VerifyRow, error) {
 		path := filepath.Join(dir, "bench.tsq")
 		db, err = tsq.CreateFile(path, ss, nil, tsq.Options{PageSize: 4096, BufferPages: 32})
 		cleanup = func() {
-			db.Close()
-			os.RemoveAll(dir)
+			_ = db.Close()
+			_ = os.RemoveAll(dir)
 		}
 	default:
 		return nil, fmt.Errorf("bench: unknown backend %q", backend)

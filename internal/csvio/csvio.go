@@ -79,7 +79,7 @@ func WriteFile(path string, names []string, ss []series.Series) error {
 		return fmt.Errorf("csvio: %w", err)
 	}
 	if err := Write(f, names, ss); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()
@@ -91,6 +91,6 @@ func ReadFile(path string) (names []string, ss []series.Series, err error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("csvio: %w", err)
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only; close errors carry no data loss
 	return Read(f)
 }

@@ -94,9 +94,14 @@ func Open(mgr *storage.Manager, dirHead storage.PageID, n int) (*File, error) {
 	buf := make([]byte, mgr.PageSize())
 	id := dirHead
 	perPage := (mgr.PageSize() - dirHeaderSize) / 4
+	seen := make(map[storage.PageID]bool)
 	for id != storage.NilPage {
+		if seen[id] {
+			return nil, fmt.Errorf("heapfile: corrupt directory: page %d linked twice (cycle)", id)
+		}
+		seen[id] = true
 		if err := mgr.Read(id, buf); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("heapfile: reading directory page %d: %w", id, err)
 		}
 		if [4]byte(buf[:4]) != dirMagic {
 			return nil, fmt.Errorf("heapfile: bad directory magic on page %d", id)
@@ -108,7 +113,11 @@ func Open(mgr *storage.Manager, dirHead storage.PageID, n int) (*File, error) {
 		}
 		next := storage.PageID(binary.LittleEndian.Uint32(buf[8:]))
 		for i := 0; i < count; i++ {
-			f.pages = append(f.pages, storage.PageID(binary.LittleEndian.Uint32(buf[dirHeaderSize+4*i:])))
+			rec := storage.PageID(binary.LittleEndian.Uint32(buf[dirHeaderSize+4*i:]))
+			if rec == storage.NilPage {
+				return nil, fmt.Errorf("heapfile: corrupt directory page %d: entry %d is the nil page", id, i)
+			}
+			f.pages = append(f.pages, rec)
 		}
 		id = next
 	}
@@ -175,7 +184,7 @@ func (f *File) ReadCtx(ctx context.Context, rec int64) (*Rec, error) {
 	}
 	buf := make([]byte, f.mgr.PageSize())
 	if err := f.mgr.ReadCtx(ctx, f.pages[rec], buf); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("heapfile: reading record %d: %w", rec, err)
 	}
 	return f.decodeRec(buf, rec)
 }
@@ -279,7 +288,7 @@ func (f *File) FetchBatch(ctx context.Context, ids []int64) ([]*Rec, error) {
 		}
 		buf := runBuf[:distinct*ps]
 		if err := f.mgr.ReadRunCtx(ctx, first, distinct, buf); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("heapfile: batch-fetching records: %w", err)
 		}
 		for j := start; j < end; j++ {
 			idx := order[j]

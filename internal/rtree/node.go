@@ -166,5 +166,20 @@ func decodeMeta(buf []byte) (dim int, root storage.PageID, height int, size int6
 	root = storage.PageID(binary.LittleEndian.Uint32(buf[8:]))
 	height = int(binary.LittleEndian.Uint32(buf[12:]))
 	size = int64(binary.LittleEndian.Uint64(buf[16:]))
+	// A corrupt meta page must be rejected here with a descriptive
+	// error, not surface as a panic (or an absurd allocation) in the
+	// first traversal that trusts the fields.
+	if dim < 1 || dim > 1024 {
+		return 0, 0, 0, 0, fmt.Errorf("rtree: corrupt meta page: implausible dimension %d", dim)
+	}
+	if root == storage.NilPage {
+		return 0, 0, 0, 0, fmt.Errorf("rtree: corrupt meta page: nil root page")
+	}
+	if height < 1 || height > 64 {
+		return 0, 0, 0, 0, fmt.Errorf("rtree: corrupt meta page: implausible height %d", height)
+	}
+	if size < 0 {
+		return 0, 0, 0, 0, fmt.Errorf("rtree: corrupt meta page: negative size %d", size)
+	}
 	return dim, root, height, size, nil
 }

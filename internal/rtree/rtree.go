@@ -67,16 +67,21 @@ func New(mgr *storage.Manager, dim int) (*Tree, error) {
 func Open(mgr *storage.Manager, metaID storage.PageID) (*Tree, error) {
 	buf := make([]byte, mgr.PageSize())
 	if err := mgr.Read(metaID, buf); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("rtree: reading meta page %d: %w", metaID, err)
 	}
 	dim, root, height, size, err := decodeMeta(buf)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("rtree: meta page %d: %w", metaID, err)
+	}
+	maxE := MaxEntries(mgr.PageSize(), dim)
+	if maxE < 4 {
+		return nil, fmt.Errorf("rtree: meta page %d: dimension %d leaves capacity %d in a %d-byte page",
+			metaID, dim, maxE, mgr.PageSize())
 	}
 	t := &Tree{
 		mgr:    mgr,
 		dim:    dim,
-		maxE:   MaxEntries(mgr.PageSize(), dim),
+		maxE:   maxE,
 		metaID: metaID,
 		root:   root,
 		height: height,

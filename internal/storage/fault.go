@@ -1,0 +1,241 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// FaultKind selects the failure a FaultBackend injects.
+type FaultKind int
+
+const (
+	// FaultNone disarms injection.
+	FaultNone FaultKind = iota
+	// FaultError makes the targeted operation return ErrInjected.
+	FaultError
+	// FaultShortRead delivers only a prefix of the requested bytes on a
+	// read (writes targeted by it fall back to FaultError). The
+	// underlying read still happens; the tail of the buffer is zeroed,
+	// modelling a file truncated mid-page.
+	FaultShortRead
+	// FaultTornWrite applies only a prefix of a write before failing,
+	// modelling a page torn by power loss mid-write. The prefix length
+	// is drawn from the backend's seeded generator.
+	FaultTornWrite
+	// FaultCrash freezes the backend at the targeted operation: the
+	// operation itself fails with ErrCrashed, as does every later one.
+	// For a write, the crash happens before any byte is applied. The
+	// on-disk image is whatever the preceding operations left — the
+	// state a real crash would leave for recovery to find.
+	FaultCrash
+)
+
+// Sentinel errors for injected failures. Injected errors wrap these, so
+// tests distinguish "the fault I planted" from an organic failure with
+// errors.Is.
+var (
+	// ErrInjected is the terminal error of FaultError, FaultShortRead,
+	// and FaultTornWrite injections.
+	ErrInjected = errors.New("injected fault")
+	// ErrCrashed is returned by every operation at and after a
+	// FaultCrash point.
+	ErrCrashed = errors.New("backend crashed")
+)
+
+// FaultBackend wraps a Backend and injects deterministic, seedable
+// failures for tests. Operations are counted from 1 in the order they
+// reach the backend (reads, writes, and run reads each count as one
+// operation; Grow and Sync are passed through uncounted so fault
+// schedules track data-path I/O only). Arm a failure with FailAt; the
+// same seed and schedule reproduce the same failure byte-for-byte.
+//
+// All methods are serialized by one mutex, which keeps the operation
+// count and the crash state deterministic even under concurrent
+// queries. It is a test double: fidelity beats parallelism.
+type FaultBackend struct {
+	mu    sync.Mutex
+	inner Backend
+	rng   *rand.Rand
+	ops   int64 // operations seen so far
+
+	failOp  int64 // 1-based operation to fail; 0 = disarmed
+	kind    FaultKind
+	crashed bool
+}
+
+// NewFaultBackend wraps inner. seed fixes the random choices (torn-write
+// prefix lengths, short-read lengths) so failures reproduce exactly.
+func NewFaultBackend(inner Backend, seed int64) *FaultBackend {
+	return &FaultBackend{inner: inner, rng: rand.New(rand.NewSource(seed))}
+}
+
+// FailAt arms the backend to inject kind at the op-th operation from
+// now, counting from 1. It also clears any previous crash state and
+// resets the operation counter, so sweeps re-arm the same backend.
+func (b *FaultBackend) FailAt(op int64, kind FaultKind) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failOp = op
+	b.kind = kind
+	b.ops = 0
+	b.crashed = false
+}
+
+// Disarm clears any pending fault and crash state without resetting the
+// operation counter.
+func (b *FaultBackend) Disarm() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failOp = 0
+	b.kind = FaultNone
+	b.crashed = false
+}
+
+// Ops returns the number of operations the backend has served (or
+// failed) since the last FailAt.
+func (b *FaultBackend) Ops() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ops
+}
+
+// Crashed reports whether a FaultCrash point has fired.
+func (b *FaultBackend) Crashed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.crashed
+}
+
+// step advances the operation counter and reports which fault (if any)
+// fires for this operation. Callers hold b.mu.
+func (b *FaultBackend) step() (FaultKind, error) {
+	if b.crashed {
+		return FaultNone, ErrCrashed
+	}
+	b.ops++
+	if b.failOp != 0 && b.ops == b.failOp {
+		if b.kind == FaultCrash {
+			b.crashed = true
+			return FaultNone, ErrCrashed
+		}
+		return b.kind, nil
+	}
+	return FaultNone, nil
+}
+
+// ReadPage implements Backend.
+func (b *FaultBackend) ReadPage(id PageID, buf []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	kind, err := b.step()
+	if err != nil {
+		return fmt.Errorf("storage: fault: read page %d: %w", id, err)
+	}
+	switch kind {
+	case FaultError:
+		return fmt.Errorf("storage: fault: read page %d: %w", id, ErrInjected)
+	case FaultShortRead:
+		// Deliver a prefix of the real page and zero the rest, but still
+		// fail: a correct FileBackend surfaces short reads as errors,
+		// and layers above must never see the partial buffer as data.
+		if err := b.inner.ReadPage(id, buf); err != nil {
+			return err
+		}
+		cut := b.rng.Intn(len(buf))
+		for i := cut; i < len(buf); i++ {
+			buf[i] = 0
+		}
+		return fmt.Errorf("storage: fault: short read of page %d (%d of %d bytes): %w",
+			id, cut, len(buf), ErrInjected)
+	case FaultTornWrite:
+		return fmt.Errorf("storage: fault: read page %d: %w", id, ErrInjected)
+	}
+	return b.inner.ReadPage(id, buf)
+}
+
+// ReadRun implements RunReader (falling back to page loops when the
+// inner backend lacks it). The whole run counts as one operation,
+// matching FileBackend's single pread.
+func (b *FaultBackend) ReadRun(first PageID, n int, buf []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	kind, err := b.step()
+	if err != nil {
+		return fmt.Errorf("storage: fault: read run of pages [%d,%d): %w", first, first+PageID(n), err)
+	}
+	if kind != FaultNone {
+		return fmt.Errorf("storage: fault: read run of pages [%d,%d): %w", first, first+PageID(n), ErrInjected)
+	}
+	if rr, ok := b.inner.(RunReader); ok {
+		return rr.ReadRun(first, n, buf)
+	}
+	ps := len(buf) / n
+	for i := 0; i < n; i++ {
+		if err := b.inner.ReadPage(first+PageID(i), buf[i*ps:(i+1)*ps]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePage implements Backend.
+func (b *FaultBackend) WritePage(id PageID, buf []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	kind, err := b.step()
+	if err != nil {
+		return fmt.Errorf("storage: fault: write page %d: %w", id, err)
+	}
+	switch kind {
+	case FaultError, FaultShortRead:
+		return fmt.Errorf("storage: fault: write page %d: %w", id, ErrInjected)
+	case FaultTornWrite:
+		// Apply a random prefix of the new image over the old page, as a
+		// sector-at-a-time disk losing power mid-write would, then fail.
+		cut := b.rng.Intn(len(buf))
+		old := make([]byte, len(buf))
+		if rerr := b.inner.ReadPage(id, old); rerr == nil {
+			copy(old[:cut], buf[:cut])
+			if werr := b.inner.WritePage(id, old); werr != nil {
+				return fmt.Errorf("storage: fault: torn write of page %d: %w", id, werr)
+			}
+		}
+		return fmt.Errorf("storage: fault: torn write of page %d (%d of %d bytes applied): %w",
+			id, cut, len(buf), ErrInjected)
+	}
+	return b.inner.WritePage(id, buf)
+}
+
+// Grow implements Backend. Growth is passed through uncounted, except
+// after a crash point, when the image is frozen.
+func (b *FaultBackend) Grow(id PageID) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.crashed {
+		return fmt.Errorf("storage: fault: grow to page %d: %w", id, ErrCrashed)
+	}
+	return b.inner.Grow(id)
+}
+
+// Sync implements Syncer (uncounted; frozen after a crash).
+func (b *FaultBackend) Sync() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.crashed {
+		return fmt.Errorf("storage: fault: sync: %w", ErrCrashed)
+	}
+	if s, ok := b.inner.(Syncer); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
+// Close implements Backend. Close always reaches the inner backend so
+// tests do not leak file handles, even after a crash.
+func (b *FaultBackend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inner.Close()
+}

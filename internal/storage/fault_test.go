@@ -1,0 +1,271 @@
+package storage
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// stampPage writes a recognizable pattern for page id.
+func stampPage(buf []byte, id PageID) {
+	for i := range buf {
+		buf[i] = byte(int(id) + i)
+	}
+}
+
+func TestFaultBackendErrorOnNthOp(t *testing.T) {
+	const ps = 256
+	fb := NewFaultBackend(NewMemBackend(ps), 1)
+	buf := make([]byte, ps)
+	for id := PageID(1); id <= 3; id++ {
+		if err := fb.Grow(id); err != nil {
+			t.Fatal(err)
+		}
+		stampPage(buf, id)
+		if err := fb.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fb.FailAt(2, FaultError)
+	if err := fb.ReadPage(1, buf); err != nil {
+		t.Fatalf("op 1 should succeed: %v", err)
+	}
+	err := fb.ReadPage(2, buf)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 2 should fail with ErrInjected, got %v", err)
+	}
+	if want := "page 2"; err == nil || !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not name the page", err)
+	}
+	if err := fb.ReadPage(3, buf); err != nil {
+		t.Fatalf("op 3 should succeed again: %v", err)
+	}
+	if fb.Ops() != 3 {
+		t.Errorf("ops = %d, want 3", fb.Ops())
+	}
+}
+
+func TestFaultBackendCrashFreezes(t *testing.T) {
+	const ps = 128
+	fb := NewFaultBackend(NewMemBackend(ps), 7)
+	buf := make([]byte, ps)
+	if err := fb.Grow(1); err != nil {
+		t.Fatal(err)
+	}
+	stampPage(buf, 1)
+	if err := fb.WritePage(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	fb.FailAt(1, FaultCrash)
+	// The crash-point write fails before applying anything...
+	zero := make([]byte, ps)
+	if err := fb.WritePage(1, zero); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash-point write: %v", err)
+	}
+	// ...and every later operation stays dead.
+	if err := fb.ReadPage(1, buf); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash read: %v", err)
+	}
+	if err := fb.Grow(9); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash grow: %v", err)
+	}
+	if err := fb.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync: %v", err)
+	}
+	if !fb.Crashed() {
+		t.Error("Crashed() = false after crash point")
+	}
+	// The frozen image still holds the pre-crash contents.
+	fb.Disarm()
+	if err := fb.ReadPage(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, ps)
+	stampPage(want, 1)
+	if string(buf) != string(want) {
+		t.Error("pre-crash page contents lost")
+	}
+}
+
+func TestFaultBackendTornWriteIsDeterministic(t *testing.T) {
+	const ps = 512
+	run := func(seed int64) []byte {
+		fb := NewFaultBackend(NewMemBackend(ps), seed)
+		buf := make([]byte, ps)
+		if err := fb.Grow(1); err != nil {
+			t.Fatal(err)
+		}
+		stampPage(buf, 1)
+		if err := fb.WritePage(1, buf); err != nil {
+			t.Fatal(err)
+		}
+		fb.FailAt(1, FaultTornWrite)
+		newImg := make([]byte, ps)
+		for i := range newImg {
+			newImg[i] = 0xAB
+		}
+		if err := fb.WritePage(1, newImg); !errors.Is(err, ErrInjected) {
+			t.Fatalf("torn write should fail with ErrInjected: %v", err)
+		}
+		fb.Disarm()
+		got := make([]byte, ps)
+		if err := fb.ReadPage(1, got); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a, b := run(42), run(42)
+	if string(a) != string(b) {
+		t.Fatal("same seed produced different torn images")
+	}
+	// The image must be a prefix of the new write over the old page —
+	// not fully old, not fully new (overwhelmingly likely with ps=512).
+	old, fresh := 0, 0
+	for i := range a {
+		if a[i] == 0xAB {
+			fresh++
+		} else {
+			old++
+		}
+	}
+	if fresh == 0 || old == 0 {
+		t.Errorf("torn image not actually torn: %d new bytes, %d old bytes", fresh, old)
+	}
+}
+
+func TestFaultBackendShortRead(t *testing.T) {
+	const ps = 256
+	fb := NewFaultBackend(NewMemBackend(ps), 3)
+	buf := make([]byte, ps)
+	if err := fb.Grow(1); err != nil {
+		t.Fatal(err)
+	}
+	stampPage(buf, 1)
+	if err := fb.WritePage(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	fb.FailAt(1, FaultShortRead)
+	err := fb.ReadPage(1, buf)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("short read should fail with ErrInjected: %v", err)
+	}
+	if !strings.Contains(err.Error(), "page 1") {
+		t.Errorf("error %q does not name the page", err)
+	}
+}
+
+func TestFaultBackendRunCountsAsOneOp(t *testing.T) {
+	const ps = 128
+	fb := NewFaultBackend(NewMemBackend(ps), 5)
+	buf := make([]byte, 4*ps)
+	for id := PageID(1); id <= 4; id++ {
+		if err := fb.Grow(id); err != nil {
+			t.Fatal(err)
+		}
+		stampPage(buf[:ps], id)
+		if err := fb.WritePage(id, buf[:ps]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fb.FailAt(0, FaultNone)
+	if err := fb.ReadRun(1, 4, buf); err != nil {
+		t.Fatal(err)
+	}
+	if fb.Ops() != 1 {
+		t.Errorf("run of 4 pages counted as %d ops, want 1", fb.Ops())
+	}
+	fb.FailAt(1, FaultError)
+	if err := fb.ReadRun(1, 4, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed run read: %v", err)
+	}
+}
+
+func TestFileBackendShortReadIsError(t *testing.T) {
+	// Regression: reading past EOF (or a truncated tail page) must be an
+	// error naming the page, never a silently zero-filled buffer.
+	const ps = 512
+	path := filepath.Join(t.TempDir(), "short.pages")
+	fb, err := NewFileBackend(path, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+	buf := make([]byte, ps)
+	if err := fb.Grow(2); err != nil {
+		t.Fatal(err)
+	}
+	stampPage(buf, 2)
+	if err := fb.WritePage(2, buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-page-2: a torn tail.
+	if err := os.Truncate(path, int64(2*ps+100)); err != nil {
+		t.Fatal(err)
+	}
+	err = fb.ReadPage(2, buf)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated page read: got %v, want io.ErrUnexpectedEOF", err)
+	}
+	if !strings.Contains(err.Error(), "page 2") {
+		t.Errorf("error %q does not name the page", err)
+	}
+	// And entirely past EOF.
+	err = fb.ReadPage(9, buf)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("past-EOF read: got %v, want io.ErrUnexpectedEOF", err)
+	}
+	// Run reads covering the torn tail fail too.
+	err = fb.ReadRun(1, 2, make([]byte, 2*ps))
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated run read: got %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestFreeNilPageIsNoOp(t *testing.T) {
+	// Regression: Free(NilPage) used to push page 0 onto the free list,
+	// and the next Alloc handed out NilPage as a live page.
+	m := NewManager(Options{PageSize: 128})
+	m.Free(NilPage)
+	id, err := m.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == NilPage {
+		t.Fatal("Alloc returned NilPage after Free(NilPage)")
+	}
+	if got := m.Stats().Frees; got != 0 {
+		t.Errorf("Free(NilPage) counted as a free: %d", got)
+	}
+}
+
+func TestManagerCountsIOErrors(t *testing.T) {
+	const ps = 256
+	fb := NewFaultBackend(NewMemBackend(ps), 1)
+	m := NewManager(Options{PageSize: ps, Backend: fb})
+	id, err := m.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, ps)
+	if err := m.Write(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	before := GlobalStats()
+	fb.FailAt(1, FaultError)
+	if err := m.Read(id, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed read: %v", err)
+	}
+	st := m.Stats()
+	if st.IOErrors != 1 {
+		t.Errorf("IOErrors = %d, want 1", st.IOErrors)
+	}
+	if st.ChecksumFailures != 0 {
+		t.Errorf("ChecksumFailures = %d, want 0 (fault was not a checksum error)", st.ChecksumFailures)
+	}
+	if d := GlobalStats().IOErrors - before.IOErrors; d != 1 {
+		t.Errorf("global IOErrors delta = %d, want 1", d)
+	}
+}

@@ -35,6 +35,12 @@ type Stats struct {
 	Frees      int64 // pages freed
 	Hits       int64 // buffer pool hits (reads served without backend access)
 	Prefetched int64 // pages delivered by the tail of a batched run read
+
+	// IOErrors counts backend page operations that failed; the error is
+	// always surfaced to the caller, never hidden. ChecksumFailures is
+	// the subset of those rejected by the per-page checksum.
+	IOErrors         int64
+	ChecksumFailures int64
 }
 
 // Backend is the raw page store under the manager.
@@ -47,6 +53,13 @@ type Backend interface {
 	Grow(id PageID) error
 	// Close releases backend resources.
 	Close() error
+}
+
+// Syncer is an optional Backend capability: flushing buffered writes to
+// stable storage. Backends without it (MemBackend) have nothing to sync.
+type Syncer interface {
+	// Sync flushes all completed writes to durable storage.
+	Sync() error
 }
 
 // RunReader is an optional Backend capability: fetching a run of n
@@ -148,23 +161,35 @@ func NewFileBackend(path string, pageSize int) (*FileBackend, error) {
 	return &FileBackend{pageSize: pageSize, f: f}, nil
 }
 
-// ReadPage implements Backend.
+// ReadPage implements Backend. A read past the end of the file — or one
+// that returns fewer than pageSize bytes — is an error, not a zero page:
+// a truncated or torn file must surface as corruption, never as silently
+// zero-filled data.
 func (b *FileBackend) ReadPage(id PageID, buf []byte) error {
-	_, err := b.f.ReadAt(buf[:b.pageSize], int64(id)*int64(b.pageSize))
-	if err != nil && !errors.Is(err, io.EOF) {
-		return fmt.Errorf("storage: read page %d: %w", id, err)
+	n, err := b.f.ReadAt(buf[:b.pageSize], int64(id)*int64(b.pageSize))
+	if n == b.pageSize {
+		return nil
 	}
-	return nil
+	if err == nil || errors.Is(err, io.EOF) {
+		err = io.ErrUnexpectedEOF
+	}
+	return fmt.Errorf("storage: read page %d: got %d of %d bytes: %w", id, n, b.pageSize, err)
 }
 
 // ReadRun implements RunReader: one positional read covering the whole
-// run, so consecutive pages cost one system call and one disk seek.
+// run, so consecutive pages cost one system call and one disk seek. Like
+// ReadPage, the run must be complete: a short read is an error.
 func (b *FileBackend) ReadRun(first PageID, n int, buf []byte) error {
-	_, err := b.f.ReadAt(buf[:n*b.pageSize], int64(first)*int64(b.pageSize))
-	if err != nil && !errors.Is(err, io.EOF) {
-		return fmt.Errorf("storage: read run [%d,%d): %w", first, first+PageID(n), err)
+	want := n * b.pageSize
+	got, err := b.f.ReadAt(buf[:want], int64(first)*int64(b.pageSize))
+	if got == want {
+		return nil
 	}
-	return nil
+	if err == nil || errors.Is(err, io.EOF) {
+		err = io.ErrUnexpectedEOF
+	}
+	return fmt.Errorf("storage: read run of pages [%d,%d): got %d of %d bytes: %w",
+		first, first+PageID(n), got, want, err)
 }
 
 // WritePage implements Backend.
@@ -180,8 +205,24 @@ func (b *FileBackend) Grow(id PageID) error {
 	return b.f.Truncate((int64(id) + 1) * int64(b.pageSize))
 }
 
-// Close implements Backend.
-func (b *FileBackend) Close() error { return b.f.Close() }
+// Sync implements Syncer: it flushes completed writes to stable storage.
+func (b *FileBackend) Sync() error {
+	if err := b.f.Sync(); err != nil {
+		return fmt.Errorf("storage: sync page file: %w", err)
+	}
+	return nil
+}
+
+// Close implements Backend. Buffered writes are flushed to stable
+// storage first, so a database closed cleanly survives a crash that
+// follows immediately.
+func (b *FileBackend) Close() error {
+	syncErr := b.Sync()
+	if err := b.f.Close(); err != nil {
+		return fmt.Errorf("storage: close page file: %w", err)
+	}
+	return syncErr
+}
 
 // Manager allocates pages and mediates reads and writes through an
 // optional buffer pool, counting every backend access.
@@ -205,12 +246,14 @@ type Manager struct {
 
 // managerStats is the Manager's live counter block; Stats() snapshots it.
 type managerStats struct {
-	reads      atomic.Int64
-	writes     atomic.Int64
-	allocs     atomic.Int64
-	frees      atomic.Int64
-	hits       atomic.Int64
-	prefetched atomic.Int64
+	reads            atomic.Int64
+	writes           atomic.Int64
+	allocs           atomic.Int64
+	frees            atomic.Int64
+	hits             atomic.Int64
+	prefetched       atomic.Int64
+	ioErrors         atomic.Int64
+	checksumFailures atomic.Int64
 }
 
 // global tallies the same operations across every Manager in the
@@ -224,12 +267,14 @@ var global managerStats
 // GlobalStats snapshots the process-wide counters.
 func GlobalStats() Stats {
 	return Stats{
-		Reads:      global.reads.Load(),
-		Writes:     global.writes.Load(),
-		Allocs:     global.allocs.Load(),
-		Frees:      global.frees.Load(),
-		Hits:       global.hits.Load(),
-		Prefetched: global.prefetched.Load(),
+		Reads:            global.reads.Load(),
+		Writes:           global.writes.Load(),
+		Allocs:           global.allocs.Load(),
+		Frees:            global.frees.Load(),
+		Hits:             global.hits.Load(),
+		Prefetched:       global.prefetched.Load(),
+		IOErrors:         global.ioErrors.Load(),
+		ChecksumFailures: global.checksumFailures.Load(),
 	}
 }
 
@@ -298,7 +343,13 @@ func (m *Manager) Alloc() (PageID, error) {
 // Free returns a page to the allocator. The page's contents become
 // undefined. The caller must guarantee no concurrent reader still uses
 // the page (the index holds no reference to a page before freeing it).
+// Freeing NilPage is a no-op: page 0 is never a valid allocation, and
+// putting it on the free list would make a later Alloc hand out NilPage
+// as a live page.
 func (m *Manager) Free(id PageID) {
+	if id == NilPage {
+		return
+	}
 	if m.pool != nil {
 		m.pool.evict(id)
 	}
@@ -369,7 +420,7 @@ func (m *Manager) ReadCtx(ctx context.Context, id PageID, buf []byte) error {
 		}
 	}
 	if err := m.backend.ReadPage(id, buf[:m.pageSize]); err != nil {
-		return err
+		return m.countIOError(err)
 	}
 	m.stats.reads.Add(1)
 	global.reads.Add(1)
@@ -412,7 +463,7 @@ func (m *Manager) ReadRunCtx(ctx context.Context, first PageID, n int, buf []byt
 		rr, ok := m.backend.(RunReader)
 		if ok && segN > 1 {
 			if err := rr.ReadRun(segFirst, segN, segBuf); err != nil {
-				return err
+				return m.countIOError(err)
 			}
 			m.stats.reads.Add(1)
 			global.reads.Add(1)
@@ -425,7 +476,7 @@ func (m *Manager) ReadRunCtx(ctx context.Context, first PageID, n int, buf []byt
 		} else {
 			for i := 0; i < segN; i++ {
 				if err := m.backend.ReadPage(segFirst+PageID(i), segBuf[i*ps:(i+1)*ps]); err != nil {
-					return err
+					return m.countIOError(err)
 				}
 			}
 			m.stats.reads.Add(int64(segN))
@@ -461,13 +512,27 @@ func (m *Manager) ReadRunCtx(ctx context.Context, first PageID, n int, buf []byt
 	return flush(n)
 }
 
+// countIOError tallies a failed backend operation in the error counters
+// (classifying checksum rejections separately) and returns err unchanged
+// so callers can use it inline on error-return paths.
+func (m *Manager) countIOError(err error) error {
+	m.stats.ioErrors.Add(1)
+	global.ioErrors.Add(1)
+	var ce *ChecksumError
+	if errors.As(err, &ce) {
+		m.stats.checksumFailures.Add(1)
+		global.checksumFailures.Add(1)
+	}
+	return err
+}
+
 // Write stores buf as the contents of page id (write-through).
 func (m *Manager) Write(id PageID, buf []byte) error {
 	if id == NilPage {
 		return errors.New("storage: write to nil page")
 	}
 	if err := m.backend.WritePage(id, buf[:m.pageSize]); err != nil {
-		return err
+		return m.countIOError(err)
 	}
 	m.stats.writes.Add(1)
 	global.writes.Add(1)
@@ -480,12 +545,14 @@ func (m *Manager) Write(id PageID, buf []byte) error {
 // Stats returns a snapshot of the counters.
 func (m *Manager) Stats() Stats {
 	return Stats{
-		Reads:      m.stats.reads.Load(),
-		Writes:     m.stats.writes.Load(),
-		Allocs:     m.stats.allocs.Load(),
-		Frees:      m.stats.frees.Load(),
-		Hits:       m.stats.hits.Load(),
-		Prefetched: m.stats.prefetched.Load(),
+		Reads:            m.stats.reads.Load(),
+		Writes:           m.stats.writes.Load(),
+		Allocs:           m.stats.allocs.Load(),
+		Frees:            m.stats.frees.Load(),
+		Hits:             m.stats.hits.Load(),
+		Prefetched:       m.stats.prefetched.Load(),
+		IOErrors:         m.stats.ioErrors.Load(),
+		ChecksumFailures: m.stats.checksumFailures.Load(),
 	}
 }
 
@@ -497,6 +564,8 @@ func (m *Manager) ResetStats() {
 	m.stats.frees.Store(0)
 	m.stats.hits.Store(0)
 	m.stats.prefetched.Store(0)
+	m.stats.ioErrors.Store(0)
+	m.stats.checksumFailures.Store(0)
 }
 
 // DropBuffer empties the buffer pool so subsequent reads are cold.
@@ -504,6 +573,15 @@ func (m *Manager) DropBuffer() {
 	if m.pool != nil {
 		m.pool.reset()
 	}
+}
+
+// Sync flushes the backend's completed writes to stable storage when the
+// backend supports it (a no-op otherwise).
+func (m *Manager) Sync() error {
+	if s, ok := m.backend.(Syncer); ok {
+		return s.Sync()
+	}
+	return nil
 }
 
 // Close releases the backend.

@@ -46,6 +46,10 @@ type Options struct {
 	Adaptive bool
 	// PageSize is the index page size; storage.DefaultPageSize if zero.
 	PageSize int
+	// Backend overrides the storage backend the trail index is built on.
+	// Nil means in-memory. Exposed so fault-injection tests can run the
+	// subsequence path over a failing backend.
+	Backend storage.Backend
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -103,7 +107,7 @@ func Build(seqs []series.Series, opts Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	mgr := storage.NewManager(storage.Options{PageSize: opts.PageSize})
+	mgr := storage.NewManager(storage.Options{PageSize: opts.PageSize, Backend: opts.Backend})
 	tree, err := rtree.New(mgr, 2*opts.K)
 	if err != nil {
 		return nil, err

@@ -170,4 +170,6 @@ func init() {
 	obs.Default.CounterFunc("tsq_buffer_hits_total", func() int64 { return storage.GlobalStats().Hits })
 	obs.Default.CounterFunc("tsq_pages_written_total", func() int64 { return storage.GlobalStats().Writes })
 	obs.Default.CounterFunc("tsq_pages_prefetched_total", func() int64 { return storage.GlobalStats().Prefetched })
+	obs.Default.CounterFunc("tsq_io_errors_total", func() int64 { return storage.GlobalStats().IOErrors })
+	obs.Default.CounterFunc("tsq_checksum_failures_total", func() int64 { return storage.GlobalStats().ChecksumFailures })
 }

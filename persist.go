@@ -8,8 +8,21 @@ package tsq
 // retrieval path.
 //
 // File layout: a 16-byte raw header in the reserved page-0 region
-// (magic + page size, so OpenFile can size the backend), the superblock
-// on page 1, and heap/tree pages after it.
+// (magic + page size + format flags, so OpenFile can size the backend),
+// the superblock on page 1, and heap/tree pages after it.
+//
+// Checksummed format (the default since the crash-consistency work):
+// every page except the raw page-0 region carries a CRC32C trailer in
+// its last 8 bytes, written and verified by storage.ChecksumBackend.
+// The page size in the raw header is always the PHYSICAL page size;
+// when the checksum flag is set, layers above the backend operate on
+// logical pages 8 bytes smaller. Files written without the flag (PR 4
+// and earlier) reopen transparently with no checksum layer.
+//
+// Durability: CreateFile syncs the page image before writing the raw
+// header, and syncs the header before returning — the header acts as a
+// commit record, so a crash mid-create leaves a file OpenFile rejects
+// (no magic) rather than a plausible-looking torn database.
 
 import (
 	"encoding/binary"
@@ -27,152 +40,281 @@ var (
 
 const rawHeaderSize = 16
 
+// Raw header format flags (offset 8). Files from before the flags field
+// existed have zeros there, which decodes as "no checksums" — exactly
+// their format.
+const rawFlagChecksums = 1 << 0
+
+// Superblock flags (offset 12).
+const (
+	superFlagSymmetry  = 1 << 0
+	superFlagChecksums = 1 << 1 // mirrors rawFlagChecksums; cross-checked on open
+)
+
+// superInfo is the decoded superblock.
+type superInfo struct {
+	n, k        int
+	symmetry    bool
+	checksummed bool
+	treeMeta    storage.PageID
+	heapDir     storage.PageID
+}
+
 // Superblock layout (page 1, little endian):
 //
 //	offset 0: magic "TSQ1"
 //	offset 4: series length n (uint32)
 //	offset 8: indexed coefficients k (uint32)
-//	offset 12: flags (uint32; bit 0 = symmetry)
+//	offset 12: flags (uint32; bit 0 = symmetry, bit 1 = checksummed)
 //	offset 16: tree meta page (uint32)
 //	offset 20: heap directory page (uint32)
-func encodeSuper(buf []byte, n, k int, symmetry bool, treeMeta, heapDir storage.PageID) {
+func encodeSuper(buf []byte, si superInfo) {
 	copy(buf, superMagic[:])
-	binary.LittleEndian.PutUint32(buf[4:], uint32(n))
-	binary.LittleEndian.PutUint32(buf[8:], uint32(k))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(si.n))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(si.k))
 	var flags uint32
-	if symmetry {
-		flags |= 1
+	if si.symmetry {
+		flags |= superFlagSymmetry
+	}
+	if si.checksummed {
+		flags |= superFlagChecksums
 	}
 	binary.LittleEndian.PutUint32(buf[12:], flags)
-	binary.LittleEndian.PutUint32(buf[16:], uint32(treeMeta))
-	binary.LittleEndian.PutUint32(buf[20:], uint32(heapDir))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(si.treeMeta))
+	binary.LittleEndian.PutUint32(buf[20:], uint32(si.heapDir))
 }
 
-func decodeSuper(buf []byte) (n, k int, symmetry bool, treeMeta, heapDir storage.PageID, err error) {
+// decodeSuper validates and decodes a superblock page. A corrupt
+// superblock must fail here with a descriptive error, not as a panic in
+// whatever downstream code first trusts the garbage.
+func decodeSuper(buf []byte) (superInfo, error) {
+	var si superInfo
 	if [4]byte(buf[:4]) != superMagic {
-		return 0, 0, false, 0, 0, fmt.Errorf("tsq: bad superblock magic %q", buf[:4])
+		return si, fmt.Errorf("tsq: bad superblock magic %q", buf[:4])
 	}
-	n = int(binary.LittleEndian.Uint32(buf[4:]))
-	k = int(binary.LittleEndian.Uint32(buf[8:]))
-	symmetry = binary.LittleEndian.Uint32(buf[12:])&1 != 0
-	treeMeta = storage.PageID(binary.LittleEndian.Uint32(buf[16:]))
-	heapDir = storage.PageID(binary.LittleEndian.Uint32(buf[20:]))
-	return n, k, symmetry, treeMeta, heapDir, nil
+	si.n = int(binary.LittleEndian.Uint32(buf[4:]))
+	si.k = int(binary.LittleEndian.Uint32(buf[8:]))
+	flags := binary.LittleEndian.Uint32(buf[12:])
+	si.symmetry = flags&superFlagSymmetry != 0
+	si.checksummed = flags&superFlagChecksums != 0
+	si.treeMeta = storage.PageID(binary.LittleEndian.Uint32(buf[16:]))
+	si.heapDir = storage.PageID(binary.LittleEndian.Uint32(buf[20:]))
+	if si.n <= 0 {
+		return si, fmt.Errorf("tsq: corrupt superblock: series length %d (must be > 0)", si.n)
+	}
+	if si.k <= 0 || si.k > si.n {
+		return si, fmt.Errorf("tsq: corrupt superblock: %d indexed coefficients for series length %d (need 0 < k <= n)", si.k, si.n)
+	}
+	if si.treeMeta == storage.NilPage {
+		return si, fmt.Errorf("tsq: corrupt superblock: nil tree meta page")
+	}
+	if si.heapDir == storage.NilPage {
+		return si, fmt.Errorf("tsq: corrupt superblock: nil heap directory page")
+	}
+	return si, nil
 }
 
 // CreateFile builds a database in a page file at path. The file holds the
 // records and the index; reopen it with OpenFile. The returned DB must be
 // closed.
 func CreateFile(path string, ss []Series, names []string, opts Options) (*DB, error) {
+	return createFile(path, ss, names, opts, nil)
+}
+
+// createFile is CreateFile with a test hook: when wrap is non-nil it is
+// applied to the raw file backend before the checksum layer, placing
+// injected faults at the "disk" position — beneath the CRC, which is
+// where torn writes happen and where the checksums must catch them.
+func createFile(path string, ss []Series, names []string, opts Options, wrap func(storage.Backend) storage.Backend) (*DB, error) {
 	if opts.PageSize == 0 {
 		opts.PageSize = storage.DefaultPageSize
 	}
 	if opts.K == 0 {
 		opts.K = 2
 	}
-	backend, err := storage.NewFileBackend(path, opts.PageSize)
+	physPageSize := opts.PageSize
+	fileBackend, err := storage.NewFileBackend(path, physPageSize)
 	if err != nil {
 		return nil, err
 	}
+	var backend storage.Backend = fileBackend
+	if wrap != nil {
+		backend = wrap(backend)
+	}
+	pageSize := physPageSize
+	if !opts.DisableChecksums {
+		cb := storage.NewChecksumBackend(backend, physPageSize)
+		backend = cb
+		pageSize = cb.LogicalPageSize()
+	}
 	mgr := storage.NewManager(storage.Options{
-		PageSize:    opts.PageSize,
+		PageSize:    pageSize,
 		BufferPages: opts.BufferPages,
 		Backend:     backend,
 	})
 	superID, err := mgr.Alloc()
 	if err != nil {
-		mgr.Close()
+		_ = mgr.Close()
 		return nil, err
 	}
 	ds, err := core.NewDataset(ss, names)
 	if err != nil {
-		mgr.Close()
+		_ = mgr.Close()
 		return nil, err
 	}
 	ix, err := core.BuildIndex(ds, core.IndexOptions{
 		K:           opts.K,
-		PageSize:    opts.PageSize,
+		PageSize:    pageSize,
 		UseSymmetry: !opts.DisableSymmetry,
 		Paged:       true,
 		Manager:     mgr,
 		BulkLoad:    opts.BulkLoad,
 	})
 	if err != nil {
-		mgr.Close()
+		_ = mgr.Close()
 		return nil, err
 	}
-	buf := make([]byte, opts.PageSize)
-	encodeSuper(buf, ds.N, opts.K, !opts.DisableSymmetry, ix.Tree().MetaID(), ix.Heap().DirHead())
+	buf := make([]byte, pageSize)
+	encodeSuper(buf, superInfo{
+		n:           ds.N,
+		k:           opts.K,
+		symmetry:    !opts.DisableSymmetry,
+		checksummed: !opts.DisableChecksums,
+		treeMeta:    ix.Tree().MetaID(),
+		heapDir:     ix.Heap().DirHead(),
+	})
 	if err := mgr.Write(superID, buf); err != nil {
-		mgr.Close()
+		_ = mgr.Close()
 		return nil, err
 	}
-	if err := writeRawHeader(path, opts.PageSize); err != nil {
-		mgr.Close()
+	// Commit protocol: sync the page image, then write and sync the raw
+	// header. The header is what OpenFile validates first, so a crash at
+	// any point before the final sync leaves a file that is rejected
+	// (or scrubbed) rather than silently half-built.
+	if err := mgr.Sync(); err != nil {
+		_ = mgr.Close()
+		return nil, err
+	}
+	var flags uint32
+	if !opts.DisableChecksums {
+		flags |= rawFlagChecksums
+	}
+	if err := writeRawHeader(path, physPageSize, flags); err != nil {
+		_ = mgr.Close()
 		return nil, err
 	}
 	return &DB{ds: ds, ix: ix}, nil
 }
 
-// OpenFile reopens a database created by CreateFile.
+// OpenFile reopens a database created by CreateFile. Files written with
+// and without page checksums are both recognized (the raw header flags
+// field says which).
 func OpenFile(path string) (*DB, error) {
-	f, err := os.Open(path)
+	return openFile(path, nil)
+}
+
+// openFile is OpenFile with the same fault-injection hook as createFile.
+func openFile(path string, wrap func(storage.Backend) storage.Backend) (*DB, error) {
+	physPageSize, flags, err := readRawHeader(path)
 	if err != nil {
-		return nil, fmt.Errorf("tsq: %w", err)
-	}
-	header := make([]byte, rawHeaderSize)
-	if _, err := f.ReadAt(header, 0); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("tsq: reading file header: %w", err)
-	}
-	f.Close()
-	if [4]byte(header[:4]) != fileMagic {
-		return nil, fmt.Errorf("tsq: %s is not a tsq database (magic %q)", path, header[:4])
-	}
-	pageSize := int(binary.LittleEndian.Uint32(header[4:]))
-	if pageSize < 512 || pageSize > 1<<20 {
-		return nil, fmt.Errorf("tsq: implausible page size %d in %s", pageSize, path)
+		return nil, err
 	}
 	st, err := os.Stat(path)
 	if err != nil {
 		return nil, fmt.Errorf("tsq: %w", err)
 	}
-	backend, err := storage.NewFileBackend(path, pageSize)
+	fileBackend, err := storage.NewFileBackend(path, physPageSize)
 	if err != nil {
 		return nil, err
 	}
+	var backend storage.Backend = fileBackend
+	if wrap != nil {
+		backend = wrap(backend)
+	}
+	checksummed := flags&rawFlagChecksums != 0
+	pageSize := physPageSize
+	if checksummed {
+		cb := storage.NewChecksumBackend(backend, physPageSize)
+		backend = cb
+		pageSize = cb.LogicalPageSize()
+	}
+	// Resume allocation after the last page the file covers, so
+	// post-reopen inserts cannot overwrite live pages.
+	firstUnallocated := storage.PageID((st.Size() + int64(physPageSize) - 1) / int64(physPageSize))
 	mgr := storage.NewManager(storage.Options{
-		PageSize: pageSize,
-		Backend:  backend,
-		// Resume allocation after the last page the file covers, so
-		// post-reopen inserts cannot overwrite live pages.
-		FirstUnallocated: storage.PageID((st.Size() + int64(pageSize) - 1) / int64(pageSize)),
+		PageSize:         pageSize,
+		Backend:          backend,
+		FirstUnallocated: firstUnallocated,
 	})
 	buf := make([]byte, pageSize)
 	if err := mgr.Read(storage.PageID(1), buf); err != nil {
-		mgr.Close()
-		return nil, err
+		_ = mgr.Close()
+		return nil, fmt.Errorf("tsq: reading superblock: %w", err)
 	}
-	n, k, symmetry, treeMeta, heapDir, err := decodeSuper(buf)
+	si, err := decodeSuper(buf)
 	if err != nil {
-		mgr.Close()
+		_ = mgr.Close()
 		return nil, err
 	}
-	ix, err := core.OpenIndex(mgr, treeMeta, heapDir, n, core.IndexOptions{
-		K:           k,
+	if si.checksummed != checksummed {
+		_ = mgr.Close()
+		return nil, fmt.Errorf("tsq: corrupt file: header says checksums=%v but superblock says checksums=%v",
+			checksummed, si.checksummed)
+	}
+	// The structural roots must lie inside the file, or every later page
+	// access chases garbage.
+	for _, ref := range []struct {
+		name string
+		id   storage.PageID
+	}{{"tree meta", si.treeMeta}, {"heap directory", si.heapDir}} {
+		if ref.id >= firstUnallocated {
+			_ = mgr.Close()
+			return nil, fmt.Errorf("tsq: corrupt superblock: %s page %d outside file (%d pages)",
+				ref.name, ref.id, firstUnallocated)
+		}
+	}
+	ix, err := core.OpenIndex(mgr, si.treeMeta, si.heapDir, si.n, core.IndexOptions{
+		K:           si.k,
 		PageSize:    pageSize,
-		UseSymmetry: symmetry,
+		UseSymmetry: si.symmetry,
 	})
 	if err != nil {
-		mgr.Close()
+		_ = mgr.Close()
 		return nil, err
 	}
 	return &DB{ds: ix.Dataset(), ix: ix}, nil
 }
 
-// writeRawHeader stores the file magic and page size in the reserved
-// page-0 region.
-func writeRawHeader(path string, pageSize int) error {
+// readRawHeader reads and validates the page-0 raw header, returning
+// the physical page size and the format flags.
+func readRawHeader(path string) (int, uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("tsq: %w", err)
+	}
+	header := make([]byte, rawHeaderSize)
+	if _, err := f.ReadAt(header, 0); err != nil {
+		_ = f.Close()
+		return 0, 0, fmt.Errorf("tsq: reading file header: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return 0, 0, fmt.Errorf("tsq: %w", err)
+	}
+	if [4]byte(header[:4]) != fileMagic {
+		return 0, 0, fmt.Errorf("tsq: %s is not a tsq database (magic %q)", path, header[:4])
+	}
+	pageSize := int(binary.LittleEndian.Uint32(header[4:]))
+	if pageSize < 512 || pageSize > 1<<20 {
+		return 0, 0, fmt.Errorf("tsq: implausible page size %d in %s", pageSize, path)
+	}
+	flags := binary.LittleEndian.Uint32(header[8:])
+	return pageSize, flags, nil
+}
+
+// writeRawHeader stores the file magic, page size, and format flags in
+// the reserved page-0 region, syncing the file before returning: the
+// header is the create-time commit record.
+func writeRawHeader(path string, pageSize int, flags uint32) error {
 	f, err := os.OpenFile(path, os.O_WRONLY, 0)
 	if err != nil {
 		return fmt.Errorf("tsq: %w", err)
@@ -180,9 +322,14 @@ func writeRawHeader(path string, pageSize int) error {
 	header := make([]byte, rawHeaderSize)
 	copy(header, fileMagic[:])
 	binary.LittleEndian.PutUint32(header[4:], uint32(pageSize))
+	binary.LittleEndian.PutUint32(header[8:], flags)
 	if _, err := f.WriteAt(header, 0); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("tsq: writing file header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("tsq: syncing file header: %w", err)
 	}
 	return f.Close()
 }

@@ -173,6 +173,11 @@ type Options struct {
 	// sound to rely on with the built-in transformations (they act
 	// symmetrically on mirror coefficients); exposed for ablation.
 	DisableSymmetry bool
+	// DisableChecksums writes file-backed databases without per-page
+	// CRC32C trailers, producing the pre-checksum file format. New files
+	// are checksummed by default; files created either way reopen
+	// transparently (the format is flagged in the file header).
+	DisableChecksums bool
 	// BulkLoad builds the index with Sort-Tile-Recursive packing instead
 	// of repeated insertion: faster builds, near-full nodes, fewer disk
 	// accesses per query. The index remains fully updatable.
