@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench verify figures clean
+.PHONY: all build test race bench benchdiff benchbase verify figures clean
 
 all: verify
 
@@ -31,6 +31,31 @@ verify: build
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx ./...
+
+# Distance-kernel and lower-bound micro-benchmarks: the blocked
+# Euclidean/polar kernels and the flat-vs-cascade lower-bound pair.
+KERNEL_BENCH = -bench 'BenchmarkKernel|BenchmarkLB' -run xxx -benchtime 200ms -count 6
+KERNEL_PKGS  = ./internal/series/ ./internal/transform/ ./internal/core/
+
+# benchbase refreshes the checked-in kernel benchmark baseline that
+# benchdiff compares against. Run it on the reference machine after an
+# intentional kernel change and commit bench/kernels.txt.
+benchbase:
+	$(GO) test $(KERNEL_BENCH) $(KERNEL_PKGS) | tee bench/kernels.txt
+
+# benchdiff reruns the kernel benchmarks and compares them against the
+# checked-in baseline with benchstat. Like errcheck, benchstat is used
+# when installed and skipped otherwise
+# (go install golang.org/x/perf/cmd/benchstat@latest).
+benchdiff:
+	@if command -v benchstat >/dev/null 2>&1; then \
+		$(GO) test $(KERNEL_BENCH) $(KERNEL_PKGS) > bench/kernels.new.txt; \
+		benchstat bench/kernels.txt bench/kernels.new.txt; \
+		rm -f bench/kernels.new.txt; \
+	else \
+		echo "benchstat not installed; skipping (go install golang.org/x/perf/cmd/benchstat@latest)"; \
+		$(GO) test $(KERNEL_BENCH) -count 1 $(KERNEL_PKGS); \
+	fi
 
 figures:
 	$(GO) run ./cmd/tsbench -fig all -out figures

@@ -60,7 +60,7 @@ func main() {
 		workers    = flag.String("workers", "", "throughput sweep: comma-separated worker counts (default 1,4,GOMAXPROCS)")
 		jsonOut    = flag.String("json", "", "write machine-readable results to this file (- for stdout)")
 		verify     = flag.Bool("verify-sweep", false, "run the naive-vs-pipeline verification A/B sweep")
-		backend    = flag.String("backend", "mem", "verify sweep backend: mem, or disk for a temp page file")
+		backend    = flag.String("backend", "mem", "verify sweep backends, comma-separated: mem, or disk for a temp page file")
 	)
 	flag.Parse()
 	if *outDir != "" {
@@ -92,9 +92,14 @@ func main() {
 		}
 	}
 	if *verify {
-		if err := runVerifySweep(cfg, *backend, &results); err != nil {
-			fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
-			os.Exit(1)
+		for _, be := range strings.Split(*backend, ",") {
+			if be = strings.TrimSpace(be); be == "" {
+				continue
+			}
+			if err := runVerifySweep(cfg, be, &results); err != nil {
+				fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
+				os.Exit(1)
+			}
 		}
 	}
 	if *jsonOut != "" {
@@ -114,6 +119,18 @@ type benchResult struct {
 	// SingleCPU marks the workers=1 throughput row: it is the serial
 	// parity baseline, not a scaling claim.
 	SingleCPU bool `json:"single_cpu,omitempty"`
+	// Verify-sweep rows: per-query lower-bound skips, split by the
+	// cascade tier that decided them (tier 0 magnitude-gap, tier 1
+	// exact first coefficient, tier 2 full DFT prefix; the flat A/B
+	// mode books everything as tier 2), and the per-candidate costs —
+	// ns_per_candidate over the whole verification phase,
+	// lb_ns_per_candidate over the skip-or-fetch decision alone.
+	SkippedLB        float64 `json:"skipped_lb,omitempty"`
+	SkippedLB0       float64 `json:"skipped_lb_t0,omitempty"`
+	SkippedLB1       float64 `json:"skipped_lb_t1,omitempty"`
+	SkippedLB2       float64 `json:"skipped_lb_t2,omitempty"`
+	NsPerCandidate   float64 `json:"ns_per_candidate,omitempty"`
+	LBNsPerCandidate float64 `json:"lb_ns_per_candidate,omitempty"`
 }
 
 // benchMeta records the run environment so BENCH_*.json files are
@@ -218,23 +235,33 @@ func runThroughput(cfg bench.Config, count, queries int, workerCounts []int, res
 	return nil
 }
 
-// runVerifySweep runs the naive-vs-pipeline verification A/B on the
-// chosen backend and prints (and records) I/O and effort per query.
+// runVerifySweep runs the naive / flat / pipeline verification A/B on
+// the chosen backend and prints (and records) I/O and effort per query,
+// including the per-tier skip counters of the lower-bound cascade and
+// the per-candidate cost of the verification phase and of the
+// lower-bound decision alone.
 func runVerifySweep(cfg bench.Config, backend string, results *[]benchResult) error {
 	fmt.Printf("=== Verification A/B: MT-index, MV(6..29), 8 per MBR, backend=%s ===\n", backend)
 	rows, err := bench.VerifySweep(cfg, backend)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%10s %12s %11s %11s %11s %12s %11s %11s %11s\n",
-		"mode", "sec/query", "candidates", "skipped lb", "abandoned", "comparisons", "pages read", "prefetched", "buffer hits")
+	fmt.Printf("%10s %12s %11s %10s %8s %8s %8s %10s %10s %11s %11s\n",
+		"mode", "sec/query", "candidates", "skipped lb", "t0", "t1", "t2", "ns/cand", "lb ns/cand", "abandoned", "pages read")
 	for _, r := range rows {
-		fmt.Printf("%10s %12.6f %11.1f %11.1f %11.1f %12.1f %11.1f %11.1f %11.1f\n",
-			r.Mode, r.SecPerQuery, r.Candidates, r.SkippedLB, r.Abandoned, r.Comparisons, r.PagesRead, r.Prefetched, r.BufferHits)
+		fmt.Printf("%10s %12.6f %11.1f %10.1f %8.1f %8.1f %8.1f %10.1f %10.1f %11.1f %11.1f\n",
+			r.Mode, r.SecPerQuery, r.Candidates, r.SkippedLB, r.SkippedLB0, r.SkippedLB1, r.SkippedLB2,
+			r.NsPerCandidate, r.LBNsPerCandidate, r.Abandoned, r.PagesRead)
 		*results = append(*results, benchResult{
-			Name:      fmt.Sprintf("verify/%s/%s", r.Backend, r.Mode),
-			NsPerOp:   r.SecPerQuery * 1e9,
-			DiskReads: r.PagesRead,
+			Name:             fmt.Sprintf("verify/%s/%s", r.Backend, r.Mode),
+			NsPerOp:          r.SecPerQuery * 1e9,
+			DiskReads:        r.PagesRead,
+			SkippedLB:        r.SkippedLB,
+			SkippedLB0:       r.SkippedLB0,
+			SkippedLB1:       r.SkippedLB1,
+			SkippedLB2:       r.SkippedLB2,
+			NsPerCandidate:   r.NsPerCandidate,
+			LBNsPerCandidate: r.LBNsPerCandidate,
 		})
 	}
 	fmt.Println()

@@ -353,6 +353,9 @@ func explainAnalyze(db *tsq.DB, id int64, ts []tsq.Transform, thr tsq.Threshold,
 		da        int64
 		cand      int64
 		skipped   int64
+		sk0       int64
+		sk1       int64
+		sk2       int64
 		abandoned int64
 		fp        int64
 		matches   int
@@ -399,6 +402,9 @@ func explainAnalyze(db *tsq.DB, id int64, ts []tsq.Transform, thr tsq.Threshold,
 			da:        storageIO,
 			cand:      int64(st.Candidates),
 			skipped:   int64(st.SkippedLB),
+			sk0:       int64(st.SkippedLB0),
+			sk1:       int64(st.SkippedLB1),
+			sk2:       int64(st.SkippedLB2),
 			abandoned: int64(st.Abandoned),
 			fp:        tr.Sum(obs.KindVerify, obs.AFalsePositives),
 			matches:   len(matches),
@@ -407,15 +413,15 @@ func explainAnalyze(db *tsq.DB, id int64, ts []tsq.Transform, thr tsq.Threshold,
 	}
 
 	nS := int64(db.Len())
-	fmt.Printf("\n%-10s %14s %12s %12s %11s %11s %11s %9s %12s\n",
-		"algorithm", "disk accesses", "candidates", "cand ratio", "skipped lb", "abandoned", "false pos", "matches", "time")
+	fmt.Printf("\n%-10s %14s %12s %12s %11s %7s %7s %7s %11s %11s %9s %12s\n",
+		"algorithm", "disk accesses", "candidates", "cand ratio", "skipped lb", "lb t0", "lb t1", "lb t2", "abandoned", "false pos", "matches", "time")
 	for _, r := range rows {
 		ratio := 0.0
 		if nS > 0 {
 			ratio = float64(r.cand) / float64(nS)
 		}
-		fmt.Printf("%-10s %14d %12d %12.3f %11d %11d %11d %9d %12s\n",
-			r.name, r.da, r.cand, ratio, r.skipped, r.abandoned, r.fp, r.matches, r.dur.Round(time.Microsecond))
+		fmt.Printf("%-10s %14d %12d %12.3f %11d %7d %7d %7d %11d %11d %9d %12s\n",
+			r.name, r.da, r.cand, ratio, r.skipped, r.sk0, r.sk1, r.sk2, r.abandoned, r.fp, r.matches, r.dur.Round(time.Microsecond))
 	}
 	return nil
 }
@@ -441,7 +447,7 @@ func printStats(st tsq.Stats) {
 	fmt.Printf("stats: %d index searches, %d node accesses (%d leaf), %d candidates, %d comparisons\n",
 		st.IndexSearches, st.DAAll, st.DALeaf, st.Candidates, st.Comparisons)
 	if st.SkippedLB > 0 || st.Abandoned > 0 {
-		fmt.Printf("pipeline: %d candidates skipped by the DFT-prefix bound, %d verifications abandoned early\n",
-			st.SkippedLB, st.Abandoned)
+		fmt.Printf("pipeline: %d candidates skipped by the lower-bound cascade (tier 0/1/2: %d/%d/%d), %d verifications abandoned early\n",
+			st.SkippedLB, st.SkippedLB0, st.SkippedLB1, st.SkippedLB2, st.Abandoned)
 	}
 }

@@ -26,6 +26,14 @@ func buildFixture(t testing.TB, seed int64, count, n int, opts IndexOptions) (*D
 	return ds, ix
 }
 
+// noTime returns st with the wall-time field zeroed, for tests that
+// assert deterministic stats equality: every counter must match
+// exactly, but LBTimeNs is a clock reading.
+func noTime(st QueryStats) QueryStats {
+	st.LBTimeNs = 0
+	return st
+}
+
 // matchKeySet reduces matches to a comparable set of (record, transform)
 // keys.
 func matchKeySet(ms []Match) map[[2]int64]bool {

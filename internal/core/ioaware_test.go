@@ -34,6 +34,8 @@ func TestPipelineMatchesNaiveAllPaths(t *testing.T) {
 				{Mode: QRectSafe, OneSided: true},
 				{Mode: QRectSafe, Workers: 4},
 				{Mode: QRectSafe, Groups: EqualPartition(len(ts), 4)},
+				{Mode: QRectSafe, FlatLB: true},
+				{Mode: QRectSafe, FlatLB: true, OneSided: true},
 			} {
 				naive := variant
 				naive.NaiveVerify = true
@@ -82,7 +84,21 @@ func TestPipelineMatchesNaiveAllPaths(t *testing.T) {
 					t.Fatalf("paged=%v trial=%d: MT candidates %d + skipped %d != naive %d",
 						paged, trial, mtSt.Candidates, mtSt.SkippedLB, mtNaiveSt.Candidates)
 				}
-				if mtNaiveSt.SkippedLB != 0 || mtNaiveSt.Abandoned != 0 {
+				// The per-tier invariant: the cascade attributes every
+				// skip to exactly one tier, so the tier counters
+				// partition SkippedLB (and the flat mode books all of
+				// its skips as full-prefix, i.e. tier 2).
+				for _, st := range []QueryStats{stSt, mtSt} {
+					if st.SkippedLB0+st.SkippedLB1+st.SkippedLB2 != st.SkippedLB {
+						t.Fatalf("paged=%v trial=%d %+v: tier counters %d+%d+%d do not partition SkippedLB %d",
+							paged, trial, variant, st.SkippedLB0, st.SkippedLB1, st.SkippedLB2, st.SkippedLB)
+					}
+					if variant.FlatLB && (st.SkippedLB0 != 0 || st.SkippedLB1 != 0) {
+						t.Fatalf("paged=%v trial=%d: flat mode reported cascade tiers: %+v", paged, trial, st)
+					}
+				}
+				if mtNaiveSt.SkippedLB != 0 || mtNaiveSt.Abandoned != 0 ||
+					mtNaiveSt.SkippedLB0 != 0 || mtNaiveSt.SkippedLB1 != 0 || mtNaiveSt.SkippedLB2 != 0 {
 					t.Fatalf("naive path reported pipeline work: %+v", mtNaiveSt)
 				}
 				totalSkipped += mtSt.SkippedLB

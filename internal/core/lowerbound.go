@@ -26,6 +26,210 @@ import (
 // against transform.AbandonCutoff(eps), a hair above eps², so
 // floating-point noise in the mirror coefficients can never turn the
 // bound into a false dismissal.
+//
+// The bound is evaluated as a three-tier cascade (lbCascade below):
+// each tier is a weakening of the next, costs less to evaluate, and
+// runs only on the survivors of the previous tier, so the common case
+// — a candidate far from the query — is dismissed by a handful of
+// multiplications with no trigonometry at all.
+//
+//	tier 0  magnitude-gap bound: per coefficient (|mu| - |mv|)², the
+//	        reverse triangle inequality on the complex coefficients.
+//	        Since cos ≤ 1, mu² + mv² - 2·mu·mv·cos(Δφ) ≥ (|mu|-|mv|)²,
+//	        so the tier-0 sum never exceeds the exact prefix sum:
+//	        anything it dismisses, the full bound would dismiss too.
+//	        No cosine, no phase access. (The mean/std feature slots
+//	        cannot contribute a tier: the predicate distance is over
+//	        normal forms, which the query rectangle reflects by leaving
+//	        those dimensions unconstrained.)
+//	tier 1  exact first-coefficient term: the tier-0 gap for
+//	        coefficient 1 is replaced by the exact polar term. The
+//	        cosine is factored through the angle-addition identity —
+//	        cos(±φ + c) = cos φ·cos c ∓ sin φ·sin c with c precomputed
+//	        per transformation — so the whole transformation group
+//	        shares one math.Sincos(φ₁) per candidate and the per-
+//	        transformation work is multiply-add only. Every built-in
+//	        transformation has phase multiplier ±1 (convolutions and
+//	        shifts are pure offsets, Reverse negates); a general
+//	        multiplier falls back to one direct math.Cos.
+//	tier 2  exact full prefix: coefficients 2..K replaced the same
+//	        way, yielding exactly the sum skipByPrefixLB computes.
+//
+// Each replacement only grows the sum (exact term ≥ gap term), so a
+// transformation dismissed at a tier stays dismissed at every later
+// tier and the cascade's final dismissals equal the flat bound's. A
+// candidate is skipped when every transformation of the group is
+// dismissed; the tier at which the last one fell is reported so the
+// per-tier counters (SkippedLB0/1/2) show where pruning pays.
+
+// lbTerm is the hoisted per-(transformation, coefficient) state of the
+// cascade: the magnitude coefficients, the transformed query magnitude
+// (candidate-independent), and the factored phase constants.
+type lbTerm struct {
+	aMag, bMag float64 // t.A[2j], t.B[2j]
+	mv         float64 // transformed query magnitude for coefficient j
+	absMv      float64 // |mv|, the tier-0 comparand
+	aPh        float64 // t.A[2j+1], used only on the direct path
+	cPh        float64 // constant phase offset c in cos(aPh·φ + c)
+	cosC, sinC float64 // cos c, sin c for the factored fast path
+	neg        bool    // phase multiplier -1 (Reverse): flip the sin sign
+	direct     bool    // general multiplier: evaluate math.Cos directly
+}
+
+// lbCascade evaluates the tiered DFT-prefix lower bound for one
+// verification call: one transformation group, one query, one eps. The
+// constructor hoists everything candidate-independent — the abandon
+// cutoff, the A/B coefficient loads, the transformed query magnitudes,
+// and the factored phase constants — out of the per-candidate loop;
+// skip then touches only the candidate's feature point. The scratch
+// slices make a cascade single-goroutine; verifySerial builds one per
+// call, so parallel verification shards never share one.
+type lbCascade struct {
+	k    int
+	nt   int
+	cut  float64
+	sym  float64
+	term []lbTerm // transformation-major: term[ti*k + (j-1)]
+
+	// Per-candidate scratch. The candidate's (sin φ_j, cos φ_j) pairs
+	// are computed lazily — only when some transformation survives its
+	// tier-0 bound — and shared by the whole group through the factored
+	// phase constants, so a candidate costs at most K Sincos calls no
+	// matter how many transformations the group holds.
+	sinPhi  []float64
+	cosPhi  []float64
+	havePhi []bool
+}
+
+// newLBCascade builds the cascade for one transformation group.
+func (ix *Index) newLBCascade(sub []transform.Transform, q *Record, eps float64, oneSided bool) *lbCascade {
+	k := ix.opts.K
+	c := &lbCascade{
+		k:       k,
+		nt:      len(sub),
+		cut:     transform.AbandonCutoff(eps),
+		sym:     1,
+		term:    make([]lbTerm, len(sub)*k),
+		sinPhi:  make([]float64, k),
+		cosPhi:  make([]float64, k),
+		havePhi: make([]bool, k),
+	}
+	if ix.opts.UseSymmetry {
+		c.sym = 2
+	}
+	for ti, t := range sub {
+		for j := 1; j <= k; j++ {
+			tm := &c.term[ti*k+j-1]
+			tm.aMag = t.A[2*j]
+			tm.bMag = t.B[2*j]
+			aPh := t.A[2*j+1]
+			if oneSided {
+				// dp = aPh·φ + B[2j+1] - qPhase  =  aPh·φ + c
+				tm.mv = q.Mags[j]
+				tm.cPh = t.B[2*j+1] - q.Phases[j]
+			} else {
+				// dp = aPh·(φ - qPhase)  =  aPh·φ + c
+				tm.mv = t.A[2*j]*q.Mags[j] + t.B[2*j]
+				tm.cPh = -aPh * q.Phases[j]
+			}
+			tm.absMv = math.Abs(tm.mv)
+			tm.aPh = aPh
+			switch aPh {
+			case 1:
+				tm.sinC, tm.cosC = math.Sincos(tm.cPh)
+			case -1:
+				tm.neg = true
+				tm.sinC, tm.cosC = math.Sincos(tm.cPh)
+			default:
+				tm.direct = true
+			}
+		}
+	}
+	return c
+}
+
+// cos evaluates cos(aPh·φ + c) from the candidate's shared
+// (sin φ, cos φ) pair: cos(φ+c) = cosφ·cosc - sinφ·sinc and
+// cos(-φ+c) = cosφ·cosc + sinφ·sinc. The direct path recomputes the
+// cosine for a general phase multiplier.
+func (tm *lbTerm) cos(phi, sinPhi, cosPhi float64) float64 {
+	if tm.direct {
+		return math.Cos(tm.aPh*phi + tm.cPh)
+	}
+	if tm.neg {
+		return cosPhi*tm.cosC + sinPhi*tm.sinC
+	}
+	return cosPhi*tm.cosC - sinPhi*tm.sinC
+}
+
+// skip reports whether the candidate at feature point feat is provably
+// outside eps for every transformation of the group. The return value
+// is the deepest tier (0, 1 or 2) any dismissal needed, or -1 when some
+// transformation may still qualify and the candidate must be verified.
+//
+// The walk is transformation-major so the keep decision exits as early
+// as the flat bound does: the first transformation whose exact prefix
+// bound fits under the cutoff returns immediately, without touching the
+// rest of the group. The tiers order the work per transformation — the
+// cosine-free magnitude-gap bound first, the exact coefficient terms
+// only for transformations that survive it — and the trigonometry that
+// tier 1/2 work does need is shared: one lazily computed Sincos per
+// coefficient serves every transformation through the factored phase
+// constants.
+func (c *lbCascade) skip(feat geom.Point) int {
+	for j := 0; j < c.k; j++ {
+		c.havePhi[j] = false
+	}
+	maxTier := 0
+	for ti := 0; ti < c.nt; ti++ {
+		base := ti * c.k
+		// Tier 0 for this transformation: magnitude gaps, no
+		// trigonometry and no stores — most transformations die here,
+		// and the few that survive recompute the two multiplies below.
+		var s float64
+		for j := 0; j < c.k; j++ {
+			tm := &c.term[base+j]
+			mu := tm.aMag*feat[2*(j+1)] + tm.bMag
+			gap := math.Abs(mu) - tm.absMv
+			s += gap * gap
+		}
+		if c.sym*s > c.cut {
+			continue // dismissed at tier 0
+		}
+		// Tiers 1 and 2: replace gap terms by exact polar terms,
+		// coefficient 1 first. Each replacement only grows the sum, so
+		// crossing the cutoff mid-way proves the full prefix bound
+		// would cross it too.
+		dismissedAt := -1
+		for j := 0; j < c.k; j++ {
+			tm := &c.term[base+j]
+			phi := feat[2*(j+1)+1]
+			if !c.havePhi[j] {
+				c.sinPhi[j], c.cosPhi[j] = math.Sincos(phi)
+				c.havePhi[j] = true
+			}
+			cosd := tm.cos(phi, c.sinPhi[j], c.cosPhi[j])
+			mu := tm.aMag*feat[2*(j+1)] + tm.bMag
+			gap := math.Abs(mu) - tm.absMv
+			s += -(gap * gap) + (mu*mu + tm.mv*tm.mv - 2*mu*tm.mv*cosd)
+			if c.sym*s > c.cut {
+				if j == 0 {
+					dismissedAt = 1
+				} else {
+					dismissedAt = 2
+				}
+				break
+			}
+		}
+		if dismissedAt < 0 {
+			return -1 // survives the full prefix bound: verify
+		}
+		if dismissedAt > maxTier {
+			maxTier = dismissedAt
+		}
+	}
+	return maxTier
+}
 
 // skipByPrefixLB reports whether the candidate at feature point feat is
 // provably outside eps for every transformation of the group, using
@@ -33,6 +237,12 @@ import (
 // the per-coefficient terms are the exact expressions of the
 // DistancePolar / DistancePolarLeft kernels evaluated on coefficients
 // 1..K.
+//
+// This is the flat, single-tier form, recomputing the cutoff and the
+// coefficient loads per call — the verification path of the original
+// I/O-aware pipeline, kept verbatim as the RangeOptions.FlatLB mode so
+// benchmarks can A/B the cascade against it, and as the reference the
+// cascade's dismissals are tested against.
 func (ix *Index) skipByPrefixLB(feat geom.Point, sub []transform.Transform, q *Record, eps float64, oneSided bool) bool {
 	cut := transform.AbandonCutoff(eps)
 	sym := 1.0

@@ -181,6 +181,11 @@ func (ix *Index) MTIndexNNCtx(ctx context.Context, q *Record, ts []transform.Tra
 		rec int64
 	}
 	var leafCands []nnCand
+	// Scratch rectangle reused for every entry the traversal inspects
+	// (the bound only reads the transformed rectangle before the next
+	// entry overwrites it).
+	scratchLo := make(geom.Point, ix.dim)
+	scratchHi := make(geom.Point, ix.dim)
 	h := &nnHeap{{bound: 0, page: ix.tree.Root()}}
 	for h.Len() > 0 {
 		e := heap.Pop(h).(nnEntry)
@@ -194,7 +199,7 @@ func (ix *Index) MTIndexNNCtx(ctx context.Context, q *Record, ts []transform.Tra
 		st.DAAll++
 		if !n.Leaf {
 			for _, ent := range n.Entries {
-				y := transform.ApplyMBRs(mult, add, ent.Rect)
+				y := transform.ApplyMBRsInto(scratchLo, scratchHi, mult, add, ent.Rect)
 				lb := lowerBound(y)
 				if len(results) == k && lb > worst {
 					pruned++
@@ -214,7 +219,7 @@ func (ix *Index) MTIndexNNCtx(ctx context.Context, q *Record, ts []transform.Tra
 		// rejects.
 		leafCands = leafCands[:0]
 		for _, ent := range n.Entries {
-			y := transform.ApplyMBRs(mult, add, ent.Rect)
+			y := transform.ApplyMBRsInto(scratchLo, scratchHi, mult, add, ent.Rect)
 			lb := lowerBound(y)
 			if len(results) == k && lb > worst {
 				continue

@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
 
 	"tsq/internal/transform"
 )
@@ -17,11 +18,15 @@ import (
 //
 // Unless opts.NaiveVerify, this is the I/O-aware pipeline: candidates
 // whose DFT-prefix lower bound already exceeds eps are dropped without
-// retrieval (SkippedLB), the survivors' record pages are fetched in one
-// page-ordered batch, and the surviving distance evaluations run
-// through the early-abandoning kernels. Verification still happens in
-// the caller's candidate order, so matches — values and order — are
-// identical to the naive path.
+// retrieval (SkippedLB, split per cascade tier into SkippedLB0/1/2),
+// the survivors' record pages are fetched in one page-ordered batch,
+// and the surviving distance evaluations run through the
+// early-abandoning kernels. The bound is evaluated through a tiered
+// cascade whose candidate-independent state is hoisted here, once per
+// call — and therefore once per shard under verifyParallel, so shards
+// never share scratch. Verification still happens in the caller's
+// candidate order, so matches — values and order — are identical to
+// the naive path.
 func (ix *Index) verifySerial(ctx context.Context, candidates []candidate, sub []transform.Transform, g []int, q *Record, eps float64, ordered *orderedSet, opts RangeOptions) ([]Match, QueryStats, int, error) {
 	var st QueryStats
 	var falsePos int
@@ -56,14 +61,43 @@ func (ix *Index) verifySerial(ctx context.Context, candidates []candidate, sub [
 	}
 	survivors := candidates
 	if len(candidates) > 0 {
+		lbStart := time.Now()
 		survivors = make([]candidate, 0, len(candidates))
-		for _, c := range candidates {
-			if c.feat != nil && ix.skipByPrefixLB(c.feat, sub, q, eps, opts.OneSided) {
-				st.SkippedLB++
-				continue
+		if opts.FlatLB {
+			// Original flat bound: per-candidate cutoff and coefficient
+			// loads, kept for A/B benchmarks. Its dismissals all come
+			// from the full prefix bound, i.e. tier 2.
+			for _, c := range candidates {
+				if c.feat != nil && ix.skipByPrefixLB(c.feat, sub, q, eps, opts.OneSided) {
+					st.SkippedLB++
+					st.SkippedLB2++
+					continue
+				}
+				survivors = append(survivors, c)
 			}
-			survivors = append(survivors, c)
+		} else {
+			casc := ix.newLBCascade(sub, q, eps, opts.OneSided)
+			for _, c := range candidates {
+				if c.feat != nil {
+					switch casc.skip(c.feat) {
+					case 0:
+						st.SkippedLB++
+						st.SkippedLB0++
+						continue
+					case 1:
+						st.SkippedLB++
+						st.SkippedLB1++
+						continue
+					case 2:
+						st.SkippedLB++
+						st.SkippedLB2++
+						continue
+					}
+				}
+				survivors = append(survivors, c)
+			}
 		}
+		st.LBTimeNs = time.Since(lbStart).Nanoseconds()
 	}
 	var recs []*Record
 	if ix.heap != nil && len(survivors) > 1 {

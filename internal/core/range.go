@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 
 	"tsq/internal/geom"
@@ -39,13 +40,34 @@ type QueryStats struct {
 	// SkippedLB counts candidates rejected by the DFT-prefix lower bound
 	// before their record was retrieved; they are not counted in
 	// Candidates (nothing was fetched) and save both the page read and
-	// the full-record comparisons.
+	// the full-record comparisons. It is always the sum of the per-tier
+	// counters below (the flat FlatLB mode attributes everything to
+	// tier 2, the full prefix bound).
 	SkippedLB int
+	// SkippedLB0 counts candidates dismissed by the tier-0 magnitude-gap
+	// bound of the verification cascade: no cosine was evaluated.
+	SkippedLB0 int
+	// SkippedLB1 counts candidates that survived tier 0 but were
+	// dismissed once the first coefficient's exact term replaced its gap
+	// (one shared Sincos per candidate).
+	SkippedLB1 int
+	// SkippedLB2 counts candidates dismissed only by the full DFT-prefix
+	// bound over all K indexed coefficients.
+	SkippedLB2 int
 	// Abandoned counts distance evaluations cut short by the
 	// early-abandoning cutoff. Each is still counted in Comparisons (it
 	// is one predicate evaluation); this reports how many of them
 	// stopped before the full n coefficients.
 	Abandoned int
+	// LBTimeNs is the wall time, in nanoseconds, spent in the
+	// lower-bound stage of verification — the loop that decides skip
+	// or fetch for every filter-admitted candidate (cascade or flat,
+	// including the cascade's per-call construction). It is zero under
+	// NaiveVerify, which runs no lower bound. Dividing by
+	// Candidates+SkippedLB gives the per-candidate decision cost the
+	// tiered cascade optimizes; under parallel verification the shard
+	// times sum, so it is CPU time, not elapsed time.
+	LBTimeNs int64
 }
 
 // Add accumulates other into s.
@@ -56,7 +78,11 @@ func (s *QueryStats) Add(other QueryStats) {
 	s.Comparisons += other.Comparisons
 	s.IndexSearches += other.IndexSearches
 	s.SkippedLB += other.SkippedLB
+	s.SkippedLB0 += other.SkippedLB0
+	s.SkippedLB1 += other.SkippedLB1
+	s.SkippedLB2 += other.SkippedLB2
 	s.Abandoned += other.Abandoned
+	s.LBTimeNs += other.LBTimeNs
 }
 
 // RangeOptions tunes the index-based range algorithms.
@@ -90,6 +116,13 @@ type RangeOptions struct {
 	// computations. The answers are bit-identical either way; the flag
 	// exists for parity tests and before/after benchmarks.
 	NaiveVerify bool
+	// FlatLB keeps the candidate pipeline but evaluates the DFT-prefix
+	// lower bound in its original flat, single-tier form (per-candidate
+	// cutoff and coefficient loads, one cosine per transformation and
+	// coefficient) instead of the tiered cascade. Both forms dismiss
+	// provably-out-of-range candidates only, so answers are identical;
+	// the flag exists to A/B the cascade's per-candidate cost.
+	FlatLB bool
 }
 
 // SeqScanRange answers Query 1 by scanning the whole relation: for every
@@ -313,6 +346,10 @@ func (ix *Index) rangeGroup(ctx context.Context, q *Record, ts []transform.Trans
 		vsp.Set(obs.AMatches, int64(len(matches)))
 		vsp.Set(obs.AFalsePositives, int64(falsePos))
 		vsp.Set(obs.ASkippedLB, int64(vst.SkippedLB))
+		vsp.Set(obs.ASkippedLB0, int64(vst.SkippedLB0))
+		vsp.Set(obs.ASkippedLB1, int64(vst.SkippedLB1))
+		vsp.Set(obs.ASkippedLB2, int64(vst.SkippedLB2))
+		vsp.Set(obs.ALBNanos, vst.LBTimeNs)
 		vsp.Set(obs.AAbandoned, int64(vst.Abandoned))
 		vsp.EndErr(err)
 		// Rolled up on the probe so per-group health folds read one span.
@@ -353,6 +390,12 @@ func (ix *Index) filterCtx(ctx context.Context, mult, add, qrect geom.Rect, phas
 	da0, dl0 := st.DAAll, st.DALeaf
 	var pruned int64
 	var out []candidate
+	// One scratch rectangle serves every internal entry of the walk
+	// (ApplyMBRs would allocate two points per entry inspected); leaf
+	// entries take the fused point path below and need no rectangle.
+	dim := ix.dim
+	scratchLo := make(geom.Point, dim)
+	scratchHi := make(geom.Point, dim)
 	var walk func(id storage.PageID) error
 	walk = func(id storage.PageID) error {
 		n, err := ix.tree.LoadCtx(ctx, id)
@@ -362,9 +405,24 @@ func (ix *Index) filterCtx(ctx context.Context, mult, add, qrect geom.Rect, phas
 		st.DAAll++
 		if n.Leaf {
 			st.DALeaf++
+			// Leaf-major fast path: every leaf entry of the feature
+			// index is a point (Rect.Lo == Rect.Hi == the record's
+			// feature vector), and decoded nodes store all low corners
+			// in one contiguous block, so the admission test scans flat
+			// float64 data — the transformed-interval intersection test
+			// fused per dimension with early exit, no rectangle built.
+			if flat := n.FlatLo(); flat != nil {
+				for i := range n.Entries {
+					feat := geom.Point(flat[i*dim : (i+1)*dim : (i+1)*dim])
+					if leafPointAdmit(feat, mult, add, qrect, phaseDims) {
+						out = append(out, candidate{rec: n.Entries[i].Rec, feat: feat})
+					}
+				}
+				return nil
+			}
 		}
 		for _, e := range n.Entries {
-			y := transform.ApplyMBRs(mult, add, e.Rect)
+			y := transform.ApplyMBRsInto(scratchLo, scratchHi, mult, add, e.Rect)
 			if phaseDims != nil {
 				if !intersectsModular(y, qrect, phaseDims) {
 					if !n.Leaf {
@@ -396,6 +454,46 @@ func (ix *Index) filterCtx(ctx context.Context, mult, add, qrect geom.Rect, phas
 		sp.Set(obs.ACandidates, int64(len(out)))
 	}
 	return out, nil
+}
+
+// leafPointAdmit is the leaf-entry admission test of the Algorithm 1
+// traversal, specialized to point entries: it computes, per dimension,
+// the transformed interval of ApplyMBRs on the degenerate rectangle
+// [feat, feat] and tests it against the query rectangle immediately,
+// with early exit on the first separating dimension. For a point the
+// four corner products collapse to two, so the result is identical to
+// ApplyMBRs + Intersects (or intersectsModular for the marked phase
+// dimensions) without building a rectangle.
+func leafPointAdmit(feat geom.Point, mult, add geom.Rect, qrect geom.Rect, phaseDims []bool) bool {
+	const twoPi = 2 * math.Pi
+	for i, v := range feat {
+		p1 := mult.Lo[i] * v
+		p3 := mult.Hi[i] * v
+		lo, hi := p1, p3
+		if p3 < p1 {
+			lo, hi = p3, p1
+		}
+		lo += add.Lo[i]
+		hi += add.Hi[i]
+		if phaseDims != nil && phaseDims[i] {
+			ok := false
+			for k := -2.0; k <= 2.0; k++ {
+				shift := k * twoPi
+				if lo+shift <= qrect.Hi[i] && qrect.Lo[i] <= hi+shift {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+			continue
+		}
+		if lo > qrect.Hi[i] || qrect.Lo[i] > hi {
+			return false
+		}
+	}
+	return true
 }
 
 // orderedPrefix returns an ordered set over ts when ordering is requested

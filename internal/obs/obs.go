@@ -113,8 +113,20 @@ const (
 	// AAbandoned counts distance evaluations cut short by the
 	// early-abandoning cutoff (each still counts in AComparisons).
 	AAbandoned
+	// ASkippedLB0 counts the ASkippedLB dismissals decided by tier 0 of
+	// the verification cascade (cosine-free magnitude-gap bound).
+	ASkippedLB0
+	// ASkippedLB1 counts dismissals decided by tier 1 (exact first
+	// coefficient, shared Sincos).
+	ASkippedLB1
+	// ASkippedLB2 counts dismissals that needed the full DFT-prefix
+	// bound (tier 2).
+	ASkippedLB2
+	// ALBNanos is the wall time of the verification lower-bound stage
+	// in nanoseconds (shard times sum under parallel verification).
+	ALBNanos
 
-	numAttrs = int(AAbandoned) + 1
+	numAttrs = int(ALBNanos) + 1
 )
 
 // String names the attribute as rendered in the span tree.
@@ -148,6 +160,14 @@ func (a Attr) String() string {
 		return "candidates_skipped_lb"
 	case AAbandoned:
 		return "abandoned"
+	case ASkippedLB0:
+		return "skipped_lb_t0"
+	case ASkippedLB1:
+		return "skipped_lb_t1"
+	case ASkippedLB2:
+		return "skipped_lb_t2"
+	case ALBNanos:
+		return "lb_ns"
 	default:
 		return "attr"
 	}

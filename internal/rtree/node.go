@@ -35,7 +35,21 @@ type Node struct {
 	ID      storage.PageID
 	Leaf    bool
 	Entries []Entry
+
+	// flatLo is the leaf-major layout of decoded nodes: every entry's
+	// Rect.Lo is a subslice of this one contiguous block
+	// (flatLo[i*dim : (i+1)*dim] is entry i's low corner). For the point
+	// entries of a feature index the low corner IS the feature vector,
+	// so a scan over the node's candidates walks one flat []float64
+	// instead of chasing per-entry slice headers. Nil for nodes built in
+	// memory (insert/split paths), non-nil after decodeNode.
+	flatLo []float64
 }
+
+// FlatLo returns the node's contiguous low-corner block (leaf-major
+// layout), or nil when the node was not produced by decoding a page.
+// Entry i's low corner is FlatLo()[i*dim : (i+1)*dim].
+func (n *Node) FlatLo() []float64 { return n.flatLo }
 
 // mbr returns the minimum bounding rectangle of all entries of the node.
 func (n *Node) mbr() geom.Rect {
@@ -116,10 +130,17 @@ func decodeNode(id storage.PageID, dim int, buf []byte) (*Node, error) {
 		return nil, fmt.Errorf("rtree: node %d fails its checksum", id)
 	}
 	n.Entries = make([]Entry, count)
+	// Leaf-major layout: all low corners share one contiguous backing
+	// array (likewise the highs), so the node decodes with two float
+	// allocations instead of two per entry and a scan over the entries'
+	// feature vectors is a linear walk of one block.
+	los := make([]float64, count*dim)
+	his := make([]float64, count*dim)
+	n.flatLo = los
 	off := nodeHeaderSize
 	for j := 0; j < count; j++ {
-		lo := make(geom.Point, dim)
-		hi := make(geom.Point, dim)
+		lo := geom.Point(los[j*dim : (j+1)*dim : (j+1)*dim])
+		hi := geom.Point(his[j*dim : (j+1)*dim : (j+1)*dim])
 		for i := 0; i < dim; i++ {
 			lo[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
 			off += 8

@@ -1,0 +1,8 @@
+//go:build !race
+
+package series
+
+// raceBuild reports whether the test binary was built with the race
+// detector, whose per-access instrumentation flattens the instruction-
+// level parallelism the blocked-kernel speedup test measures.
+const raceBuild = false

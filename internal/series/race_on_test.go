@@ -1,0 +1,7 @@
+//go:build race
+
+package series
+
+// raceBuild reports whether the test binary was built with the race
+// detector; see race_off_test.go.
+const raceBuild = true

@@ -212,13 +212,11 @@ func ScanSearch(seqs []series.Series, query series.Series, eps float64) []Match 
 	return out
 }
 
+// windowDistance is the oracle's distance: series.EuclideanDistance, so
+// the oracle stays bit-identical to the non-abandoned results of the
+// blocked DistEuclideanAbandon kernel the index search uses.
 func windowDistance(a, b series.Series) float64 {
-	var ss float64
-	for i := range b {
-		d := a[i] - b[i]
-		ss += d * d
-	}
-	return math.Sqrt(ss)
+	return series.EuclideanDistance(a, b)
 }
 
 // windowFeature maps one window to its feature point: the real and

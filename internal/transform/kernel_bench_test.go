@@ -1,0 +1,48 @@
+package transform
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Benchmarks for the blocked polar-distance kernels. Unlike the pure
+// Euclidean kernel these are cosine-dominated (one math.Cos per
+// coefficient), so no speedup assertion is attached — the blocked shape
+// exists so the subtract/multiply traffic around the Cos calls
+// pipelines, and so the plain and abandoning kernels stay structurally
+// identical (the bit-identity contract lives in abandon_test.go).
+func benchPolar(b *testing.B, left, abandon, early bool) {
+	rng := rand.New(rand.NewSource(3))
+	tr := MovingAverage(64, 7)
+	xm, xp := randPolar(rng, 64)
+	ym, yp := randPolar(rng, 64)
+	eps := tr.DistancePolar(xm, xp, ym, yp) + 1
+	if early {
+		eps = 1e-3
+	}
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		switch {
+		case left && abandon:
+			d, _ := tr.DistancePolarLeftAbandon(xm, xp, ym, yp, eps)
+			sink += d
+		case left:
+			sink += tr.DistancePolarLeft(xm, xp, ym, yp)
+		case abandon:
+			d, _ := tr.DistancePolarAbandon(xm, xp, ym, yp, eps)
+			sink += d
+		default:
+			sink += tr.DistancePolar(xm, xp, ym, yp)
+		}
+	}
+	if sink == 0 {
+		b.Fatal("kernel returned zero on random input")
+	}
+}
+
+func BenchmarkKernelPolar(b *testing.B)               { benchPolar(b, false, false, false) }
+func BenchmarkKernelPolarAbandonSurvive(b *testing.B) { benchPolar(b, false, true, false) }
+func BenchmarkKernelPolarAbandonEarly(b *testing.B)   { benchPolar(b, false, true, true) }
+func BenchmarkKernelPolarLeft(b *testing.B)           { benchPolar(b, true, false, false) }
+func BenchmarkKernelPolarLeftAbandon(b *testing.B)    { benchPolar(b, true, true, false) }

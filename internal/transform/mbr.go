@@ -62,6 +62,28 @@ func ApplyMBRs(mult, add, x geom.Rect) geom.Rect {
 	return geom.Rect{Lo: lo, Hi: hi}
 }
 
+// ApplyMBRsInto is ApplyMBRs writing into caller-provided corner
+// slices, so a traversal can reuse one scratch rectangle for every
+// entry it inspects instead of allocating two points per entry. lo and
+// hi must have the common dimension; the returned rectangle aliases
+// them.
+func ApplyMBRsInto(lo, hi geom.Point, mult, add, x geom.Rect) geom.Rect {
+	d := x.Dim()
+	if mult.Dim() != d || add.Dim() != d || len(lo) != d || len(hi) != d {
+		panic(fmt.Sprintf("transform: ApplyMBRsInto dimension mismatch: mult=%d add=%d x=%d lo=%d hi=%d",
+			mult.Dim(), add.Dim(), d, len(lo), len(hi)))
+	}
+	for i := 0; i < d; i++ {
+		p1 := mult.Lo[i] * x.Lo[i]
+		p2 := mult.Lo[i] * x.Hi[i]
+		p3 := mult.Hi[i] * x.Lo[i]
+		p4 := mult.Hi[i] * x.Hi[i]
+		lo[i] = add.Lo[i] + min4(p1, p2, p3, p4)
+		hi[i] = add.Hi[i] + max4(p1, p2, p3, p4)
+	}
+	return geom.Rect{Lo: lo, Hi: hi}
+}
+
 // ApplyToPoint applies a single transformation, restricted to the chosen
 // components, to a feature point: out[d] = A[comps[d]]*p[d] + B[comps[d]].
 func (t Transform) ApplyToPoint(comps []int, p geom.Point) geom.Point {

@@ -324,6 +324,27 @@ func (t Transform) Distance(X, Y []complex128) float64 {
 	return dft.Distance(t.ApplySpectrum(X), t.ApplySpectrum(Y))
 }
 
+// polarTerm is the per-coefficient squared-difference term of the
+// two-sided polar kernels: a and b act on the magnitudes, ap on the
+// phases (the phase offsets cancel in the two-sided difference).
+// Factoring the term into one function keeps the plain and
+// early-abandoning kernels bit-identical by construction.
+func polarTerm(a, b, ap, xm, xp, ym, yp float64) float64 {
+	mu := a*xm + b
+	mv := a*ym + b
+	return mu*mu + mv*mv - 2*mu*mv*math.Cos(ap*(xp-yp))
+}
+
+// polarTermLeft is the one-sided counterpart of polarTerm: the
+// transformation applies to the left spectrum only, so the phase offset
+// bp survives into the difference.
+func polarTermLeft(a, b, ap, bp, xm, xp, ym, yp float64) float64 {
+	mu := a*xm + b
+	mv := ym
+	dp := ap*xp + bp - yp
+	return mu*mu + mv*mv - 2*mu*mv*math.Cos(dp)
+}
+
 // DistancePolar returns the same value as Distance but takes the two
 // spectra in precomputed polar form (magnitude and phase arrays of length
 // n). It is the hot path of query verification: per coefficient it costs
@@ -333,18 +354,31 @@ func (t Transform) Distance(X, Y []complex128) float64 {
 //	|t(x)_f - t(y)_f|^2 = mu^2 + mv^2 - 2*mu*mv*cos(a_phase*(px - py))
 //
 // with mu, mv the transformed magnitudes.
+//
+// The loop is blocked four coefficients wide over four independent
+// accumulators, which breaks the loop-carried dependency on the running
+// sum; the blocked shape and the final combine order
+// ((s0+s1)+(s2+s3)) are shared exactly with DistancePolarAbandon so the
+// two stay bit-identical on completed sums.
 func (t Transform) DistancePolar(xm, xp, ym, yp []float64) float64 {
 	n := t.N()
 	if len(xm) != n || len(xp) != n || len(ym) != n || len(yp) != n {
 		panic(fmt.Sprintf("transform: DistancePolar on %q (n=%d) with lengths %d/%d/%d/%d",
 			t.Name, n, len(xm), len(xp), len(ym), len(yp)))
 	}
-	var s float64
-	for f := 0; f < n; f++ {
-		mu := t.A[2*f]*xm[f] + t.B[2*f]
-		mv := t.A[2*f]*ym[f] + t.B[2*f]
-		s += mu*mu + mv*mv - 2*mu*mv*math.Cos(t.A[2*f+1]*(xp[f]-yp[f]))
+	A, B := t.A, t.B
+	var s0, s1, s2, s3 float64
+	f := 0
+	for ; f+4 <= n; f += 4 {
+		s0 += polarTerm(A[2*f], B[2*f], A[2*f+1], xm[f], xp[f], ym[f], yp[f])
+		s1 += polarTerm(A[2*f+2], B[2*f+2], A[2*f+3], xm[f+1], xp[f+1], ym[f+1], yp[f+1])
+		s2 += polarTerm(A[2*f+4], B[2*f+4], A[2*f+5], xm[f+2], xp[f+2], ym[f+2], yp[f+2])
+		s3 += polarTerm(A[2*f+6], B[2*f+6], A[2*f+7], xm[f+3], xp[f+3], ym[f+3], yp[f+3])
 	}
+	for ; f < n; f++ {
+		s0 += polarTerm(A[2*f], B[2*f], A[2*f+1], xm[f], xp[f], ym[f], yp[f])
+	}
+	s := (s0 + s1) + (s2 + s3)
 	if s < 0 {
 		s = 0 // rounding noise on identical inputs
 	}
@@ -364,13 +398,19 @@ func (t Transform) DistancePolarLeft(xm, xp, ym, yp []float64) float64 {
 		panic(fmt.Sprintf("transform: DistancePolarLeft on %q (n=%d) with lengths %d/%d/%d/%d",
 			t.Name, n, len(xm), len(xp), len(ym), len(yp)))
 	}
-	var s float64
-	for f := 0; f < n; f++ {
-		mu := t.A[2*f]*xm[f] + t.B[2*f]
-		mv := ym[f]
-		dp := t.A[2*f+1]*xp[f] + t.B[2*f+1] - yp[f]
-		s += mu*mu + mv*mv - 2*mu*mv*math.Cos(dp)
+	A, B := t.A, t.B
+	var s0, s1, s2, s3 float64
+	f := 0
+	for ; f+4 <= n; f += 4 {
+		s0 += polarTermLeft(A[2*f], B[2*f], A[2*f+1], B[2*f+1], xm[f], xp[f], ym[f], yp[f])
+		s1 += polarTermLeft(A[2*f+2], B[2*f+2], A[2*f+3], B[2*f+3], xm[f+1], xp[f+1], ym[f+1], yp[f+1])
+		s2 += polarTermLeft(A[2*f+4], B[2*f+4], A[2*f+5], B[2*f+5], xm[f+2], xp[f+2], ym[f+2], yp[f+2])
+		s3 += polarTermLeft(A[2*f+6], B[2*f+6], A[2*f+7], B[2*f+7], xm[f+3], xp[f+3], ym[f+3], yp[f+3])
 	}
+	for ; f < n; f++ {
+		s0 += polarTermLeft(A[2*f], B[2*f], A[2*f+1], B[2*f+1], xm[f], xp[f], ym[f], yp[f])
+	}
+	s := (s0 + s1) + (s2 + s3)
 	if s < 0 {
 		s = 0
 	}
@@ -389,12 +429,15 @@ func (t Transform) DistancePolarLeft(xm, xp, ym, yp []float64) float64 {
 func AbandonCutoff(eps float64) float64 { return eps*eps*(1+1e-9) + 1e-9 }
 
 // DistancePolarAbandon is DistancePolar with an early-abandoning
-// cutoff: each per-coefficient term is non-negative, so the partial
+// cutoff: the per-coefficient terms are non-negative, so the partial
 // sums are non-decreasing and the loop can stop as soon as they prove
 // the distance exceeds eps. When it abandons it returns (lb, true)
 // with lb a lower bound on the true distance; otherwise it returns the
-// bit-identical DistancePolar value and false (the summation order is
-// unchanged, the cutoff only adds a comparison per coefficient).
+// bit-identical DistancePolar value and false. The loop is blocked
+// exactly like DistancePolar (same accumulators, same combine order),
+// with the cutoff checked once per four-coefficient block, so the
+// abandon decision is equivalent to "the full blocked sum exceeds the
+// cutoff" and completed sums match DistancePolar bit for bit.
 func (t Transform) DistancePolarAbandon(xm, xp, ym, yp []float64, eps float64) (float64, bool) {
 	n := t.N()
 	if len(xm) != n || len(xp) != n || len(ym) != n || len(yp) != n {
@@ -402,15 +445,25 @@ func (t Transform) DistancePolarAbandon(xm, xp, ym, yp []float64, eps float64) (
 			t.Name, n, len(xm), len(xp), len(ym), len(yp)))
 	}
 	cut := AbandonCutoff(eps)
-	var s float64
-	for f := 0; f < n; f++ {
-		mu := t.A[2*f]*xm[f] + t.B[2*f]
-		mv := t.A[2*f]*ym[f] + t.B[2*f]
-		s += mu*mu + mv*mv - 2*mu*mv*math.Cos(t.A[2*f+1]*(xp[f]-yp[f]))
-		if s > cut {
+	A, B := t.A, t.B
+	var s0, s1, s2, s3 float64
+	f := 0
+	for ; f+4 <= n; f += 4 {
+		s0 += polarTerm(A[2*f], B[2*f], A[2*f+1], xm[f], xp[f], ym[f], yp[f])
+		s1 += polarTerm(A[2*f+2], B[2*f+2], A[2*f+3], xm[f+1], xp[f+1], ym[f+1], yp[f+1])
+		s2 += polarTerm(A[2*f+4], B[2*f+4], A[2*f+5], xm[f+2], xp[f+2], ym[f+2], yp[f+2])
+		s3 += polarTerm(A[2*f+6], B[2*f+6], A[2*f+7], xm[f+3], xp[f+3], ym[f+3], yp[f+3])
+		if s := (s0 + s1) + (s2 + s3); s > cut {
 			return math.Sqrt(s), true
 		}
 	}
+	for ; f < n; f++ {
+		s0 += polarTerm(A[2*f], B[2*f], A[2*f+1], xm[f], xp[f], ym[f], yp[f])
+		if s := (s0 + s1) + (s2 + s3); s > cut {
+			return math.Sqrt(s), true
+		}
+	}
+	s := (s0 + s1) + (s2 + s3)
 	if s < 0 {
 		s = 0 // rounding noise on identical inputs
 	}
@@ -426,16 +479,25 @@ func (t Transform) DistancePolarLeftAbandon(xm, xp, ym, yp []float64, eps float6
 			t.Name, n, len(xm), len(xp), len(ym), len(yp)))
 	}
 	cut := AbandonCutoff(eps)
-	var s float64
-	for f := 0; f < n; f++ {
-		mu := t.A[2*f]*xm[f] + t.B[2*f]
-		mv := ym[f]
-		dp := t.A[2*f+1]*xp[f] + t.B[2*f+1] - yp[f]
-		s += mu*mu + mv*mv - 2*mu*mv*math.Cos(dp)
-		if s > cut {
+	A, B := t.A, t.B
+	var s0, s1, s2, s3 float64
+	f := 0
+	for ; f+4 <= n; f += 4 {
+		s0 += polarTermLeft(A[2*f], B[2*f], A[2*f+1], B[2*f+1], xm[f], xp[f], ym[f], yp[f])
+		s1 += polarTermLeft(A[2*f+2], B[2*f+2], A[2*f+3], B[2*f+3], xm[f+1], xp[f+1], ym[f+1], yp[f+1])
+		s2 += polarTermLeft(A[2*f+4], B[2*f+4], A[2*f+5], B[2*f+5], xm[f+2], xp[f+2], ym[f+2], yp[f+2])
+		s3 += polarTermLeft(A[2*f+6], B[2*f+6], A[2*f+7], B[2*f+7], xm[f+3], xp[f+3], ym[f+3], yp[f+3])
+		if s := (s0 + s1) + (s2 + s3); s > cut {
 			return math.Sqrt(s), true
 		}
 	}
+	for ; f < n; f++ {
+		s0 += polarTermLeft(A[2*f], B[2*f], A[2*f+1], B[2*f+1], xm[f], xp[f], ym[f], yp[f])
+		if s := (s0 + s1) + (s2 + s3); s > cut {
+			return math.Sqrt(s), true
+		}
+	}
+	s := (s0 + s1) + (s2 + s3)
 	if s < 0 {
 		s = 0
 	}
