@@ -156,8 +156,8 @@ func TestCLIBenchWithCharts(t *testing.T) {
 }
 
 // TestCLIBenchJSONEnvelope checks the machine-readable output format:
-// a schema-2 envelope whose metadata makes BENCH_*.json files
-// comparable across machines.
+// a schema-3 envelope whose metadata makes BENCH_*.json files
+// comparable across machines, including the run's resource footprint.
 func TestCLIBenchJSONEnvelope(t *testing.T) {
 	jsonPath := filepath.Join(t.TempDir(), "bench.json")
 	runTool(t, "tsbench", "-fig", "8", "-queries", "1", "-stocks", "120", "-json", jsonPath)
@@ -173,6 +173,10 @@ func TestCLIBenchJSONEnvelope(t *testing.T) {
 			NumCPU      int    `json:"num_cpu"`
 			PageSize    int    `json:"page_size"`
 			GitRevision string `json:"git_revision"`
+			Resources   struct {
+				AllocBytes int64 `json:"alloc_bytes"`
+				Mallocs    int64 `json:"mallocs"`
+			} `json:"resources"`
 		} `json:"meta"`
 		Results []struct {
 			Name    string  `json:"name"`
@@ -182,8 +186,8 @@ func TestCLIBenchJSONEnvelope(t *testing.T) {
 	if err := json.Unmarshal(data, &out); err != nil {
 		t.Fatalf("parsing %s: %v", jsonPath, err)
 	}
-	if out.SchemaVersion != 2 {
-		t.Errorf("schema_version = %d, want 2", out.SchemaVersion)
+	if out.SchemaVersion != 3 {
+		t.Errorf("schema_version = %d, want 3", out.SchemaVersion)
 	}
 	if out.Meta.GoVersion == "" || out.Meta.GOMAXPROCS < 1 || out.Meta.NumCPU < 1 {
 		t.Errorf("implausible run metadata: %+v", out.Meta)
@@ -194,6 +198,9 @@ func TestCLIBenchJSONEnvelope(t *testing.T) {
 	if out.Meta.GitRevision == "" {
 		t.Error("git_revision missing (expected a hash or \"unknown\")")
 	}
+	if out.Meta.Resources.AllocBytes <= 0 || out.Meta.Resources.Mallocs <= 0 {
+		t.Errorf("schema-3 resource footprint implausible: %+v", out.Meta.Resources)
+	}
 	if len(out.Results) == 0 {
 		t.Fatal("no results recorded")
 	}
@@ -201,6 +208,78 @@ func TestCLIBenchJSONEnvelope(t *testing.T) {
 		if r.Name == "" || r.NsPerOp <= 0 {
 			t.Errorf("implausible result row: %+v", r)
 		}
+	}
+}
+
+// TestCLIBundle: tsquery -bundle runs a query under full diagnostics
+// and exports a support bundle that passes its own reconciliation.
+func TestCLIBundle(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "stocks.csv")
+	bundlePath := filepath.Join(dir, "bundle.json")
+	runTool(t, "tsgen", "-kind", "stocks", "-count", "150", "-length", "128", "-out", data)
+	out := runTool(t, "tsquery", "-data", data, "-query", "stock0007",
+		"-pipeline", "mv(5..20)", "-rho", "0.96", "-bundle", bundlePath)
+	if !strings.Contains(out, "reconciliation checks passed") {
+		t.Errorf("tsquery -bundle output missing reconciliation verdict:\n%s", out)
+	}
+
+	raw, err := os.ReadFile(bundlePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b struct {
+		SchemaVersion int     `json:"schema_version"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Build         struct {
+			GoVersion string `json:"go_version"`
+		} `json:"build"`
+		Runtime struct {
+			NumCPU int `json:"num_cpu"`
+		} `json:"runtime"`
+		Queries struct {
+			Total uint64 `json:"total"`
+		} `json:"queries"`
+		Index struct {
+			Series int `json:"series"`
+		} `json:"index"`
+		Reconciliation []struct {
+			Name   string `json:"name"`
+			OK     bool   `json:"ok"`
+			Detail string `json:"detail"`
+		} `json:"reconciliation"`
+	}
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatalf("parsing %s: %v", bundlePath, err)
+	}
+	if b.SchemaVersion != 1 {
+		t.Errorf("bundle schema_version = %d, want 1", b.SchemaVersion)
+	}
+	if b.UptimeSeconds <= 0 || b.Build.GoVersion == "" || b.Runtime.NumCPU < 1 {
+		t.Errorf("bundle envelope implausible: uptime=%v go=%q cpus=%d",
+			b.UptimeSeconds, b.Build.GoVersion, b.Runtime.NumCPU)
+	}
+	if b.Queries.Total != 1 {
+		t.Errorf("bundle recorded %d queries, want 1", b.Queries.Total)
+	}
+	if b.Index.Series != 150 {
+		t.Errorf("bundle index series = %d, want 150", b.Index.Series)
+	}
+	if len(b.Reconciliation) == 0 {
+		t.Fatal("bundle has no reconciliation checks")
+	}
+	for _, c := range b.Reconciliation {
+		if !c.OK {
+			t.Errorf("reconciliation check %s failed: %s", c.Name, c.Detail)
+		}
+	}
+
+	// A corrupt destination path fails loudly with nonzero status.
+	cmd := exec.Command(filepath.Join(buildTools(t), "tsquery"), "-data", data,
+		"-query", "stock0007", "-pipeline", "mv(5..20)", "-rho", "0.96",
+		"-bundle", filepath.Join(dir, "missing", "bundle.json"))
+	if err := cmd.Run(); err == nil {
+		t.Error("tsquery -bundle accepted an unwritable path")
 	}
 }
 

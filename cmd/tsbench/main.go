@@ -41,6 +41,7 @@ import (
 	"strings"
 
 	"tsq/internal/bench"
+	"tsq/internal/obs"
 	"tsq/internal/plot"
 	"tsq/internal/storage"
 )
@@ -131,6 +132,10 @@ type benchResult struct {
 	SkippedLB2       float64 `json:"skipped_lb_t2,omitempty"`
 	NsPerCandidate   float64 `json:"ns_per_candidate,omitempty"`
 	LBNsPerCandidate float64 `json:"lb_ns_per_candidate,omitempty"`
+	// Resource attribution (schema 3): process heap-allocation deltas
+	// per query, for the sweeps that measure them (throughput, verify).
+	AllocBytesPerOp float64 `json:"alloc_bytes_per_op,omitempty"`
+	MallocsPerOp    float64 `json:"mallocs_per_op,omitempty"`
 }
 
 // benchMeta records the run environment so BENCH_*.json files are
@@ -143,11 +148,19 @@ type benchMeta struct {
 	NumCPU      int    `json:"num_cpu"`
 	PageSize    int    `json:"page_size"`
 	GitRevision string `json:"git_revision"`
+	// Resources is the run's cumulative process resource footprint
+	// (heap bytes/objects allocated, GC cycles and pause) sampled when
+	// the envelope is written — a coarse "what did this run cost"
+	// alongside the per-point measurements.
+	Resources obs.Resources `json:"resources"`
 }
 
 // benchFile is the machine-readable output envelope; the BENCH_*.json
 // trajectory files record one of these. Schema 1 was a bare result
-// array with no run metadata.
+// array with no run metadata; schema 2 added the meta envelope; schema
+// 3 adds resource attribution — per-query allocation fields on the
+// throughput and verify-sweep rows and the run's resource footprint in
+// meta.
 type benchFile struct {
 	SchemaVersion int           `json:"schema_version"`
 	Meta          benchMeta     `json:"meta"`
@@ -155,7 +168,7 @@ type benchFile struct {
 }
 
 // benchSchemaVersion is the current benchFile schema.
-const benchSchemaVersion = 2
+const benchSchemaVersion = 3
 
 // collectMeta captures the run environment. The git revision comes from
 // the build info's VCS stamp, falling back to `git rev-parse HEAD`;
@@ -170,6 +183,7 @@ func collectMeta() benchMeta {
 		NumCPU:      runtime.NumCPU(),
 		PageSize:    storage.DefaultPageSize,
 		GitRevision: gitRevision(),
+		Resources:   obs.ReadResources(),
 	}
 }
 
@@ -216,19 +230,22 @@ func runThroughput(cfg bench.Config, count, queries int, workerCounts []int, res
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%10s %14s %14s %14s\n", "workers", "queries/sec", "sec/query", "disk/query")
+	fmt.Printf("%10s %14s %14s %14s %14s\n", "workers", "queries/sec", "sec/query", "disk/query", "KiB/query")
 	for _, r := range rows {
 		note := ""
 		if r.Workers == 1 {
 			note = "  (single-CPU parity baseline)"
 		}
-		fmt.Printf("%10d %14.1f %14.6f %14.1f%s\n", r.Workers, r.QueriesPerSec, r.SecPerQuery, r.DiskPerQuery, note)
+		fmt.Printf("%10d %14.1f %14.6f %14.1f %14.1f%s\n",
+			r.Workers, r.QueriesPerSec, r.SecPerQuery, r.DiskPerQuery, r.AllocPerQuery/1024, note)
 		*results = append(*results, benchResult{
-			Name:          fmt.Sprintf("throughput/workers=%d", r.Workers),
-			NsPerOp:       r.SecPerQuery * 1e9,
-			DiskReads:     r.DiskPerQuery,
-			QueriesPerSec: r.QueriesPerSec,
-			SingleCPU:     r.Workers == 1,
+			Name:            fmt.Sprintf("throughput/workers=%d", r.Workers),
+			NsPerOp:         r.SecPerQuery * 1e9,
+			DiskReads:       r.DiskPerQuery,
+			QueriesPerSec:   r.QueriesPerSec,
+			SingleCPU:       r.Workers == 1,
+			AllocBytesPerOp: r.AllocPerQuery,
+			MallocsPerOp:    r.MallocsPerQuery,
 		})
 	}
 	fmt.Println()
@@ -262,6 +279,8 @@ func runVerifySweep(cfg bench.Config, backend string, results *[]benchResult) er
 			SkippedLB2:       r.SkippedLB2,
 			NsPerCandidate:   r.NsPerCandidate,
 			LBNsPerCandidate: r.LBNsPerCandidate,
+			AllocBytesPerOp:  r.AllocPerQuery,
+			MallocsPerOp:     r.MallocsPerQuery,
 		})
 	}
 	fmt.Println()

@@ -13,8 +13,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
-	_ "net/http/pprof" // -debug-addr serves /debug/pprof/
 	"os"
 	"strconv"
 	"sync/atomic"
@@ -30,15 +30,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tsquery: %v\n", err)
 		os.Exit(1)
 	}
-}
-
-// debugState is what the late-bound /index endpoint needs: the open
-// database and the transformation groups the current invocation
-// queries with.
-type debugState struct {
-	db     *tsq.DB
-	ts     []tsq.Transform
-	groups [][]int
 }
 
 // setDebugState publishes the opened DB to the debug server; nil when
@@ -69,36 +60,57 @@ func run() error {
 		trace     = flag.Bool("trace", false, "print the query's span tree after running it")
 		inspect   = flag.Bool("inspect", false, "print the index health report (R*-tree occupancy/overlap, heap utilization, transformation groups) and exit")
 		check     = flag.Bool("check", false, "scrub the -db file (header, page checksums, structural integrity) and exit; nonzero exit status on corruption")
-		debugAddr = flag.String("debug-addr", "", "serve /metrics, /index, /queries, /rates and /debug/pprof/ on this address while the command runs")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /index, /queries, /rates, /debug/bundle and /debug/pprof/ on this address while the command runs")
+		queryLog  = flag.Bool("qlog", false, "emit one structured log record per query to stderr (slow queries carry their trace)")
+		attrib    = flag.Bool("attrib", false, "per-query resource attribution: sample alloc/GC deltas and run queries under pprof labels")
+		bundleOut = flag.String("bundle", "", `write a support bundle (JSON) to this path after the query runs ("-" for stdout); exits nonzero if the bundle's reconciliation checks fail`)
 	)
 	flag.Parse()
-	if *debugAddr != "" {
-		// The DB and pipeline are resolved after flag handling; the
-		// /index handler late-binds through this pointer (503 until set).
-		var dbgState atomic.Pointer[debugState]
-		setDebugState = func(db *tsq.DB, ts []tsq.Transform, groups [][]int) {
-			dbgState.Store(&debugState{db: db, ts: ts, groups: groups})
-		}
-		tsq.EnableFlightRecorder(tsq.RecorderOptions{})
+	if *bundleOut != "" {
+		// The bundle's recorder-coverage check expects the recorder to
+		// have seen every counted query, so both go on before any query
+		// runs; threshold 1ns retains everything.
+		tsq.EnableFlightRecorder(tsq.RecorderOptions{Threshold: time.Nanosecond})
 		tsq.StartSampler(tsq.SamplerOptions{})
 		defer tsq.StopSampler()
-		http.Handle("/metrics", tsq.MetricsHandler())
-		http.Handle("/queries", tsq.QueriesHandler())
-		http.Handle("/rates", tsq.RatesHandler())
-		http.HandleFunc("/index", func(w http.ResponseWriter, req *http.Request) {
-			st := dbgState.Load()
-			if st == nil {
-				http.Error(w, "database not open yet", http.StatusServiceUnavailable)
-				return
-			}
-			tsq.IndexHandler(st.db, st.ts, st.groups).ServeHTTP(w, req)
-		})
+		tsq.EnableResourceAttribution()
+	}
+	if *attrib {
+		tsq.EnableResourceAttribution()
+	}
+	if *queryLog {
+		tsq.EnableQueryLog(slog.NewTextHandler(os.Stderr, nil), tsq.QueryLogOptions{})
+	}
+	if *debugAddr != "" {
+		// The DB and pipeline are resolved after flag handling; the mux
+		// is built once they are (503 until then) so /index and
+		// /debug/bundle see the open database.
+		var dbgMux atomic.Pointer[http.ServeMux]
+		setDebugState = func(db *tsq.DB, ts []tsq.Transform, groups [][]int) {
+			m := http.NewServeMux()
+			tsq.EnableDebugHandlers(m, db)
+			m.Handle("/index", tsq.IndexHandler(db, ts, groups))
+			dbgMux.Store(m)
+		}
+		if *bundleOut == "" {
+			tsq.EnableFlightRecorder(tsq.RecorderOptions{})
+			tsq.StartSampler(tsq.SamplerOptions{})
+			defer tsq.StopSampler()
+		}
 		go func() {
-			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+			err := http.ListenAndServe(*debugAddr, http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+				m := dbgMux.Load()
+				if m == nil {
+					http.Error(w, "database not open yet", http.StatusServiceUnavailable)
+					return
+				}
+				m.ServeHTTP(w, req)
+			}))
+			if err != nil {
 				fmt.Fprintf(os.Stderr, "tsquery: debug server: %v\n", err)
 			}
 		}()
-		fmt.Printf("debug server on http://%s (/metrics, /index, /queries, /rates, /debug/pprof/)\n", *debugAddr)
+		fmt.Printf("debug server on http://%s (/metrics, /index, /queries, /rates, /debug/bundle, /debug/pprof/)\n", *debugAddr)
 	}
 	if *check {
 		if *dbPath == "" {
@@ -250,7 +262,7 @@ func run() error {
 				db.Name(m.IDA), db.Name(m.IDB), ts[m.TransformIdx].Name, m.Distance)
 		}
 		printStats(st)
-		return nil
+		return writeBundle(db, *bundleOut)
 	}
 
 	id, err := resolveQuery(db, names, *queryArg)
@@ -287,7 +299,7 @@ func run() error {
 			fmt.Printf("  %-12s offset %4d dist %.4f\n", names[m.Seq], m.Offset, m.Distance)
 		}
 		fmt.Printf("stats: %d node accesses, %d windows verified\n", sst.NodeAccesses, sst.Candidates)
-		return nil
+		return writeBundle(db, *bundleOut)
 	}
 	ctx := context.Background()
 	var tr *tsq.Trace
@@ -308,7 +320,7 @@ func run() error {
 		}
 		printStats(st)
 		printTrace(tr)
-		return nil
+		return writeBundle(db, *bundleOut)
 	}
 
 	matches, st, err := db.RangeByIDCtx(ctx, id, ts, thr, opts)
@@ -330,6 +342,44 @@ func run() error {
 	}
 	printStats(st)
 	printTrace(tr)
+	return writeBundle(db, *bundleOut)
+}
+
+// writeBundle collects a support bundle into path ("" disables, "-" is
+// stdout) and fails on reconciliation mismatch, so scripted invocations
+// (CI smoke) assert internal consistency by exit status alone.
+func writeBundle(db *tsq.DB, path string) error {
+	if path == "" {
+		return nil
+	}
+	b, err := tsq.CollectBundle(context.Background(), db, tsq.BundleOptions{ExpectCompleteRecorder: true})
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		if err := b.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := b.WriteJSON(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if !b.OK() {
+		for _, c := range b.FailedChecks() {
+			fmt.Fprintf(os.Stderr, "bundle check FAILED: %s: %s\n", c.Name, c.Detail)
+		}
+		return fmt.Errorf("support bundle failed %d reconciliation checks", len(b.FailedChecks()))
+	}
+	fmt.Fprintf(os.Stderr, "bundle: %d reconciliation checks passed\n", len(b.Reconciliation))
 	return nil
 }
 

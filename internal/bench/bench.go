@@ -407,6 +407,11 @@ type ThroughputRow struct {
 	// DiskPerQuery is the Eq. 18 accounting (index node fetches plus
 	// candidate retrievals) per query; identical at every worker count.
 	DiskPerQuery float64
+	// AllocPerQuery/MallocsPerQuery are the process heap-allocation
+	// deltas over the batch divided by its query count — bytes and
+	// objects the execution layer costs per query at this worker count.
+	AllocPerQuery   float64
+	MallocsPerQuery float64
 }
 
 // Throughput measures batch query throughput over the Fig. 5 workload at
@@ -454,22 +459,26 @@ func Throughput(cfg Config, count, queries int, workerCounts []int) ([]Throughpu
 	}
 	rows := make([]ThroughputRow, 0, len(workerCounts))
 	for _, workers := range workerCounts {
+		pre := obs.ReadResources()
 		start := time.Now()
 		results := db.Batch(context.Background(), reqs, workers)
 		elapsed := time.Since(start).Seconds()
+		res := obs.ReadResources().Sub(pre)
 		var stats tsq.Stats
-		for _, res := range results {
-			if res.Err != nil {
-				return nil, res.Err
+		for _, r := range results {
+			if r.Err != nil {
+				return nil, r.Err
 			}
-			stats.Add(res.Stats)
+			stats.Add(r.Stats)
 		}
 		rows = append(rows, ThroughputRow{
-			Workers:       workers,
-			Queries:       queries,
-			QueriesPerSec: float64(queries) / elapsed,
-			SecPerQuery:   elapsed / float64(queries),
-			DiskPerQuery:  float64(stats.DAAll+stats.Candidates) / float64(queries),
+			Workers:         workers,
+			Queries:         queries,
+			QueriesPerSec:   float64(queries) / elapsed,
+			SecPerQuery:     elapsed / float64(queries),
+			DiskPerQuery:    float64(stats.DAAll+stats.Candidates) / float64(queries),
+			AllocPerQuery:   float64(res.AllocBytes) / float64(queries),
+			MallocsPerQuery: float64(res.Mallocs) / float64(queries),
 		})
 	}
 	return rows, nil
@@ -514,6 +523,11 @@ type VerifyRow struct {
 	PagesRead  float64 // backend reads (one per ordered run with readahead)
 	Prefetched float64 // pages delivered by the tail of a batched run read
 	BufferHits float64
+	// AllocPerQuery/MallocsPerQuery are the process heap-allocation
+	// deltas over the first (cold) repetition divided by the query
+	// count — the memory cost each verification mode charges per query.
+	AllocPerQuery   float64
+	MallocsPerQuery float64
 }
 
 // runRangeVerify is runRange with a trace attached to every query: it
@@ -605,15 +619,18 @@ func VerifySweep(cfg Config, backend string) ([]VerifyRow, error) {
 		var sec, avgOut, verifyNs float64
 		var stats tsq.Stats
 		var disk storage.Stats
+		var res obs.Resources
 		for rep := 0; rep < reps; rep++ {
 			runtime.GC()
 			db.ResetDiskStats()
+			pre := obs.ReadResources()
 			s, a, st, vns, err := runRangeVerify(db, cfg, ts, thr, opts)
 			if err != nil {
 				return nil, err
 			}
 			if rep == 0 {
 				disk = db.DiskStats()
+				res = obs.ReadResources().Sub(pre)
 				sec, avgOut, stats, verifyNs = s, a, st, vns
 				continue
 			}
@@ -657,6 +674,8 @@ func VerifySweep(cfg Config, backend string) ([]VerifyRow, error) {
 			PagesRead:        float64(disk.Reads) / nq,
 			Prefetched:       float64(disk.Prefetched) / nq,
 			BufferHits:       float64(disk.Hits) / nq,
+			AllocPerQuery:    float64(res.AllocBytes) / nq,
+			MallocsPerQuery:  float64(res.Mallocs) / nq,
 		})
 	}
 	return rows, nil

@@ -68,6 +68,15 @@ type QueryStats struct {
 	// tiered cascade optimizes; under parallel verification the shard
 	// times sum, so it is CPU time, not elapsed time.
 	LBTimeNs int64
+	// AllocBytes/Mallocs/GCCycles/GCPauseNs are process-wide runtime
+	// deltas sampled around the query when resource attribution is
+	// enabled (zero otherwise). Under concurrent queries they include
+	// neighbors' work — they attribute resource pressure to a query
+	// shape, they do not meter it exactly.
+	AllocBytes int64
+	Mallocs    int64
+	GCCycles   int64
+	GCPauseNs  int64
 }
 
 // Add accumulates other into s.
@@ -83,6 +92,10 @@ func (s *QueryStats) Add(other QueryStats) {
 	s.SkippedLB2 += other.SkippedLB2
 	s.Abandoned += other.Abandoned
 	s.LBTimeNs += other.LBTimeNs
+	s.AllocBytes += other.AllocBytes
+	s.Mallocs += other.Mallocs
+	s.GCCycles += other.GCCycles
+	s.GCPauseNs += other.GCPauseNs
 }
 
 // RangeOptions tunes the index-based range algorithms.

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"runtime/metrics"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Per-query resource attribution. The facade samples process resource
+// totals (heap allocation, GC activity) immediately before and after a
+// query and books the delta into QueryStats and the root span, so a
+// slow-query record answers not just "what did the engine do" but
+// "what did it cost the process". The totals are process-wide: under
+// concurrent queries the deltas overlap and attribute shared work (GC
+// runs for everyone) to whichever queries were in flight — a signal
+// for diagnostics, not an exact accounting. Attribution is opt-in and
+// the disabled path is one atomic load, zero allocations.
+
+// processStart anchors uptime reporting (/rates, support bundles).
+var processStart = time.Now()
+
+// Uptime returns the time since the process (strictly: this package)
+// was initialized.
+func Uptime() time.Duration { return time.Since(processStart) }
+
+// attributionOn gates per-query resource sampling and pprof labeling.
+var attributionOn atomic.Bool
+
+// SetAttribution turns per-query resource attribution on or off.
+func SetAttribution(on bool) { attributionOn.Store(on) }
+
+// AttributionEnabled reports whether per-query resource attribution is
+// on. The disabled check is a single atomic load.
+func AttributionEnabled() bool { return attributionOn.Load() }
+
+// queryID issues process-wide query ids; 0 means "no id".
+var queryID atomic.Uint64
+
+// NextQueryID returns a fresh nonzero query id. The id links a query's
+// artifacts across the diagnostics layer: the query log record, the
+// flight-recorder entry, and the histogram exemplar its latency landed
+// in all carry the same id.
+func NextQueryID() uint64 { return queryID.Add(1) }
+
+// LastQueryID returns the most recently issued query id (0 before the
+// first query). Bundle reconciliation uses it as an upper bound for
+// exemplar ids.
+func LastQueryID() uint64 { return queryID.Load() }
+
+// Resources is a snapshot of cumulative process resource totals, or
+// (via Sub) the delta over a query.
+type Resources struct {
+	// AllocBytes is the cumulative heap allocation in bytes
+	// (runtime/metrics /gc/heap/allocs:bytes).
+	AllocBytes int64 `json:"alloc_bytes"`
+	// Mallocs is the cumulative heap object count
+	// (/gc/heap/allocs:objects).
+	Mallocs int64 `json:"mallocs"`
+	// GCCycles is the number of completed GC cycles (debug.GCStats.NumGC).
+	GCCycles int64 `json:"gc_cycles"`
+	// GCPauseNs is the cumulative stop-the-world pause time in
+	// nanoseconds (debug.GCStats.PauseTotal).
+	GCPauseNs int64 `json:"gc_pause_ns"`
+}
+
+// Sub returns the delta r - prev.
+func (r Resources) Sub(prev Resources) Resources {
+	return Resources{
+		AllocBytes: r.AllocBytes - prev.AllocBytes,
+		Mallocs:    r.Mallocs - prev.Mallocs,
+		GCCycles:   r.GCCycles - prev.GCCycles,
+		GCPauseNs:  r.GCPauseNs - prev.GCPauseNs,
+	}
+}
+
+// resReader holds the reusable buffers one resource read needs; pooled
+// so the steady state allocates nothing.
+type resReader struct {
+	samples [2]metrics.Sample
+	gc      debug.GCStats
+}
+
+var resPool = sync.Pool{New: func() any {
+	r := &resReader{}
+	r.samples[0].Name = "/gc/heap/allocs:bytes"
+	r.samples[1].Name = "/gc/heap/allocs:objects"
+	// debug.ReadGCStats reallocates Pause when its capacity is below
+	// 2*256+3 (two copies of the runtime's pause history plus three
+	// trailer words); pre-size it so pooled readers never reallocate.
+	r.gc.Pause = make([]time.Duration, 0, 2*256+3)
+	return r
+}}
+
+// ReadResources samples the process resource totals: two fixed
+// runtime/metrics reads plus one debug.ReadGCStats, microseconds of
+// work and zero allocations in the steady state (buffers are pooled).
+func ReadResources() Resources {
+	r := resPool.Get().(*resReader)
+	metrics.Read(r.samples[:])
+	debug.ReadGCStats(&r.gc)
+	res := Resources{
+		AllocBytes: int64(r.samples[0].Value.Uint64()),
+		Mallocs:    int64(r.samples[1].Value.Uint64()),
+		GCCycles:   r.gc.NumGC,
+		GCPauseNs:  r.gc.PauseTotal.Nanoseconds(),
+	}
+	resPool.Put(r)
+	return res
+}
+
+// runtimeSampler caches one batch of runtime/metrics reads so the
+// function-backed registry gauges don't re-read the runtime when a
+// snapshot samples several of them back to back.
+type runtimeSampler struct {
+	mu      sync.Mutex
+	at      time.Time
+	samples []metrics.Sample
+	vals    map[string]int64
+	pause   int64
+}
+
+const runtimeSampleTTL = 100 * time.Millisecond
+
+func newRuntimeSampler(names []string) *runtimeSampler {
+	rs := &runtimeSampler{vals: make(map[string]int64, len(names))}
+	for _, n := range names {
+		rs.samples = append(rs.samples, metrics.Sample{Name: n})
+	}
+	return rs
+}
+
+// value returns the latest sampled value of the named metric,
+// refreshing the batch when the cache is older than the TTL.
+func (rs *runtimeSampler) value(name string) int64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if time.Since(rs.at) > runtimeSampleTTL {
+		metrics.Read(rs.samples)
+		for i := range rs.samples {
+			rs.vals[rs.samples[i].Name] = int64(rs.samples[i].Value.Uint64())
+		}
+		rs.pause = ReadResources().GCPauseNs
+		rs.at = time.Now()
+	}
+	return rs.vals[name]
+}
+
+func (rs *runtimeSampler) pauseNs() int64 {
+	rs.value("/sched/goroutines:goroutines") // refresh the batch if stale
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.pause
+}
+
+// RegisterRuntimeMetrics mirrors process runtime health into r as
+// function-backed instruments, sampled only when the registry is
+// snapshotted (so registration costs nothing per query):
+//
+//	tsq_heap_bytes          live heap (gauge: bytes of live objects)
+//	tsq_goroutines          goroutine count (gauge)
+//	tsq_alloc_bytes_total   cumulative heap allocation (counter)
+//	tsq_gc_cycles_total     completed GC cycles (counter)
+//	tsq_gc_pause_total_ns   cumulative stop-the-world pause (counter)
+//
+// The two gauges ride the CounterFunc mechanism; window samplers rate
+// only the _total-suffixed names meaningfully.
+func RegisterRuntimeMetrics(r *Registry) {
+	rs := newRuntimeSampler([]string{
+		"/memory/classes/heap/objects:bytes",
+		"/sched/goroutines:goroutines",
+		"/gc/heap/allocs:bytes",
+		"/gc/cycles/total:gc-cycles",
+	})
+	r.CounterFunc("tsq_heap_bytes", func() int64 { return rs.value("/memory/classes/heap/objects:bytes") })
+	r.CounterFunc("tsq_goroutines", func() int64 { return rs.value("/sched/goroutines:goroutines") })
+	r.CounterFunc("tsq_alloc_bytes_total", func() int64 { return rs.value("/gc/heap/allocs:bytes") })
+	r.CounterFunc("tsq_gc_cycles_total", func() int64 { return rs.value("/gc/cycles/total:gc-cycles") })
+	r.CounterFunc("tsq_gc_pause_total_ns", func() int64 { return rs.pauseNs() })
+}
+
+// RuntimeInfo is the process environment section of a support bundle.
+type RuntimeInfo struct {
+	GoVersion  string    `json:"go_version"`
+	GOOS       string    `json:"goos"`
+	GOARCH     string    `json:"goarch"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	NumCPU     int       `json:"num_cpu"`
+	Goroutines int       `json:"goroutines"`
+	HeapBytes  int64     `json:"heap_bytes"`
+	Resources  Resources `json:"resources"`
+}
+
+// ReadRuntimeInfo captures the current process environment.
+func ReadRuntimeInfo() RuntimeInfo {
+	heap := []metrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
+	metrics.Read(heap)
+	return RuntimeInfo{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Goroutines: runtime.NumGoroutine(),
+		HeapBytes:  int64(heap[0].Value.Uint64()),
+		Resources:  ReadResources(),
+	}
+}

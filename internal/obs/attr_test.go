@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"testing"
+)
+
+// TestQueryIDsAreUniqueAndOrdered: ids are nonzero, strictly increasing,
+// and LastQueryID tracks the latest issue.
+func TestQueryIDsAreUniqueAndOrdered(t *testing.T) {
+	first := NextQueryID()
+	if first == 0 {
+		t.Fatal("NextQueryID returned the reserved id 0")
+	}
+	second := NextQueryID()
+	if second <= first {
+		t.Errorf("ids not increasing: %d then %d", first, second)
+	}
+	if last := LastQueryID(); last != second {
+		t.Errorf("LastQueryID = %d, want %d", last, second)
+	}
+}
+
+// TestReadResourcesDeltas: totals are cumulative, so a delta across a
+// known allocation is positive and roughly sized to the work.
+func TestReadResourcesDeltas(t *testing.T) {
+	pre := ReadResources()
+	if pre.AllocBytes <= 0 || pre.Mallocs <= 0 {
+		t.Fatalf("cumulative totals not positive: %+v", pre)
+	}
+	const chunk = 1 << 20
+	sink := make([][]byte, 8)
+	for i := range sink {
+		sink[i] = make([]byte, chunk)
+		sink[i][0] = byte(i)
+	}
+	delta := ReadResources().Sub(pre)
+	if delta.AllocBytes < 8*chunk {
+		t.Errorf("delta.AllocBytes = %d after allocating %d", delta.AllocBytes, 8*chunk)
+	}
+	if delta.Mallocs < 8 {
+		t.Errorf("delta.Mallocs = %d after 8 makes", delta.Mallocs)
+	}
+	if delta.GCCycles < 0 || delta.GCPauseNs < 0 {
+		t.Errorf("GC deltas went backwards: %+v", delta)
+	}
+	_ = sink
+}
+
+// TestReadResourcesSteadyStateAllocs: the pooled reader makes the hot
+// sample path allocation-free. GC clearing the pool mid-run can cost the
+// occasional refill, so allow a small tolerance rather than exactly 0.
+func TestReadResourcesSteadyStateAllocs(t *testing.T) {
+	ReadResources() // warm the pool
+	if n := testing.AllocsPerRun(200, func() { ReadResources() }); n > 0.1 {
+		t.Errorf("ReadResources allocates %.2f/op in steady state, want ~0", n)
+	}
+}
+
+// TestAttributionToggle: the global gate flips atomically and reads back.
+func TestAttributionToggle(t *testing.T) {
+	defer SetAttribution(false)
+	SetAttribution(true)
+	if !AttributionEnabled() {
+		t.Error("attribution not enabled after SetAttribution(true)")
+	}
+	SetAttribution(false)
+	if AttributionEnabled() {
+		t.Error("attribution still enabled after SetAttribution(false)")
+	}
+}
+
+// TestRegisterRuntimeMetrics: the runtime gauges land in the registry
+// snapshot with live values.
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	vals := map[string]int64{}
+	for _, c := range r.Snapshot().Counters {
+		vals[c.Name] = c.Value
+	}
+	for _, name := range []string{
+		"tsq_heap_bytes", "tsq_goroutines",
+		"tsq_alloc_bytes_total", "tsq_gc_cycles_total", "tsq_gc_pause_total_ns",
+	} {
+		if _, ok := vals[name]; !ok {
+			t.Errorf("snapshot missing %s", name)
+		}
+	}
+	if vals["tsq_heap_bytes"] <= 0 {
+		t.Errorf("tsq_heap_bytes = %d, want > 0", vals["tsq_heap_bytes"])
+	}
+	if vals["tsq_goroutines"] <= 0 {
+		t.Errorf("tsq_goroutines = %d, want > 0", vals["tsq_goroutines"])
+	}
+	if vals["tsq_alloc_bytes_total"] <= 0 {
+		t.Errorf("tsq_alloc_bytes_total = %d, want > 0", vals["tsq_alloc_bytes_total"])
+	}
+}
+
+// TestReadRuntimeInfo: the bundle's environment section is populated.
+func TestReadRuntimeInfo(t *testing.T) {
+	ri := ReadRuntimeInfo()
+	if ri.GoVersion == "" || ri.GOOS == "" || ri.GOARCH == "" {
+		t.Errorf("runtime info missing build identity: %+v", ri)
+	}
+	if ri.GOMAXPROCS <= 0 || ri.NumCPU <= 0 || ri.Goroutines <= 0 {
+		t.Errorf("runtime info missing process stats: %+v", ri)
+	}
+	if ri.HeapBytes <= 0 || ri.Resources.AllocBytes <= 0 {
+		t.Errorf("runtime info missing memory stats: %+v", ri)
+	}
+}
+
+// TestUptime: monotonic and positive.
+func TestUptime(t *testing.T) {
+	u1 := Uptime()
+	if u1 <= 0 {
+		t.Fatalf("uptime = %v", u1)
+	}
+	if u2 := Uptime(); u2 < u1 {
+		t.Errorf("uptime went backwards: %v then %v", u1, u2)
+	}
+}

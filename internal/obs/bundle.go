@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime/debug"
+	"runtime/pprof"
+	"time"
+)
+
+// Support bundle: one versioned JSON artifact capturing everything the
+// diagnostics layer knows, so "send me the bundle" replaces a dozen
+// back-and-forth curl commands when a production query goes bad. A
+// bundle snapshots the build and runtime environment, the metrics
+// registry (with exemplars), the windowed rates, the flight recorder's
+// slow queries, an optional index-health report, and (flag-gated)
+// short CPU and heap profiles — and then audits itself: a set of
+// reconciliation checks cross-verifies the registry's counters against
+// histogram totals and the recorder's trace-derived rollups, the same
+// discipline as the EXPLAIN ANALYZE trace-vs-storage assertion. A
+// bundle whose checks fail is still written (the mismatch is itself
+// the diagnostic); OK() reports the verdict.
+
+// BundleSchemaVersion identifies the bundle JSON shape.
+const BundleSchemaVersion = 1
+
+// BundleOptions configures bundle collection.
+type BundleOptions struct {
+	// CounterHistogramPairs maps counter names to histogram names that
+	// must agree exactly (the counter increments once per observation).
+	// The facade passes its query-counter/latency-histogram pairs.
+	CounterHistogramPairs map[string]string
+	// ExpectCompleteRecorder asserts that the recorder has seen every
+	// query the registry counted (recorder installed at process start,
+	// nothing evicted): the paired counters must sum to the recorder's
+	// total. tsquery -bundle runs under this regime; a long-lived
+	// server that enabled recording late does not.
+	ExpectCompleteRecorder bool
+	// CPUProfile, when positive, collects a CPU profile of that
+	// duration into the bundle (the process must not already be
+	// profiling). Flag-gated because it blocks collection for the
+	// duration and costs a few percent CPU.
+	CPUProfile time.Duration
+	// HeapProfile includes a heap profile snapshot.
+	HeapProfile bool
+}
+
+// BuildSection identifies the binary.
+type BuildSection struct {
+	GoVersion string `json:"go_version"`
+	Path      string `json:"path,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+}
+
+// Check is one reconciliation result.
+type Check struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail"`
+}
+
+// Bundle is the versioned support artifact. Index is an opaque
+// JSON-encoded health report supplied by the facade (this package
+// cannot import the engine).
+type Bundle struct {
+	SchemaVersion int          `json:"schema_version"`
+	CreatedAt     time.Time    `json:"created_at"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Build         BuildSection `json:"build"`
+	Runtime       RuntimeInfo  `json:"runtime"`
+
+	Metrics  Snapshot          `json:"metrics"`
+	Rates    *RatesReport      `json:"rates,omitempty"`
+	Queries  *RecorderSnapshot `json:"queries,omitempty"`
+	QueryLog *QueryLogStats    `json:"query_log,omitempty"`
+	Index    json.RawMessage   `json:"index,omitempty"`
+
+	// Reconciliation audits the sections against each other; see OK.
+	Reconciliation []Check `json:"reconciliation"`
+
+	// Profiles holds pprof profiles keyed by name ("cpu", "heap"),
+	// base64-encoded by the JSON marshaller. ProfileError records a
+	// collection failure without failing the bundle.
+	Profiles     map[string][]byte `json:"profiles,omitempty"`
+	ProfileError string            `json:"profile_error,omitempty"`
+}
+
+// OK reports whether every reconciliation check passed.
+func (b *Bundle) OK() bool {
+	for _, c := range b.Reconciliation {
+		if !c.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// FailedChecks returns the reconciliation checks that did not pass.
+func (b *Bundle) FailedChecks() []Check {
+	var out []Check
+	for _, c := range b.Reconciliation {
+		if !c.OK {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the bundle as indented JSON.
+func (b *Bundle) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// readBuildSection captures the binary's build provenance; every
+// failure mode degrades to empty fields (a bundle must never fail
+// because the binary lacks VCS stamps).
+func readBuildSection() BuildSection {
+	b := BuildSection{GoVersion: ReadRuntimeInfo().GoVersion}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.Path = info.Main.Path
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.modified":
+			b.Modified = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// NewBundle collects a bundle from the given sources. sampler, rec and
+// qlog may be nil (their sections are omitted); indexHealth may be nil.
+// windows selects the rate spans when a sampler is present.
+func NewBundle(reg *Registry, sampler *Sampler, rec *Recorder, qlog *QueryLogger, indexHealth json.RawMessage, opts BundleOptions, windows ...time.Duration) *Bundle {
+	b := &Bundle{
+		SchemaVersion: BundleSchemaVersion,
+		CreatedAt:     time.Now(),
+		UptimeSeconds: Uptime().Seconds(),
+		Build:         readBuildSection(),
+		Runtime:       ReadRuntimeInfo(),
+		Index:         indexHealth,
+	}
+	// Profiles first: the CPU profile needs the process to keep doing
+	// whatever it is doing, and the registry snapshot should be the
+	// freshest section (it is what reconciliation audits).
+	collectProfiles(b, opts)
+	if rec != nil {
+		snap := rec.Snapshot()
+		b.Queries = &snap
+	}
+	if qlog != nil {
+		st := qlog.Stats()
+		b.QueryLog = &st
+	}
+	if sampler != nil {
+		rr := sampler.Report(windows...)
+		b.Rates = &rr
+	}
+	b.Metrics = reg.Snapshot()
+	b.Reconciliation = reconcile(b, opts)
+	return b
+}
+
+// collectProfiles gathers the flag-gated pprof profiles.
+func collectProfiles(b *Bundle, opts BundleOptions) {
+	if opts.CPUProfile <= 0 && !opts.HeapProfile {
+		return
+	}
+	b.Profiles = make(map[string][]byte)
+	if opts.CPUProfile > 0 {
+		var buf bytes.Buffer
+		if err := pprof.StartCPUProfile(&buf); err != nil {
+			b.ProfileError = err.Error()
+		} else {
+			time.Sleep(opts.CPUProfile)
+			pprof.StopCPUProfile()
+			b.Profiles["cpu"] = buf.Bytes()
+		}
+	}
+	if opts.HeapProfile {
+		var buf bytes.Buffer
+		if err := pprof.Lookup("heap").WriteTo(&buf, 0); err != nil {
+			b.ProfileError = err.Error()
+		} else {
+			b.Profiles["heap"] = buf.Bytes()
+		}
+	}
+}
+
+// reconcile audits the collected sections against each other.
+func reconcile(b *Bundle, opts BundleOptions) []Check {
+	var checks []Check
+	add := func(name string, ok bool, format string, args ...any) {
+		checks = append(checks, Check{Name: name, OK: ok, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	counters := make(map[string]int64, len(b.Metrics.Counters))
+	for _, c := range b.Metrics.Counters {
+		counters[c.Name] = c.Value
+	}
+	hists := make(map[string]HistogramSnap, len(b.Metrics.Histograms))
+	for _, h := range b.Metrics.Histograms {
+		hists[h.Name] = h
+	}
+
+	// Every histogram's buckets must sum to its observation count.
+	for _, h := range b.Metrics.Histograms {
+		var sum int64
+		for _, c := range h.Counts {
+			sum += c
+		}
+		add("histogram_buckets/"+h.Name, sum == h.Count,
+			"bucket sum %d vs count %d", sum, h.Count)
+	}
+
+	// Paired counters and histograms move in lockstep: the facade
+	// increments the counter and observes the latency once per query.
+	var pairedTotal int64
+	for cname, hname := range opts.CounterHistogramPairs {
+		cv, cok := counters[cname]
+		h, hok := hists[hname]
+		if !cok || !hok {
+			add("counter_histogram/"+cname, false, "missing %s=%v %s=%v", cname, cok, hname, hok)
+			continue
+		}
+		pairedTotal += cv
+		add("counter_histogram/"+cname, cv == h.Count,
+			"counter %d vs histogram count %d", cv, h.Count)
+	}
+
+	// Exemplar ids must have been issued by this process.
+	maxID := LastQueryID()
+	for _, h := range b.Metrics.Histograms {
+		for _, ex := range h.Exemplars {
+			if ex.QueryID > maxID {
+				add("exemplar_ids/"+h.Name, false,
+					"bucket %d carries query id %d but only %d were issued", ex.Bucket, ex.QueryID, maxID)
+			}
+		}
+	}
+
+	if b.Queries != nil {
+		q := b.Queries
+		// Ring accounting: every slow query seen is either retained or
+		// counted as evicted.
+		slowSeen := q.Total - q.Sampled
+		add("recorder_ring", slowSeen == q.Evicted+uint64(len(q.Slow)),
+			"slow seen %d vs evicted %d + retained %d", slowSeen, q.Evicted, len(q.Slow))
+
+		// Trace-derived rollups: each retained record's headline counts
+		// must be recomputable from its own trace — the bundle-level
+		// form of the EXPLAIN ANALYZE trace-vs-storage cross-check.
+		traced, mismatched := 0, 0
+		for _, recs := range [][]QueryRecord{q.Slow, q.Sample} {
+			for _, r := range recs {
+				if r.Trace == nil {
+					continue
+				}
+				traced++
+				if r.Matches != r.Trace.Sum(KindVerify, AMatches) ||
+					r.Candidates != r.Trace.Sum(KindFilter, ACandidates) ||
+					r.Transforms != r.Trace.Sum(KindProbe, ATransforms) {
+					mismatched++
+				}
+			}
+		}
+		add("recorder_trace_rollups", mismatched == 0,
+			"%d traced records, %d with rollups diverging from their trace", traced, mismatched)
+
+		if opts.ExpectCompleteRecorder {
+			add("recorder_coverage", uint64(pairedTotal) == q.Total,
+				"registry counted %d queries vs recorder total %d", pairedTotal, q.Total)
+		}
+	}
+	return checks
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Histogram exemplars: each latency bucket of an exemplar-enabled
+// histogram remembers the last query that landed in it — its query id,
+// the observed value, and when. A /metrics reader staring at a p99
+// spike can jump straight from the offending bucket to the matching
+// flight-recorder entry (/queries) or query-log line by id, instead of
+// guessing which query produced the tail.
+//
+// The slots are three independent atomics; a reader racing a writer
+// can see the id of one observation next to the value of another.
+// That skew is harmless for diagnostics (both observations landed in
+// the same bucket) and keeps the write path at three atomic stores
+// with zero allocations.
+
+// exemplarSlot is the last observation retained for one bucket.
+// id 0 means the slot has never been written.
+type exemplarSlot struct {
+	id  atomic.Uint64
+	val atomic.Int64
+	at  atomic.Int64 // unix nanoseconds
+}
+
+// Exemplar is one bucket's retained observation in a Snapshot.
+type Exemplar struct {
+	// Bucket indexes into the histogram's Counts (len(Bounds) is the
+	// unbounded last bucket).
+	Bucket int `json:"bucket"`
+	// QueryID links to the query-log / flight-recorder entry.
+	QueryID uint64 `json:"query_id"`
+	// Value is the observed value (nanoseconds for latency histograms).
+	Value int64 `json:"value"`
+	// UnixNano is when the observation was recorded.
+	UnixNano int64 `json:"unix_nano"`
+}
+
+// EnableExemplars allocates one exemplar slot per bucket. Safe to call
+// concurrently with Observe; calling it again is a no-op. Observations
+// carry ids only when made through ObserveExemplar.
+func (h *Histogram) EnableExemplars() {
+	if h.ex.Load() != nil {
+		return
+	}
+	slots := make([]exemplarSlot, len(h.counts))
+	h.ex.CompareAndSwap(nil, &slots)
+}
+
+// ObserveExemplar records one value tagged with the query id that
+// produced it. With exemplars disabled (or id 0) it is exactly
+// Observe plus one atomic load; it never allocates.
+func (h *Histogram) ObserveExemplar(v int64, id uint64) {
+	i := h.observe(v)
+	slots := h.ex.Load()
+	if slots == nil || id == 0 {
+		return
+	}
+	s := &(*slots)[i]
+	s.id.Store(id)
+	s.val.Store(v)
+	s.at.Store(time.Now().UnixNano())
+}
+
+// ObserveDurationExemplar records a duration tagged with a query id.
+func (h *Histogram) ObserveDurationExemplar(d time.Duration, id uint64) {
+	h.ObserveExemplar(d.Nanoseconds(), id)
+}
+
+// exemplars snapshots the written slots, ordered by bucket.
+func (h *Histogram) exemplars() []Exemplar {
+	slots := h.ex.Load()
+	if slots == nil {
+		return nil
+	}
+	var out []Exemplar
+	for i := range *slots {
+		s := &(*slots)[i]
+		id := s.id.Load()
+		if id == 0 {
+			continue
+		}
+		out = append(out, Exemplar{Bucket: i, QueryID: id, Value: s.val.Load(), UnixNano: s.at.Load()})
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestExemplarsRetainLastQueryPerBucket: each bucket remembers the most
+// recent tagged observation; untagged buckets stay empty.
+func TestExemplarsRetainLastQueryPerBucket(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	if got := h.exemplars(); got != nil {
+		t.Errorf("disabled histogram reports exemplars: %v", got)
+	}
+	h.EnableExemplars()
+	h.EnableExemplars() // idempotent
+
+	h.ObserveExemplar(5, 1)    // bucket 0
+	h.ObserveExemplar(7, 2)    // bucket 0, overwrites id 1
+	h.ObserveExemplar(500, 3)  // bucket 2
+	h.ObserveExemplar(5000, 4) // bucket 3 (unbounded)
+	h.Observe(50)              // bucket 1, untagged — leaves no exemplar
+	before := time.Now().UnixNano()
+
+	ex := h.exemplars()
+	if len(ex) != 3 {
+		t.Fatalf("got %d exemplars, want 3: %+v", len(ex), ex)
+	}
+	want := []Exemplar{
+		{Bucket: 0, QueryID: 2, Value: 7},
+		{Bucket: 2, QueryID: 3, Value: 500},
+		{Bucket: 3, QueryID: 4, Value: 5000},
+	}
+	for i, w := range want {
+		g := ex[i]
+		if g.Bucket != w.Bucket || g.QueryID != w.QueryID || g.Value != w.Value {
+			t.Errorf("exemplar[%d] = %+v, want %+v", i, g, w)
+		}
+		if g.UnixNano <= 0 || g.UnixNano > before {
+			t.Errorf("exemplar[%d] timestamp %d out of range", i, g.UnixNano)
+		}
+	}
+
+	// Id 0 counts the observation but records no exemplar.
+	h.ObserveExemplar(50, 0)
+	if got := len(h.exemplars()); got != 3 {
+		t.Errorf("id-0 observation created an exemplar (%d total)", got)
+	}
+	if h.Count() != 6 {
+		t.Errorf("histogram count = %d, want 6", h.Count())
+	}
+}
+
+// TestExemplarsInSnapshot: registry snapshots surface exemplars on the
+// owning histogram.
+func TestExemplarsInSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_ns", DurationBuckets())
+	h.EnableExemplars()
+	h.ObserveDurationExemplar(3*time.Millisecond, 11)
+
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("snapshot has %d histograms", len(snap.Histograms))
+	}
+	ex := snap.Histograms[0].Exemplars
+	if len(ex) != 1 || ex[0].QueryID != 11 || ex[0].Value != (3*time.Millisecond).Nanoseconds() {
+		t.Errorf("snapshot exemplars = %+v", ex)
+	}
+}
+
+// TestObserveExemplarDisabledAllocs: with exemplars never enabled, the
+// tagged observe path is Observe plus one atomic load — no allocations.
+func TestObserveExemplarDisabledAllocs(t *testing.T) {
+	h := NewHistogram(DurationBuckets())
+	if n := testing.AllocsPerRun(100, func() { h.ObserveExemplar(12345, 9) }); n != 0 {
+		t.Errorf("disabled ObserveExemplar allocates %.1f/op, want 0", n)
+	}
+	// Enabled writes are three atomic stores — still alloc-free.
+	h.EnableExemplars()
+	if n := testing.AllocsPerRun(100, func() { h.ObserveExemplar(12345, 9) }); n != 0 {
+		t.Errorf("enabled ObserveExemplar allocates %.1f/op, want 0", n)
+	}
+}

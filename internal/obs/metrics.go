@@ -30,6 +30,9 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1
 	sum    atomic.Int64
 	n      atomic.Int64
+	// ex, when non-nil, holds one exemplar slot per bucket (see
+	// exemplar.go); nil until EnableExemplars.
+	ex atomic.Pointer[[]exemplarSlot]
 }
 
 // NewHistogram returns a histogram with the given ascending upper
@@ -46,7 +49,10 @@ func NewHistogram(bounds []int64) *Histogram {
 }
 
 // Observe records one value.
-func (h *Histogram) Observe(v int64) {
+func (h *Histogram) Observe(v int64) { h.observe(v) }
+
+// observe records one value and returns the bucket it landed in.
+func (h *Histogram) observe(v int64) int {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
@@ -54,6 +60,7 @@ func (h *Histogram) Observe(v int64) {
 	h.counts[i].Add(1)
 	h.sum.Add(v)
 	h.n.Add(1)
+	return i
 }
 
 // ObserveDuration records a duration in nanoseconds.
@@ -230,6 +237,9 @@ type HistogramSnap struct {
 	P50    float64 `json:"p50"`
 	P95    float64 `json:"p95"`
 	P99    float64 `json:"p99"`
+	// Exemplars are the per-bucket last-query observations of an
+	// exemplar-enabled histogram (absent otherwise); see exemplar.go.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of a registry, sorted by name.
@@ -263,6 +273,7 @@ func (r *Registry) Snapshot() Snapshot {
 		hs.P50 = quantileFromBuckets(hs.Bounds, hs.Counts, 0.50)
 		hs.P95 = quantileFromBuckets(hs.Bounds, hs.Counts, 0.95)
 		hs.P99 = quantileFromBuckets(hs.Bounds, hs.Counts, 0.99)
+		hs.Exemplars = h.exemplars()
 		snap.Histograms = append(snap.Histograms, hs)
 	}
 	sort.Slice(snap.Counters, func(i, j int) bool { return snap.Counters[i].Name < snap.Counters[j].Name })

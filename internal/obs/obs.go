@@ -125,8 +125,19 @@ const (
 	// ALBNanos is the wall time of the verification lower-bound stage
 	// in nanoseconds (shard times sum under parallel verification).
 	ALBNanos
+	// AAllocBytes is the heap allocation (bytes) attributed to the query
+	// by the resource-attribution sampler; process-wide totals sampled
+	// around the query, so concurrent queries overlap (see attr.go).
+	AAllocBytes
+	// AMallocs is the heap object count attributed to the query.
+	AMallocs
+	// AGCCycles counts GC cycles that completed during the query.
+	AGCCycles
+	// AGCPauseNs is the stop-the-world pause time (ns) that elapsed
+	// during the query.
+	AGCPauseNs
 
-	numAttrs = int(ALBNanos) + 1
+	numAttrs = int(AGCPauseNs) + 1
 )
 
 // String names the attribute as rendered in the span tree.
@@ -168,6 +179,14 @@ func (a Attr) String() string {
 		return "skipped_lb_t2"
 	case ALBNanos:
 		return "lb_ns"
+	case AAllocBytes:
+		return "alloc_bytes"
+	case AMallocs:
+		return "mallocs"
+	case AGCCycles:
+		return "gc_cycles"
+	case AGCPauseNs:
+		return "gc_pause_ns"
 	default:
 		return "attr"
 	}

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sync/atomic"
+	"time"
+)
+
+// Structured query log: one log/slog record per completed query, with
+// the query's shape, effort counters, I/O, latency, and (when resource
+// attribution is on) process resource deltas. Volume is bounded two
+// ways — sampling (log every Nth normal query) and a per-second rate
+// limit — and a slow-query threshold promotes the record to Warn level
+// with the full rendered trace attached, so the one line an operator
+// greps for carries the whole picture.
+//
+// The logger is held behind an atomic pointer by the facade; with no
+// logger installed the per-query hook is a single nil check and zero
+// allocations (pinned by benchmark). An installed logger allocates
+// only for the records it actually emits.
+
+// QueryLogOptions configures a QueryLogger. Zero values pick defaults.
+type QueryLogOptions struct {
+	// SampleEvery logs every Nth query below the slow threshold
+	// (default 1 — every query). Slow queries are always eligible.
+	SampleEvery int
+	// MaxPerSec bounds emitted records per wall-clock second across
+	// slow and sampled records alike (default 100; negative means
+	// unlimited). Records over the budget are counted in Dropped.
+	MaxPerSec int
+	// SlowThreshold promotes queries at or above this latency to Warn
+	// level with the rendered trace attached (default 100ms; negative
+	// disables promotion).
+	SlowThreshold time.Duration
+}
+
+func (o QueryLogOptions) withDefaults() QueryLogOptions {
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = 1
+	}
+	if o.MaxPerSec == 0 {
+		o.MaxPerSec = 100
+	}
+	if o.SlowThreshold == 0 {
+		o.SlowThreshold = 100 * time.Millisecond
+	}
+	return o
+}
+
+// QueryLogRecord carries one completed query to the logger. The facade
+// fills what it knows; zero-valued fields are still logged (they are
+// real measurements, e.g. zero candidates).
+type QueryLogRecord struct {
+	QueryID    uint64
+	Kind       string // "range", "nn", ...
+	Label      string // algorithm name
+	Transforms int
+	Eps        float64 // range threshold (0 for NN)
+	K          int     // NN k (0 for range)
+	Duration   time.Duration
+	Err        error
+
+	Matches     int64
+	Candidates  int64
+	SkippedLB   int64
+	SkippedLB0  int64
+	SkippedLB1  int64
+	SkippedLB2  int64
+	Abandoned   int64
+	Comparisons int64
+
+	// PagesRead/PagesPrefetched/BufferHits are the storage-counter
+	// deltas observed around the query; under concurrent queries they
+	// include neighbors' I/O (the counters are shared). Exact per-query
+	// attribution comes from a trace.
+	PagesRead       int64
+	PagesPrefetched int64
+	BufferHits      int64
+
+	// Resources is the attribution delta (zero when attribution is off).
+	Resources Resources
+
+	// Trace, when non-nil and the record is slow, is rendered into the
+	// log record.
+	Trace *Trace
+}
+
+// QueryLogStats reports what a QueryLogger did, for tests and bundles.
+type QueryLogStats struct {
+	Emitted    int64 `json:"emitted"`     // records written to the handler
+	Slow       int64 `json:"slow"`        // of which were slow-promoted
+	SampledOut int64 `json:"sampled_out"` // skipped by SampleEvery
+	Dropped    int64 `json:"dropped"`     // skipped by MaxPerSec
+}
+
+// QueryLogger emits structured query records to a slog handler.
+// Methods are safe for concurrent use; a nil *QueryLogger no-ops.
+type QueryLogger struct {
+	log  *slog.Logger
+	opts QueryLogOptions
+
+	seen       atomic.Uint64 // normal (non-slow) queries, for sampling
+	emitted    atomic.Int64
+	slow       atomic.Int64
+	sampledOut atomic.Int64
+	dropped    atomic.Int64
+
+	// Fixed-window rate limit: windowSec is the unix second the count
+	// belongs to. The window roll is racy by design (two goroutines may
+	// both reset on a boundary); the limit is a volume bound for log
+	// pipelines, not an exact quota.
+	windowSec   atomic.Int64
+	windowCount atomic.Int64
+}
+
+// NewQueryLogger returns a QueryLogger writing to h.
+func NewQueryLogger(h slog.Handler, opts QueryLogOptions) *QueryLogger {
+	return &QueryLogger{log: slog.New(h), opts: opts.withDefaults()}
+}
+
+// Stats returns the logger's emission counters.
+func (l *QueryLogger) Stats() QueryLogStats {
+	if l == nil {
+		return QueryLogStats{}
+	}
+	return QueryLogStats{
+		Emitted:    l.emitted.Load(),
+		Slow:       l.slow.Load(),
+		SampledOut: l.sampledOut.Load(),
+		Dropped:    l.dropped.Load(),
+	}
+}
+
+// Options returns the logger's resolved options.
+func (l *QueryLogger) Options() QueryLogOptions {
+	if l == nil {
+		return QueryLogOptions{}
+	}
+	return l.opts
+}
+
+// allow consumes one rate-limit token; false means the record is over
+// this second's budget.
+func (l *QueryLogger) allow() bool {
+	if l.opts.MaxPerSec < 0 {
+		return true
+	}
+	sec := time.Now().Unix()
+	if l.windowSec.Load() != sec {
+		l.windowSec.Store(sec)
+		l.windowCount.Store(0)
+	}
+	return l.windowCount.Add(1) <= int64(l.opts.MaxPerSec)
+}
+
+// Log emits one query record, subject to sampling and the rate limit.
+// Nil-receiver safe.
+func (l *QueryLogger) Log(rec QueryLogRecord) {
+	if l == nil {
+		return
+	}
+	slow := l.opts.SlowThreshold > 0 && rec.Duration >= l.opts.SlowThreshold
+	if !slow && l.opts.SampleEvery > 1 {
+		if l.seen.Add(1)%uint64(l.opts.SampleEvery) != 0 {
+			l.sampledOut.Add(1)
+			return
+		}
+	}
+	if !l.allow() {
+		l.dropped.Add(1)
+		return
+	}
+
+	attrs := make([]slog.Attr, 0, 20)
+	attrs = append(attrs,
+		slog.Uint64("query_id", rec.QueryID),
+		slog.String("kind", rec.Kind),
+		slog.String("algo", rec.Label),
+		slog.Int("transforms", rec.Transforms),
+		slog.Duration("duration", rec.Duration),
+		slog.Int64("matches", rec.Matches),
+		slog.Int64("candidates", rec.Candidates),
+		slog.Int64("skipped_lb", rec.SkippedLB),
+		slog.Int64("skipped_lb_t0", rec.SkippedLB0),
+		slog.Int64("skipped_lb_t1", rec.SkippedLB1),
+		slog.Int64("skipped_lb_t2", rec.SkippedLB2),
+		slog.Int64("abandoned", rec.Abandoned),
+		slog.Int64("comparisons", rec.Comparisons),
+		slog.Int64("pages_read", rec.PagesRead),
+		slog.Int64("pages_prefetched", rec.PagesPrefetched),
+		slog.Int64("buffer_hits", rec.BufferHits),
+	)
+	if rec.K > 0 {
+		attrs = append(attrs, slog.Int("k", rec.K))
+	} else {
+		attrs = append(attrs, slog.Float64("eps", rec.Eps))
+	}
+	if rec.Resources != (Resources{}) {
+		attrs = append(attrs,
+			slog.Int64("alloc_bytes", rec.Resources.AllocBytes),
+			slog.Int64("mallocs", rec.Resources.Mallocs),
+			slog.Int64("gc_cycles", rec.Resources.GCCycles),
+			slog.Int64("gc_pause_ns", rec.Resources.GCPauseNs))
+	}
+	if rec.Err != nil {
+		attrs = append(attrs, slog.String("error", rec.Err.Error()))
+	}
+	level := slog.LevelInfo
+	if slow {
+		level = slog.LevelWarn
+		attrs = append(attrs, slog.Bool("slow", true))
+		if rec.Trace != nil {
+			attrs = append(attrs, slog.String("trace", rec.Trace.String()))
+		}
+		l.slow.Add(1)
+	}
+	l.emitted.Add(1)
+	l.log.LogAttrs(context.Background(), level, "query", attrs...)
+}

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// captureHandler retains every record it receives, for assertions.
+type captureHandler struct {
+	mu      sync.Mutex
+	records []capturedRecord
+}
+
+type capturedRecord struct {
+	level slog.Level
+	msg   string
+	attrs map[string]slog.Value
+}
+
+func (h *captureHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h *captureHandler) Handle(_ context.Context, r slog.Record) error {
+	rec := capturedRecord{level: r.Level, msg: r.Message, attrs: make(map[string]slog.Value)}
+	r.Attrs(func(a slog.Attr) bool {
+		rec.attrs[a.Key] = a.Value
+		return true
+	})
+	h.mu.Lock()
+	h.records = append(h.records, rec)
+	h.mu.Unlock()
+	return nil
+}
+
+func (h *captureHandler) WithAttrs([]slog.Attr) slog.Handler { return h }
+func (h *captureHandler) WithGroup(string) slog.Handler      { return h }
+
+func (h *captureHandler) all() []capturedRecord {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]capturedRecord(nil), h.records...)
+}
+
+// TestQueryLoggerEmitsFullRecord: one fast query produces one Info
+// record carrying the query shape, effort counters, I/O, and resources.
+func TestQueryLoggerEmitsFullRecord(t *testing.T) {
+	h := &captureHandler{}
+	l := NewQueryLogger(h, QueryLogOptions{SlowThreshold: -1})
+	l.Log(QueryLogRecord{
+		QueryID:     42,
+		Kind:        "range",
+		Label:       "mt-index",
+		Transforms:  16,
+		Eps:         0.25,
+		Duration:    3 * time.Millisecond,
+		Matches:     3,
+		Candidates:  8,
+		SkippedLB:   120,
+		SkippedLB0:  100,
+		SkippedLB1:  15,
+		SkippedLB2:  5,
+		Comparisons: 8,
+		PagesRead:   5,
+		BufferHits:  2,
+		Resources:   Resources{AllocBytes: 4096, Mallocs: 12},
+	})
+
+	recs := h.all()
+	if len(recs) != 1 {
+		t.Fatalf("emitted %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.level != slog.LevelInfo || r.msg != "query" {
+		t.Errorf("record level=%v msg=%q", r.level, r.msg)
+	}
+	for key, want := range map[string]int64{
+		"query_id":      42,
+		"transforms":    16,
+		"matches":       3,
+		"candidates":    8,
+		"skipped_lb":    120,
+		"skipped_lb_t0": 100,
+		"skipped_lb_t1": 15,
+		"skipped_lb_t2": 5,
+		"comparisons":   8,
+		"pages_read":    5,
+		"buffer_hits":   2,
+		"alloc_bytes":   4096,
+		"mallocs":       12,
+	} {
+		v, ok := r.attrs[key]
+		if !ok {
+			t.Errorf("record missing attr %q", key)
+			continue
+		}
+		var got int64
+		switch v.Kind() {
+		case slog.KindUint64:
+			got = int64(v.Uint64())
+		default:
+			got = v.Int64()
+		}
+		if got != want {
+			t.Errorf("attr %s = %d, want %d", key, got, want)
+		}
+	}
+	if r.attrs["kind"].String() != "range" || r.attrs["algo"].String() != "mt-index" {
+		t.Errorf("kind=%q algo=%q", r.attrs["kind"], r.attrs["algo"])
+	}
+	// A range record carries eps, not k.
+	if eps := r.attrs["eps"].Float64(); eps != 0.25 {
+		t.Errorf("eps = %v, want 0.25", eps)
+	}
+	if _, ok := r.attrs["k"]; ok {
+		t.Error("range record carries a k attr")
+	}
+	if _, ok := r.attrs["slow"]; ok {
+		t.Error("fast record marked slow")
+	}
+	if st := l.Stats(); st.Emitted != 1 || st.Slow != 0 || st.Dropped != 0 || st.SampledOut != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	// An NN record carries k, not eps; an error is attached.
+	l.Log(QueryLogRecord{QueryID: 43, Kind: "nn", K: 5, Err: errors.New("boom")})
+	r = h.all()[1]
+	if k := r.attrs["k"].Int64(); k != 5 {
+		t.Errorf("k = %d, want 5", k)
+	}
+	if _, ok := r.attrs["eps"]; ok {
+		t.Error("NN record carries an eps attr")
+	}
+	if r.attrs["error"].String() != "boom" {
+		t.Errorf("error attr = %q", r.attrs["error"])
+	}
+}
+
+// TestQueryLoggerSampling: SampleEvery=3 emits every third normal query
+// and counts the rest, but slow queries bypass sampling entirely.
+func TestQueryLoggerSampling(t *testing.T) {
+	h := &captureHandler{}
+	l := NewQueryLogger(h, QueryLogOptions{SampleEvery: 3, SlowThreshold: time.Second})
+	for i := 0; i < 9; i++ {
+		l.Log(QueryLogRecord{QueryID: uint64(i), Kind: "range", Duration: time.Millisecond})
+	}
+	if st := l.Stats(); st.Emitted != 3 || st.SampledOut != 6 {
+		t.Errorf("after 9 sampled queries: %+v, want 3 emitted / 6 sampled out", st)
+	}
+	// Slow queries ignore the sampling stride.
+	for i := 0; i < 4; i++ {
+		l.Log(QueryLogRecord{QueryID: uint64(100 + i), Kind: "range", Duration: 2 * time.Second})
+	}
+	st := l.Stats()
+	if st.Emitted != 7 || st.Slow != 4 {
+		t.Errorf("after 4 slow queries: %+v, want 7 emitted / 4 slow", st)
+	}
+}
+
+// TestQueryLoggerSlowPromotion: a query at or over the threshold logs at
+// Warn with slow=true and the rendered trace attached.
+func TestQueryLoggerSlowPromotion(t *testing.T) {
+	h := &captureHandler{}
+	l := NewQueryLogger(h, QueryLogOptions{SlowThreshold: 10 * time.Millisecond})
+
+	tr := New()
+	sp := tr.Start(KindQuery, "slow range")
+	sp.Set(AMatches, 2)
+	sp.End()
+
+	l.Log(QueryLogRecord{QueryID: 7, Kind: "range", Duration: 50 * time.Millisecond, Trace: tr})
+	recs := h.all()
+	if len(recs) != 1 {
+		t.Fatalf("emitted %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.level != slog.LevelWarn {
+		t.Errorf("slow record level = %v, want WARN", r.level)
+	}
+	if !r.attrs["slow"].Bool() {
+		t.Error("slow record missing slow=true")
+	}
+	trace := r.attrs["trace"].String()
+	if trace == "" || !containsAll(trace, "slow range", "matches=2") {
+		t.Errorf("slow record trace attr = %q", trace)
+	}
+	if st := l.Stats(); st.Slow != 1 {
+		t.Errorf("stats = %+v, want 1 slow", st)
+	}
+
+	// Negative threshold disables promotion outright.
+	h2 := &captureHandler{}
+	l2 := NewQueryLogger(h2, QueryLogOptions{SlowThreshold: -1})
+	l2.Log(QueryLogRecord{Kind: "range", Duration: time.Hour})
+	if r := h2.all()[0]; r.level != slog.LevelInfo {
+		t.Errorf("promotion-disabled record level = %v, want INFO", r.level)
+	}
+}
+
+// TestQueryLoggerRateLimit: MaxPerSec bounds records per wall-clock
+// second; overflow lands in Dropped. Tolerant of a second boundary
+// rolling mid-test (emitted may exceed the limit by one window).
+func TestQueryLoggerRateLimit(t *testing.T) {
+	h := &captureHandler{}
+	l := NewQueryLogger(h, QueryLogOptions{MaxPerSec: 5, SlowThreshold: -1})
+	for i := 0; i < 50; i++ {
+		l.Log(QueryLogRecord{QueryID: uint64(i), Kind: "range"})
+	}
+	st := l.Stats()
+	if st.Emitted+st.Dropped != 50 {
+		t.Errorf("emitted %d + dropped %d != 50", st.Emitted, st.Dropped)
+	}
+	// 50 fast calls span at most 2 wall-clock seconds.
+	if st.Emitted > 10 {
+		t.Errorf("emitted %d records with MaxPerSec=5, want <= 10", st.Emitted)
+	}
+	if st.Dropped == 0 {
+		t.Error("rate limit dropped nothing across 50 rapid records")
+	}
+
+	// Negative MaxPerSec means unlimited.
+	l2 := NewQueryLogger(&captureHandler{}, QueryLogOptions{MaxPerSec: -1, SlowThreshold: -1})
+	for i := 0; i < 500; i++ {
+		l2.Log(QueryLogRecord{Kind: "range"})
+	}
+	if st := l2.Stats(); st.Emitted != 500 || st.Dropped != 0 {
+		t.Errorf("unlimited logger stats = %+v", st)
+	}
+}
+
+// TestQueryLoggerNilSafe: nil receivers no-op on every method.
+func TestQueryLoggerNilSafe(t *testing.T) {
+	var l *QueryLogger
+	l.Log(QueryLogRecord{Kind: "range"})
+	if st := l.Stats(); st != (QueryLogStats{}) {
+		t.Errorf("nil logger stats = %+v", st)
+	}
+	if o := l.Options(); o != (QueryLogOptions{}) {
+		t.Errorf("nil logger options = %+v", o)
+	}
+}
+
+func containsAll(s string, needles ...string) bool {
+	for _, n := range needles {
+		if !strings.Contains(s, n) {
+			return false
+		}
+	}
+	return true
+}

@@ -37,7 +37,11 @@ func (o RecorderOptions) withDefaults() RecorderOptions {
 
 // QueryRecord is one completed query as retained by the Recorder.
 type QueryRecord struct {
-	Seq        uint64    `json:"seq"`
+	Seq uint64 `json:"seq"`
+	// QueryID is the process-wide query id (see NextQueryID) linking
+	// this record to histogram exemplars and query-log lines; 0 for
+	// records from callers that don't mint ids.
+	QueryID    uint64    `json:"query_id,omitempty"`
 	Time       time.Time `json:"time"`
 	Kind       string    `json:"kind"`
 	Label      string    `json:"label,omitempty"`
@@ -63,6 +67,7 @@ type Recorder struct {
 	seq     uint64
 	slow    []QueryRecord // ring, len == cap once full
 	slowPos int
+	evicted uint64        // slow records overwritten by ring wrap
 	sample  []QueryRecord // reservoir
 	seen    uint64        // queries under threshold, for Algorithm R
 	rng     uint64        // xorshift64 state; avoids the global rand lock
@@ -89,15 +94,17 @@ func (r *Recorder) nextRand() uint64 {
 }
 
 // Record retains one completed query. kind/label describe the query
-// ("range", "nn", ...), dur its wall time; tr may be nil (attribute
+// ("range", "nn", ...), dur its wall time; qid is the process-wide
+// query id (0 when the caller has none); tr may be nil (attribute
 // fields then stay zero). Nil-receiver safe: a nil Recorder drops the
 // record, so call sites can hold an atomic pointer that is nil when
 // recording is disabled.
-func (r *Recorder) Record(kind, label string, dur time.Duration, err error, tr *Trace) {
+func (r *Recorder) Record(kind, label string, qid uint64, dur time.Duration, err error, tr *Trace) {
 	if r == nil {
 		return
 	}
 	rec := QueryRecord{
+		QueryID:    qid,
 		Time:       time.Now(),
 		Kind:       kind,
 		Label:      label,
@@ -124,6 +131,7 @@ func (r *Recorder) Record(kind, label string, dur time.Duration, err error, tr *
 		} else {
 			r.slow[r.slowPos] = rec
 			r.slowPos = (r.slowPos + 1) % cap(r.slow)
+			r.evicted++
 		}
 		return
 	}
@@ -145,11 +153,16 @@ func (r *Recorder) Record(kind, label string, dur time.Duration, err error, tr *
 
 // RecorderSnapshot is the drained state of a Recorder.
 type RecorderSnapshot struct {
-	ThresholdNs int64         `json:"threshold_ns"`
-	Total       uint64        `json:"total"`   // queries recorded since start
-	Sampled     uint64        `json:"sampled"` // under-threshold queries seen
-	Slow        []QueryRecord `json:"slow"`    // oldest first
-	Sample      []QueryRecord `json:"sample"`  // reservoir, unordered
+	ThresholdNs int64  `json:"threshold_ns"`
+	Total       uint64 `json:"total"`   // queries recorded since start
+	Sampled     uint64 `json:"sampled"` // under-threshold queries seen
+	// Evicted counts slow records overwritten by the ring buffer wrap:
+	// nonzero means the Slow list is a suffix of the slow queries seen,
+	// and an operator reading it should widen SlowN or scrape /queries
+	// more often. Total-Sampled always equals Evicted+len(Slow).
+	Evicted uint64        `json:"evicted"`
+	Slow    []QueryRecord `json:"slow"`   // oldest first
+	Sample  []QueryRecord `json:"sample"` // reservoir, unordered
 }
 
 // Snapshot copies the recorder's current contents. The slow ring is
@@ -164,6 +177,7 @@ func (r *Recorder) Snapshot() RecorderSnapshot {
 		ThresholdNs: r.opts.Threshold.Nanoseconds(),
 		Total:       r.seq,
 		Sampled:     r.seen,
+		Evicted:     r.evicted,
 		Slow:        make([]QueryRecord, 0, len(r.slow)),
 		Sample:      append([]QueryRecord(nil), r.sample...),
 	}

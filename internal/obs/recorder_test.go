@@ -14,7 +14,7 @@ import (
 func TestRecorderSlowRing(t *testing.T) {
 	r := NewRecorder(RecorderOptions{SlowN: 3, SampleN: 2, Threshold: time.Millisecond})
 	for i := 1; i <= 5; i++ {
-		r.Record("range", "q", time.Duration(i)*time.Millisecond, nil, nil)
+		r.Record("range", "q", 0, time.Duration(i)*time.Millisecond, nil, nil)
 	}
 	snap := r.Snapshot()
 	if len(snap.Slow) != 3 {
@@ -43,7 +43,7 @@ func TestRecorderSlowRing(t *testing.T) {
 func TestRecorderReservoir(t *testing.T) {
 	r := NewRecorder(RecorderOptions{SlowN: 1, SampleN: 8, Threshold: time.Second})
 	for i := 0; i < 1000; i++ {
-		r.Record("nn", "q", time.Microsecond, nil, nil)
+		r.Record("nn", "q", 0, time.Microsecond, nil, nil)
 	}
 	snap := r.Snapshot()
 	if len(snap.Sample) != 8 {
@@ -92,7 +92,7 @@ func TestRecorderTraceAttrs(t *testing.T) {
 	root.End()
 
 	r := NewRecorder(RecorderOptions{Threshold: time.Nanosecond})
-	r.Record("range", "eps=0.5", time.Millisecond, errors.New("boom"), tr)
+	r.Record("range", "eps=0.5", 7, time.Millisecond, errors.New("boom"), tr)
 	snap := r.Snapshot()
 	if len(snap.Slow) != 1 {
 		t.Fatalf("%d slow records, want 1", len(snap.Slow))
@@ -113,7 +113,7 @@ func TestRecorderTraceAttrs(t *testing.T) {
 // panicking, and concurrent Record/Snapshot is safe (run under -race).
 func TestRecorderNilAndConcurrent(t *testing.T) {
 	var nilRec *Recorder
-	nilRec.Record("range", "", time.Second, nil, nil)
+	nilRec.Record("range", "", 0, time.Second, nil, nil)
 	if snap := nilRec.Snapshot(); snap.Total != 0 {
 		t.Error("nil recorder snapshot not empty")
 	}
@@ -125,7 +125,7 @@ func TestRecorderNilAndConcurrent(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
-				r.Record("range", "", time.Duration(g)*time.Millisecond, nil, nil)
+				r.Record("range", "", 0, time.Duration(g)*time.Millisecond, nil, nil)
 				_ = r.Snapshot()
 			}
 		}(g)
@@ -139,7 +139,7 @@ func TestRecorderNilAndConcurrent(t *testing.T) {
 // TestRecorderHandler drains the recorder over HTTP as JSON.
 func TestRecorderHandler(t *testing.T) {
 	r := NewRecorder(RecorderOptions{Threshold: time.Nanosecond})
-	r.Record("nn", "k=5", time.Millisecond, nil, nil)
+	r.Record("nn", "k=5", 0, time.Millisecond, nil, nil)
 	srv := httptest.NewServer(r.Handler())
 	defer srv.Close()
 	resp, err := srv.Client().Get(srv.URL)

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildRenderTrace constructs a deterministic span tree exercising every
+// JSON feature: nesting, labels, attributes, an error span, and an
+// unfinished span. Only the durations are nondeterministic; tests zero
+// them before comparing.
+func buildRenderTrace() *Trace {
+	tr := New()
+	root := tr.Start(KindQuery, "range MT-index (16 transforms)")
+	root.Set(AMatches, 3)
+	root.Set(ACandidates, 8)
+	root.Set(ATransforms, 16)
+	probe := root.Child(KindProbe, "group 0")
+	probe.Set(ANodes, 12)
+	probe.Set(APagesRead, 5)
+	probe.Set(ABufferHits, 2)
+	filter := probe.Child(KindFilter, "rtree")
+	filter.Set(ACandidates, 8)
+	filter.Set(APruned, 40)
+	filter.End()
+	verify := probe.Child(KindVerify, "")
+	verify.Set(AComparisons, 8)
+	verify.Set(AMatches, 3)
+	verify.Set(AFalsePositives, 5)
+	verify.Set(AAllocBytes, 4096)
+	verify.EndErr(errors.New("verification failed"))
+	probe.End()
+	root.End()
+	// A second root left unfinished: done=false, zero duration.
+	tr.Start(KindScan, "orphan scan")
+	return tr
+}
+
+// decodedSpan mirrors the trace's JSON shape from the consumer side.
+type decodedSpan struct {
+	ID       int32            `json:"id"`
+	Parent   int32            `json:"parent"`
+	Kind     string           `json:"kind"`
+	Label    string           `json:"label,omitempty"`
+	Duration int64            `json:"duration_ns"`
+	Done     bool             `json:"done"`
+	Error    string           `json:"error,omitempty"`
+	Attrs    map[string]int64 `json:"attrs,omitempty"`
+}
+
+// TestTraceJSONRoundTrip: the marshalled trace decodes into the
+// documented shape with the tree structure, attributes and error status
+// intact.
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := buildRenderTrace()
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans []decodedSpan
+	if err := json.Unmarshal(data, &spans); err != nil {
+		t.Fatalf("trace JSON does not round-trip: %v\n%s", err, data)
+	}
+	if len(spans) != 5 {
+		t.Fatalf("decoded %d spans, want 5", len(spans))
+	}
+	root := spans[0]
+	if root.Parent != -1 || root.Kind != "query" || !root.Done {
+		t.Errorf("root span: %+v", root)
+	}
+	if root.Attrs["matches"] != 3 || root.Attrs["candidates"] != 8 || root.Attrs["transforms"] != 16 {
+		t.Errorf("root attrs: %v", root.Attrs)
+	}
+	if root.Duration <= 0 {
+		t.Errorf("closed root has duration %d, want > 0", root.Duration)
+	}
+	probe := spans[1]
+	if probe.Parent != root.ID || probe.Kind != "probe" || probe.Label != "group 0" {
+		t.Errorf("probe span: %+v", probe)
+	}
+	verify := spans[3]
+	if verify.Parent != probe.ID || verify.Error != "verification failed" {
+		t.Errorf("verify span: %+v", verify)
+	}
+	if verify.Attrs["alloc_bytes"] != 4096 {
+		t.Errorf("verify attrs: %v", verify.Attrs)
+	}
+	orphan := spans[4]
+	if orphan.Done || orphan.Duration != 0 || orphan.Parent != -1 {
+		t.Errorf("unfinished span: %+v", orphan)
+	}
+
+	// A nil trace marshals to JSON null.
+	var nilTrace *Trace
+	if data, err := json.Marshal(nilTrace); err != nil || string(data) != "null" {
+		t.Errorf("nil trace marshals to %q, %v", data, err)
+	}
+}
+
+// TestTraceJSONGolden pins the exact wire format against a golden file
+// (durations zeroed — they are the only nondeterministic field).
+// Refresh with: go test ./internal/obs -run TestTraceJSONGolden -update
+func TestTraceJSONGolden(t *testing.T) {
+	data, err := json.Marshal(buildRenderTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans []decodedSpan
+	if err := json.Unmarshal(data, &spans); err != nil {
+		t.Fatal(err)
+	}
+	for i := range spans {
+		spans[i].Duration = 0
+	}
+	normalized, err := json.MarshalIndent(spans, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalized = append(normalized, '\n')
+
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, normalized, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(normalized, want) {
+		t.Errorf("trace JSON drifted from golden file.\ngot:\n%s\nwant:\n%s", normalized, want)
+	}
+}
+
+// TestTraceRenderText spot-checks the EXPLAIN ANALYZE tree rendering:
+// indentation connectors, attribute formatting, error and unfinished
+// markers.
+func TestTraceRenderText(t *testing.T) {
+	text := buildRenderTrace().String()
+	for _, needle := range []string{
+		"range MT-index (16 transforms)",
+		"└─ ", "├─ ",
+		"{candidates=8 matches=3 transforms=16}",
+		"pruned=40",
+		"ERROR: verification failed",
+		"(unfinished)",
+	} {
+		if !strings.Contains(text, needle) {
+			t.Errorf("rendered trace missing %q:\n%s", needle, text)
+		}
+	}
+	var nilTrace *Trace
+	if nilTrace.String() != "" {
+		t.Error("nil trace renders non-empty")
+	}
+}

@@ -143,6 +143,29 @@ type WindowStats struct {
 	Histograms map[string]WindowHistogram `json:"histograms"`
 }
 
+// RatesSchemaVersion identifies the /rates response shape. Version 1
+// was a bare []WindowStats array; version 2 wraps it in a RatesReport
+// envelope with the schema version and process uptime.
+const RatesSchemaVersion = 2
+
+// RatesReport is the versioned envelope the /rates endpoint serves.
+type RatesReport struct {
+	SchemaVersion int     `json:"schema_version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Windows holds one derived view per requested span.
+	Windows []WindowStats `json:"windows"`
+}
+
+// Report derives per-window statistics wrapped in the versioned
+// envelope; see Rates for the derivation rules.
+func (s *Sampler) Report(windows ...time.Duration) RatesReport {
+	return RatesReport{
+		SchemaVersion: RatesSchemaVersion,
+		UptimeSeconds: Uptime().Seconds(),
+		Windows:       s.Rates(windows...),
+	}
+}
+
 // Rates derives per-window statistics for each requested span. A window
 // spanning fewer than two snapshots yields zeroed stats (Samples
 // reports how many it had). The newest snapshot is the window's end;
@@ -216,12 +239,13 @@ func deriveWindow(ring []timedSnap, window time.Duration) WindowStats {
 	return ws
 }
 
-// Handler serves windowed stats as JSON for the given spans.
+// Handler serves the versioned windowed-stats report as JSON for the
+// given spans.
 func (s *Sampler) Handler(windows ...time.Duration) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(s.Rates(windows...))
+		_ = enc.Encode(s.Report(windows...))
 	})
 }

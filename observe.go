@@ -9,7 +9,11 @@ package tsq
 import (
 	"context"
 	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	httppprof "net/http/pprof"
 	"sync/atomic"
 	"time"
 
@@ -40,6 +44,23 @@ type SamplerOptions = obs.SamplerOptions
 
 // WindowStats is one sliding window of derived rates; see RatesHandler.
 type WindowStats = obs.WindowStats
+
+// RatesReport is the versioned envelope the /rates endpoint serves.
+type RatesReport = obs.RatesReport
+
+// QueryLogOptions configures the structured query log; zero values pick
+// defaults (log every query, 100 records/s, 100ms slow threshold).
+type QueryLogOptions = obs.QueryLogOptions
+
+// QueryLogStats reports what the query log emitted, sampled out and
+// dropped.
+type QueryLogStats = obs.QueryLogStats
+
+// Bundle is a support bundle; see WriteBundle.
+type Bundle = obs.Bundle
+
+// BundleOptions configures support-bundle collection; see WriteBundle.
+type BundleOptions = obs.BundleOptions
 
 // IndexHealth walks the DB's index read-only and reports its structural
 // health: R*-tree per-level occupancy/margin/overlap/dead space, heap
@@ -84,11 +105,13 @@ func IndexHandler(db *DB, ts []Transform, groups [][]int) http.Handler {
 	})
 }
 
-// flightRecorder and statsSampler are the process-wide instances; nil
-// means disabled. One atomic load on the query path decides.
+// flightRecorder, statsSampler and queryLogger are the process-wide
+// instances; nil means disabled. One atomic load on the query path
+// decides.
 var (
 	flightRecorder atomic.Pointer[obs.Recorder]
 	statsSampler   atomic.Pointer[obs.Sampler]
+	queryLogger    atomic.Pointer[obs.QueryLogger]
 )
 
 // EnableFlightRecorder installs a process-wide slow-query flight
@@ -160,11 +183,147 @@ func RatesHandler() http.Handler {
 	})
 }
 
+// EnableQueryLog installs a process-wide structured query log writing
+// to the given slog handler and returns the logger (its Stats method
+// reports what was emitted). Every completed Range and NearestNeighbors
+// query becomes one record, subject to the options' sampling and rate
+// limit; queries at or above the slow threshold are promoted to Warn
+// level with the rendered trace attached (when the query ran under
+// one). A logger already installed is replaced. With no logger the
+// query path pays one atomic load and zero allocations.
+func EnableQueryLog(h slog.Handler, opts QueryLogOptions) *obs.QueryLogger {
+	l := obs.NewQueryLogger(h, opts)
+	queryLogger.Store(l)
+	return l
+}
+
+// DisableQueryLog removes the process-wide query log.
+func DisableQueryLog() { queryLogger.Store(nil) }
+
+// QueryLogSnapshot returns the current query log's emission counters;
+// the zero stats when no log is installed.
+func QueryLogSnapshot() QueryLogStats { return queryLogger.Load().Stats() }
+
+// EnableResourceAttribution turns on per-query resource attribution:
+// each Range and NearestNeighbors query samples process resource totals
+// (heap allocation, GC cycles, stop-the-world pause) around its
+// dispatch and books the delta into its Stats, its root trace span and
+// its query-log record, and the query runs under runtime/pprof labels
+// (tsq_query, tsq_algo, tsq_qid) so CPU and heap profiles group by
+// query shape. The totals are process-wide: under concurrent queries
+// the deltas overlap — attribution is a diagnostics signal, not exact
+// metering. Costs two runtime samples (~µs) and the label set per
+// query; disabled (the default) it is one atomic load.
+func EnableResourceAttribution() { obs.SetAttribution(true) }
+
+// DisableResourceAttribution turns per-query resource attribution off.
+func DisableResourceAttribution() { obs.SetAttribution(false) }
+
+// EnableDebugHandlers registers the library's diagnostic endpoints on
+// mux: /metrics, /queries, /rates, /debug/bundle, and the stdlib
+// net/http/pprof profile handlers under /debug/pprof/. db may be nil
+// (bundles then carry no index health). Pair with IndexHandler for an
+// /index endpoint — it is not registered here because it needs the
+// transformation set the deployment queries with. Opt-in by design:
+// importing tsq alone exposes nothing (note the stdlib net/http/pprof
+// package registers its handlers on http.DefaultServeMux as an import
+// side effect; pass a private mux here to keep the debug surface off
+// your main listener).
+func EnableDebugHandlers(mux *http.ServeMux, db *DB) {
+	mux.Handle("/metrics", MetricsHandler())
+	mux.Handle("/queries", QueriesHandler())
+	mux.Handle("/rates", RatesHandler())
+	mux.Handle("/debug/bundle", BundleHandler(db))
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+}
+
+// bundleCounterPairs are the counter/histogram pairs the facade bumps
+// in lockstep (once each per query); bundle reconciliation checks them
+// for exact agreement.
+func bundleCounterPairs() map[string]string {
+	return map[string]string{
+		"tsq_range_queries_total": "tsq_range_latency_ns",
+		"tsq_nn_queries_total":    "tsq_nn_latency_ns",
+	}
+}
+
+// CollectBundle assembles a support bundle from the process-wide
+// diagnostics (default registry, sampler, flight recorder, query log)
+// plus db's index health report when db is non-nil. The bundle audits
+// itself — registry counters against histogram totals, recorder ring
+// accounting, record rollups against their retained traces — and
+// Bundle.OK reports the verdict; a failing bundle is still returned
+// (the mismatch is the diagnostic). The index walk reads every index
+// page and the optional CPU profile blocks for its duration: an
+// operator action, not a scrape target.
+func CollectBundle(ctx context.Context, db *DB, opts BundleOptions) (*Bundle, error) {
+	if opts.CounterHistogramPairs == nil {
+		opts.CounterHistogramPairs = bundleCounterPairs()
+	}
+	var health json.RawMessage
+	if db != nil {
+		hr, err := db.IndexHealth(ctx, nil, nil)
+		if err != nil {
+			return nil, fmt.Errorf("tsq: bundle index health: %w", err)
+		}
+		health, err = json.Marshal(hr)
+		if err != nil {
+			return nil, fmt.Errorf("tsq: bundle index health: %w", err)
+		}
+	}
+	b := obs.NewBundle(obs.Default, statsSampler.Load(), flightRecorder.Load(),
+		queryLogger.Load(), health, opts, DefaultRateWindows...)
+	return b, nil
+}
+
+// WriteBundle collects a support bundle (see CollectBundle) and writes
+// it to w as indented JSON.
+func WriteBundle(ctx context.Context, w io.Writer, db *DB, opts BundleOptions) error {
+	b, err := CollectBundle(ctx, db, opts)
+	if err != nil {
+		return err
+	}
+	return b.WriteJSON(w)
+}
+
+// BundleHandler serves a support bundle — the /debug/bundle endpoint.
+// Profiles are opt-in per request: ?cpu=2s collects a CPU profile of
+// that duration (the request blocks for it), ?heap=1 a heap profile.
+func BundleHandler(db *DB) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var opts BundleOptions
+		if v := req.URL.Query().Get("cpu"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil || d < 0 || d > time.Minute {
+				http.Error(w, "cpu must be a duration up to 1m", http.StatusBadRequest)
+				return
+			}
+			opts.CPUProfile = d
+		}
+		if req.URL.Query().Get("heap") != "" {
+			opts.HeapProfile = true
+		}
+		b, err := CollectBundle(req.Context(), db, opts)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = b.WriteJSON(w)
+	})
+}
+
 // The storage layer's process-wide I/O counters, mirrored into the
 // default registry as function-backed counters: sampled only at
 // snapshot time, so the mirroring itself costs nothing per query. With
 // these the sampler can derive buffer hit ratio and page-read rates
-// over its windows.
+// over its windows. Runtime health gauges (heap, goroutines, GC) ride
+// the same mechanism, and the latency histograms get exemplar slots so
+// /metrics buckets link back to query ids.
 func init() {
 	obs.Default.CounterFunc("tsq_pages_read_total", func() int64 { return storage.GlobalStats().Reads })
 	obs.Default.CounterFunc("tsq_buffer_hits_total", func() int64 { return storage.GlobalStats().Hits })
@@ -172,4 +331,7 @@ func init() {
 	obs.Default.CounterFunc("tsq_pages_prefetched_total", func() int64 { return storage.GlobalStats().Prefetched })
 	obs.Default.CounterFunc("tsq_io_errors_total", func() int64 { return storage.GlobalStats().IOErrors })
 	obs.Default.CounterFunc("tsq_checksum_failures_total", func() int64 { return storage.GlobalStats().ChecksumFailures })
+	obs.RegisterRuntimeMetrics(obs.Default)
+	mRangeLatency.EnableExemplars()
+	mNNLatency.EnableExemplars()
 }

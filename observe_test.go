@@ -3,9 +3,13 @@ package tsq
 import (
 	"context"
 	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -81,7 +85,7 @@ func TestDisabledObservabilityAddsNoAllocs(t *testing.T) {
 	// The hook exactly as rangeRecord / NearestNeighborsCtx run it.
 	hook := testing.AllocsPerRun(100, func() {
 		if rec := flightRecorder.Load(); rec != nil {
-			rec.Record("range", MTIndex.String(), time.Microsecond, nil, nil)
+			rec.Record("range", MTIndex.String(), 0, time.Microsecond, nil, nil)
 		}
 	})
 	if hook != 0 {
@@ -209,12 +213,18 @@ func TestObservabilityHandlers(t *testing.T) {
 	if rr.Code != 200 {
 		t.Fatalf("/rates: status %d", rr.Code)
 	}
-	var windows []WindowStats
-	if err := json.Unmarshal(rr.Body.Bytes(), &windows); err != nil {
+	var rates RatesReport
+	if err := json.Unmarshal(rr.Body.Bytes(), &rates); err != nil {
 		t.Fatalf("/rates JSON: %v", err)
 	}
-	if len(windows) != len(DefaultRateWindows) {
-		t.Errorf("/rates returned %d windows, want %d", len(windows), len(DefaultRateWindows))
+	if rates.SchemaVersion != obs.RatesSchemaVersion {
+		t.Errorf("/rates schema_version = %d, want %d", rates.SchemaVersion, obs.RatesSchemaVersion)
+	}
+	if rates.UptimeSeconds <= 0 {
+		t.Errorf("/rates uptime_seconds = %v, want > 0", rates.UptimeSeconds)
+	}
+	if len(rates.Windows) != len(DefaultRateWindows) {
+		t.Errorf("/rates returned %d windows, want %d", len(rates.Windows), len(DefaultRateWindows))
 	}
 
 	groups := db.QueryGroups(ts, QueryOptions{})
@@ -260,3 +270,309 @@ func benchmarkRangeRecorder(b *testing.B, enabled bool) {
 
 func BenchmarkRangeRecorderDisabled(b *testing.B) { benchmarkRangeRecorder(b, false) }
 func BenchmarkRangeRecorderEnabled(b *testing.B)  { benchmarkRangeRecorder(b, true) }
+
+// slogCapture retains emitted records for the facade query-log tests.
+type slogCapture struct {
+	mu      sync.Mutex
+	records []slog.Record
+}
+
+func (h *slogCapture) Enabled(context.Context, slog.Level) bool { return true }
+func (h *slogCapture) Handle(_ context.Context, r slog.Record) error {
+	h.mu.Lock()
+	h.records = append(h.records, r.Clone())
+	h.mu.Unlock()
+	return nil
+}
+func (h *slogCapture) WithAttrs([]slog.Attr) slog.Handler { return h }
+func (h *slogCapture) WithGroup(string) slog.Handler      { return h }
+
+func (h *slogCapture) attrs(i int) map[string]slog.Value {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]slog.Value)
+	h.records[i].Attrs(func(a slog.Attr) bool {
+		out[a.Key] = a.Value
+		return true
+	})
+	return out
+}
+
+func (h *slogCapture) len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.records)
+}
+
+// TestQueryLogFacade: an installed query log turns each facade query
+// into one structured record carrying the query's id, shape and effort
+// counters; a nanosecond slow threshold promotes it to Warn with the
+// rendered trace attached.
+func TestQueryLogFacade(t *testing.T) {
+	h := &slogCapture{}
+	EnableQueryLog(h, QueryLogOptions{SlowThreshold: -1})
+	defer DisableQueryLog()
+
+	db := openPagedTestDB(t, 11, 150, 32)
+	ts := MovingAverages(32, 2, 6)
+	matches, _, err := db.Range(db.Get(4), ts, Correlation(0.9), QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.len() != 1 {
+		t.Fatalf("range query emitted %d log records, want 1", h.len())
+	}
+	attrs := h.attrs(0)
+	if attrs["kind"].String() != "range" || attrs["algo"].String() != MTIndex.String() {
+		t.Errorf("record kind=%q algo=%q", attrs["kind"], attrs["algo"])
+	}
+	if attrs["query_id"].Uint64() == 0 {
+		t.Error("record missing query id")
+	}
+	if got := attrs["matches"].Int64(); got != int64(len(matches)) {
+		t.Errorf("record matches = %d, query returned %d", got, len(matches))
+	}
+	if attrs["transforms"].Int64() != int64(len(ts)) {
+		t.Errorf("record transforms = %d, want %d", attrs["transforms"].Int64(), len(ts))
+	}
+	if attrs["pages_read"].Int64()+attrs["buffer_hits"].Int64() == 0 {
+		t.Error("paged query logged zero I/O")
+	}
+	if _, ok := attrs["eps"]; !ok {
+		t.Error("range record missing eps")
+	}
+
+	// An NN query logs k, and the nanosecond threshold promotes a traced
+	// query to Warn with its trace rendered into the record.
+	EnableQueryLog(h, QueryLogOptions{SlowThreshold: time.Nanosecond})
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	if _, _, err := db.NearestNeighborsCtx(ctx, db.Get(5), ts, 3, QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if h.len() != 2 {
+		t.Fatalf("NN query emitted %d more records, want 1", h.len()-1)
+	}
+	attrs = h.attrs(1)
+	if attrs["kind"].String() != "nn" || attrs["k"].Int64() != 3 {
+		t.Errorf("NN record kind=%q k=%v", attrs["kind"], attrs["k"])
+	}
+	if !attrs["slow"].Bool() {
+		t.Error("1ns-threshold record not slow-promoted")
+	}
+	if !strings.Contains(attrs["trace"].String(), "nn") {
+		t.Errorf("slow record trace attr = %q", attrs["trace"])
+	}
+	if st := QueryLogSnapshot(); st.Emitted != 1 || st.Slow != 1 {
+		t.Errorf("second logger stats = %+v, want 1 emitted / 1 slow", st)
+	}
+
+	DisableQueryLog()
+	if st := QueryLogSnapshot(); st != (QueryLogStats{}) {
+		t.Errorf("disabled query log reports stats: %+v", st)
+	}
+}
+
+// TestResourceAttributionFacade: with attribution on, a query's stats
+// and root span carry the process resource deltas; off (the default),
+// they stay zero.
+func TestResourceAttributionFacade(t *testing.T) {
+	db := openPagedTestDB(t, 13, 150, 32)
+	ts := MovingAverages(32, 2, 6)
+
+	_, st, err := db.Range(db.Get(1), ts, Correlation(0.9), QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AllocBytes != 0 || st.Mallocs != 0 || st.GCCycles != 0 || st.GCPauseNs != 0 {
+		t.Errorf("attribution disabled but stats carry resources: %+v", st)
+	}
+
+	EnableResourceAttribution()
+	defer DisableResourceAttribution()
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	_, st, err = db.RangeCtx(ctx, db.Get(1), ts, Correlation(0.9), QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A paged range query allocates (candidate buffers, page frames), so
+	// the delta is positive even though it is process-wide.
+	if st.AllocBytes <= 0 || st.Mallocs <= 0 {
+		t.Errorf("attributed stats = %+v, want positive alloc deltas", st)
+	}
+	if st.GCCycles < 0 || st.GCPauseNs < 0 {
+		t.Errorf("attributed GC deltas negative: %+v", st)
+	}
+	root := tr.Spans()[0]
+	if !root.Has(obs.AAllocBytes) || !root.Has(obs.AMallocs) {
+		t.Error("root span missing resource attributes")
+	}
+	if root.Get(obs.AAllocBytes) != st.AllocBytes {
+		t.Errorf("root span alloc_bytes = %d, stats say %d", root.Get(obs.AAllocBytes), st.AllocBytes)
+	}
+
+	// NN path books resources the same way.
+	_, nst, err := db.NearestNeighbors(db.Get(2), ts, 3, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nst.AllocBytes <= 0 {
+		t.Errorf("attributed NN stats = %+v, want positive alloc delta", nst)
+	}
+}
+
+// TestCollectBundleFacade: a live system produces a bundle that passes
+// every reconciliation check and carries the index health report.
+// ExpectCompleteRecorder is off: the process-wide query counters span
+// the whole test binary, not just this recorder's lifetime.
+func TestCollectBundleFacade(t *testing.T) {
+	EnableFlightRecorder(RecorderOptions{Threshold: time.Nanosecond})
+	StartSampler(SamplerOptions{Interval: time.Hour})
+	h := &slogCapture{}
+	EnableQueryLog(h, QueryLogOptions{SlowThreshold: -1})
+	defer DisableFlightRecorder()
+	defer StopSampler()
+	defer DisableQueryLog()
+
+	db := openPagedTestDB(t, 17, 120, 32)
+	ts := MovingAverages(32, 2, 6)
+	for i := 0; i < 3; i++ {
+		if _, _, err := db.Range(db.Get(int64(i)), ts, Correlation(0.9), QueryOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	statsSampler.Load().Sample() // second snapshot so windows derive
+
+	b, err := CollectBundle(context.Background(), db, BundleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.OK() {
+		t.Fatalf("bundle failed reconciliation: %+v", b.FailedChecks())
+	}
+	if b.Queries == nil || b.Queries.Total != 3 {
+		t.Errorf("bundle recorder total = %+v, want 3", b.Queries)
+	}
+	if b.QueryLog == nil || b.QueryLog.Emitted != 3 {
+		t.Errorf("bundle query log = %+v, want 3 emitted", b.QueryLog)
+	}
+	var hr HealthReport
+	if err := json.Unmarshal(b.Index, &hr); err != nil {
+		t.Fatalf("bundle index section: %v", err)
+	}
+	if hr.Series != 120 {
+		t.Errorf("bundle index series = %d, want 120", hr.Series)
+	}
+	// The range latency histogram carries exemplars pointing at issued
+	// query ids.
+	var sawExemplar bool
+	for _, hsnap := range b.Metrics.Histograms {
+		if hsnap.Name == "tsq_range_latency_ns" && len(hsnap.Exemplars) > 0 {
+			sawExemplar = true
+		}
+	}
+	if !sawExemplar {
+		t.Error("range latency histogram has no exemplars after 3 queries")
+	}
+
+	// The HTTP surface serves the same bundle; ?heap=1 adds a profile.
+	rr := httptest.NewRecorder()
+	BundleHandler(db).ServeHTTP(rr, httptest.NewRequest("GET", "/debug/bundle?heap=1", nil))
+	if rr.Code != 200 {
+		t.Fatalf("/debug/bundle: status %d", rr.Code)
+	}
+	var served Bundle
+	if err := json.Unmarshal(rr.Body.Bytes(), &served); err != nil {
+		t.Fatalf("/debug/bundle JSON: %v", err)
+	}
+	if served.SchemaVersion != obs.BundleSchemaVersion || len(served.Profiles["heap"]) == 0 {
+		t.Errorf("served bundle: schema=%d heap=%d bytes", served.SchemaVersion, len(served.Profiles["heap"]))
+	}
+	rr = httptest.NewRecorder()
+	BundleHandler(db).ServeHTTP(rr, httptest.NewRequest("GET", "/debug/bundle?cpu=2h", nil))
+	if rr.Code != http.StatusBadRequest {
+		t.Errorf("/debug/bundle?cpu=2h: status %d, want 400", rr.Code)
+	}
+}
+
+// TestEnableDebugHandlers: one call wires the full diagnostic surface
+// onto a private mux.
+func TestEnableDebugHandlers(t *testing.T) {
+	db := openPagedTestDB(t, 19, 100, 32)
+	mux := http.NewServeMux()
+	EnableDebugHandlers(mux, db)
+	for path, want := range map[string]int{
+		"/metrics":             200,
+		"/debug/bundle":        200,
+		"/debug/pprof/cmdline": 200,
+		"/debug/pprof/symbol":  200,
+		"/nonexistent":         404,
+	} {
+		rr := httptest.NewRecorder()
+		mux.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+		if rr.Code != want {
+			t.Errorf("%s: status %d, want %d", path, rr.Code, want)
+		}
+	}
+	// /queries and /rates answer 503 or 200 depending on whether another
+	// test left the recorder enabled — either way they are wired.
+	for _, path := range []string{"/queries", "/rates"} {
+		rr := httptest.NewRecorder()
+		mux.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+		if rr.Code != 200 && rr.Code != 503 {
+			t.Errorf("%s: status %d, want 200 or 503", path, rr.Code)
+		}
+	}
+}
+
+// TestDisabledQueryLogAddsNoAllocs pins the query-log contract: with no
+// logger installed the per-query hook allocates nothing.
+func TestDisabledQueryLogAddsNoAllocs(t *testing.T) {
+	DisableQueryLog()
+	DisableResourceAttribution()
+	db := openTestDB(t, 3, 200, 64)
+	ts := MovingAverages(64, 5, 20)
+	thr := Correlation(0.95)
+	run := func() {
+		if _, _, err := db.RangeByID(10, ts, thr, QueryOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := testing.AllocsPerRun(20, run)
+
+	EnableQueryLog(slog.NewTextHandler(io.Discard, nil), QueryLogOptions{})
+	EnableResourceAttribution()
+	run()
+	DisableQueryLog()
+	DisableResourceAttribution()
+
+	after := testing.AllocsPerRun(20, run)
+	if after > base {
+		t.Errorf("disabled path allocates %.0f/op after a qlog cycle, %.0f/op before", after, base)
+	}
+}
+
+// Benchmark pair pinning the query-log overhead: Disabled is the
+// production default (one atomic load), Enabled pays record assembly
+// and a discarded handler write.
+func benchmarkRangeQueryLog(b *testing.B, enabled bool) {
+	DisableQueryLog()
+	if enabled {
+		EnableQueryLog(slog.NewTextHandler(io.Discard, nil), QueryLogOptions{SlowThreshold: -1, MaxPerSec: -1})
+		defer DisableQueryLog()
+	}
+	db := openTestDB(b, 2, 200, 64)
+	ts := MovingAverages(64, 5, 20)
+	thr := Correlation(0.95)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := db.RangeByID(10, ts, thr, QueryOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRangeQueryLogDisabled(b *testing.B) { benchmarkRangeQueryLog(b, false) }
+func BenchmarkRangeQueryLogEnabled(b *testing.B)  { benchmarkRangeQueryLog(b, true) }

@@ -32,6 +32,8 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
@@ -434,15 +436,31 @@ func (db *DB) RangeByIDCtx(ctx context.Context, id int64, ts []Transform, thr Th
 }
 
 // rangeRecord opens the root span (when ctx carries a trace), dispatches
-// to the chosen algorithm and records the query metrics.
+// to the chosen algorithm and records the query metrics. Every disabled
+// diagnostics feature costs one atomic load here (pinned by the
+// zero-alloc test); the attributed path lives in its own method so its
+// closure never forces this function's locals onto the heap.
 func (db *DB) rangeRecord(ctx context.Context, qr *core.Record, ts []Transform, thr Threshold, opts QueryOptions) ([]Match, Stats, error) {
 	start := time.Now()
+	qid := obs.NextQueryID()
 	var root *obs.Span
 	if tr := obs.FromContext(ctx); tr != nil {
 		root = tr.Start(obs.KindQuery, fmt.Sprintf("range %s (%d transforms)", opts.Algorithm, len(ts)))
 		ctx = obs.ContextWithSpan(ctx, root)
 	}
-	m, st, err := db.rangeDispatch(ctx, qr, ts, thr, opts)
+	ql := queryLogger.Load()
+	var ioPre storage.Stats
+	if ql != nil {
+		ioPre = storage.GlobalStats()
+	}
+	var m []Match
+	var st Stats
+	var err error
+	if obs.AttributionEnabled() {
+		m, st, err = db.rangeAttributed(ctx, qid, qr, ts, thr, opts, root)
+	} else {
+		m, st, err = db.rangeDispatch(ctx, qr, ts, thr, opts)
+	}
 	if root != nil {
 		root.Set(obs.AMatches, int64(len(m)))
 		root.Set(obs.ACandidates, int64(st.Candidates))
@@ -451,9 +469,71 @@ func (db *DB) rangeRecord(ctx context.Context, qr *core.Record, ts []Transform, 
 	}
 	mRangeQueries.Inc()
 	dur := time.Since(start)
-	mRangeLatency.ObserveDuration(dur)
+	mRangeLatency.ObserveDurationExemplar(dur, qid)
 	if rec := flightRecorder.Load(); rec != nil {
-		rec.Record("range", opts.Algorithm.String(), dur, err, obs.FromContext(ctx))
+		rec.Record("range", opts.Algorithm.String(), qid, dur, err, obs.FromContext(ctx))
+	}
+	if ql != nil {
+		ioPost := storage.GlobalStats()
+		ql.Log(obs.QueryLogRecord{
+			QueryID:         qid,
+			Kind:            "range",
+			Label:           opts.Algorithm.String(),
+			Transforms:      len(ts),
+			Eps:             thr.Epsilon(db.ds.N),
+			Duration:        dur,
+			Err:             err,
+			Matches:         int64(len(m)),
+			Candidates:      int64(st.Candidates),
+			SkippedLB:       int64(st.SkippedLB),
+			SkippedLB0:      int64(st.SkippedLB0),
+			SkippedLB1:      int64(st.SkippedLB1),
+			SkippedLB2:      int64(st.SkippedLB2),
+			Abandoned:       int64(st.Abandoned),
+			Comparisons:     int64(st.Comparisons),
+			PagesRead:       ioPost.Reads - ioPre.Reads,
+			PagesPrefetched: ioPost.Prefetched - ioPre.Prefetched,
+			BufferHits:      ioPost.Hits - ioPre.Hits,
+			Resources: obs.Resources{
+				AllocBytes: st.AllocBytes,
+				Mallocs:    st.Mallocs,
+				GCCycles:   st.GCCycles,
+				GCPauseNs:  st.GCPauseNs,
+			},
+			Trace: obs.FromContext(ctx),
+		})
+	}
+	return m, st, err
+}
+
+// rangeAttributed runs the dispatch under resource attribution: the
+// goroutine (and any workers it spawns) carries pprof labels naming the
+// query shape, and the process resource delta around the dispatch is
+// booked into the stats and the root span. Only called with attribution
+// enabled, so its label and closure allocations never touch the fast
+// path.
+func (db *DB) rangeAttributed(ctx context.Context, qid uint64, qr *core.Record, ts []Transform, thr Threshold, opts QueryOptions, root *obs.Span) (m []Match, st Stats, err error) {
+	pre := obs.ReadResources()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pprof.Do(ctx, pprof.Labels(
+		"tsq_query", "range",
+		"tsq_algo", opts.Algorithm.String(),
+		"tsq_qid", strconv.FormatUint(qid, 10),
+	), func(lctx context.Context) {
+		m, st, err = db.rangeDispatch(lctx, qr, ts, thr, opts)
+	})
+	res := obs.ReadResources().Sub(pre)
+	st.AllocBytes = res.AllocBytes
+	st.Mallocs = res.Mallocs
+	st.GCCycles = res.GCCycles
+	st.GCPauseNs = res.GCPauseNs
+	if root != nil {
+		root.Set(obs.AAllocBytes, res.AllocBytes)
+		root.Set(obs.AMallocs, res.Mallocs)
+		root.Set(obs.AGCCycles, res.GCCycles)
+		root.Set(obs.AGCPauseNs, res.GCPauseNs)
 	}
 	return m, st, err
 }
@@ -631,6 +711,7 @@ func (db *DB) NearestNeighborsCtx(ctx context.Context, q Series, ts []Transform,
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	start := time.Now()
+	qid := obs.NextQueryID()
 	qr, err := db.ds.QueryRecord(q)
 	if err != nil {
 		return nil, Stats{}, err
@@ -644,15 +725,17 @@ func (db *DB) NearestNeighborsCtx(ctx context.Context, q Series, ts []Transform,
 		ctx = obs.ContextWithSpan(ctx, root)
 	}
 	oneSided := opts.OneSided || opts.QueryTransform != nil
+	ql := queryLogger.Load()
+	var ioPre storage.Stats
+	if ql != nil {
+		ioPre = storage.GlobalStats()
+	}
 	var m []NNMatch
 	var st Stats
-	switch opts.Algorithm {
-	case SeqScan:
-		m, st = core.SeqScanNNCtx(ctx, db.ds, qr, ts, k, oneSided)
-	case MTIndex, STIndex:
-		m, st, err = db.ix.MTIndexNNCtx(ctx, qr, ts, k, oneSided)
-	default:
-		err = fmt.Errorf("tsq: unknown algorithm %v", opts.Algorithm)
+	if obs.AttributionEnabled() {
+		m, st, err = db.nnAttributed(ctx, qid, qr, ts, k, oneSided, opts.Algorithm, root)
+	} else {
+		m, st, err = db.nnDispatch(ctx, qr, ts, k, oneSided, opts.Algorithm)
 	}
 	if root != nil {
 		root.Set(obs.AMatches, int64(len(m)))
@@ -661,14 +744,85 @@ func (db *DB) NearestNeighborsCtx(ctx context.Context, q Series, ts []Transform,
 	}
 	mNNQueries.Inc()
 	dur := time.Since(start)
-	mNNLatency.ObserveDuration(dur)
+	mNNLatency.ObserveDurationExemplar(dur, qid)
 	if rec := flightRecorder.Load(); rec != nil {
-		rec.Record("nn", opts.Algorithm.String(), dur, err, obs.FromContext(ctx))
+		rec.Record("nn", opts.Algorithm.String(), qid, dur, err, obs.FromContext(ctx))
+	}
+	if ql != nil {
+		ioPost := storage.GlobalStats()
+		ql.Log(obs.QueryLogRecord{
+			QueryID:         qid,
+			Kind:            "nn",
+			Label:           opts.Algorithm.String(),
+			Transforms:      len(ts),
+			K:               k,
+			Duration:        dur,
+			Err:             err,
+			Matches:         int64(len(m)),
+			Candidates:      int64(st.Candidates),
+			SkippedLB:       int64(st.SkippedLB),
+			SkippedLB0:      int64(st.SkippedLB0),
+			SkippedLB1:      int64(st.SkippedLB1),
+			SkippedLB2:      int64(st.SkippedLB2),
+			Abandoned:       int64(st.Abandoned),
+			Comparisons:     int64(st.Comparisons),
+			PagesRead:       ioPost.Reads - ioPre.Reads,
+			PagesPrefetched: ioPost.Prefetched - ioPre.Prefetched,
+			BufferHits:      ioPost.Hits - ioPre.Hits,
+			Resources: obs.Resources{
+				AllocBytes: st.AllocBytes,
+				Mallocs:    st.Mallocs,
+				GCCycles:   st.GCCycles,
+				GCPauseNs:  st.GCPauseNs,
+			},
+			Trace: obs.FromContext(ctx),
+		})
 	}
 	if err != nil {
 		return nil, st, err
 	}
 	return m, st, nil
+}
+
+// nnDispatch runs the nearest-neighbor algorithm switch.
+func (db *DB) nnDispatch(ctx context.Context, qr *core.Record, ts []Transform, k int, oneSided bool, alg Algorithm) ([]NNMatch, Stats, error) {
+	switch alg {
+	case SeqScan:
+		m, st := core.SeqScanNNCtx(ctx, db.ds, qr, ts, k, oneSided)
+		return m, st, nil
+	case MTIndex, STIndex:
+		return db.ix.MTIndexNNCtx(ctx, qr, ts, k, oneSided)
+	default:
+		return nil, Stats{}, fmt.Errorf("tsq: unknown algorithm %v", alg)
+	}
+}
+
+// nnAttributed is rangeAttributed's nearest-neighbor counterpart; see
+// there for why it is a separate method.
+func (db *DB) nnAttributed(ctx context.Context, qid uint64, qr *core.Record, ts []Transform, k int, oneSided bool, alg Algorithm, root *obs.Span) (m []NNMatch, st Stats, err error) {
+	pre := obs.ReadResources()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pprof.Do(ctx, pprof.Labels(
+		"tsq_query", "nn",
+		"tsq_algo", alg.String(),
+		"tsq_qid", strconv.FormatUint(qid, 10),
+	), func(lctx context.Context) {
+		m, st, err = db.nnDispatch(lctx, qr, ts, k, oneSided, alg)
+	})
+	res := obs.ReadResources().Sub(pre)
+	st.AllocBytes = res.AllocBytes
+	st.Mallocs = res.Mallocs
+	st.GCCycles = res.GCCycles
+	st.GCPauseNs = res.GCPauseNs
+	if root != nil {
+		root.Set(obs.AAllocBytes, res.AllocBytes)
+		root.Set(obs.AMallocs, res.Mallocs)
+		root.Set(obs.AGCCycles, res.GCCycles)
+		root.Set(obs.AGCPauseNs, res.GCPauseNs)
+	}
+	return m, st, err
 }
 
 // Explain returns the planner's cost comparison for a range query with
