@@ -186,8 +186,8 @@ func TestCLIBenchJSONEnvelope(t *testing.T) {
 	if err := json.Unmarshal(data, &out); err != nil {
 		t.Fatalf("parsing %s: %v", jsonPath, err)
 	}
-	if out.SchemaVersion != 3 {
-		t.Errorf("schema_version = %d, want 3", out.SchemaVersion)
+	if out.SchemaVersion != 4 {
+		t.Errorf("schema_version = %d, want 4", out.SchemaVersion)
 	}
 	if out.Meta.GoVersion == "" || out.Meta.GOMAXPROCS < 1 || out.Meta.NumCPU < 1 {
 		t.Errorf("implausible run metadata: %+v", out.Meta)

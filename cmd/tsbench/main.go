@@ -61,9 +61,15 @@ func main() {
 		workers    = flag.String("workers", "", "throughput sweep: comma-separated worker counts (default 1,4,GOMAXPROCS)")
 		jsonOut    = flag.String("json", "", "write machine-readable results to this file (- for stdout)")
 		verify     = flag.Bool("verify-sweep", false, "run the naive-vs-pipeline verification A/B sweep")
-		backend    = flag.String("backend", "mem", "verify sweep backends, comma-separated: mem, or disk for a temp page file")
+		capSweep   = flag.Bool("capture-sweep", false, "run the workload-capture overhead and replay-determinism sweep")
+		backend    = flag.String("backend", "mem", "verify/capture sweep backends, comma-separated: mem, or disk for a temp page file")
+		version    = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("tsbench", obs.ReadBuildSection())
+		return
+	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
@@ -103,6 +109,17 @@ func main() {
 			}
 		}
 	}
+	if *capSweep {
+		for _, be := range strings.Split(*backend, ",") {
+			if be = strings.TrimSpace(be); be == "" {
+				continue
+			}
+			if err := runCaptureSweep(cfg, be, &results); err != nil {
+				fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
 	if *jsonOut != "" {
 		if err := writeJSON(*jsonOut, results); err != nil {
 			fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
@@ -136,6 +153,12 @@ type benchResult struct {
 	// per query, for the sweeps that measure them (throughput, verify).
 	AllocBytesPerOp float64 `json:"alloc_bytes_per_op,omitempty"`
 	MallocsPerOp    float64 `json:"mallocs_per_op,omitempty"`
+	// Capture/replay rows (schema 4): how many captured queries the
+	// replay re-executed and how many answer digests diverged (a
+	// regression if nonzero — the engine's answer sets are deterministic
+	// and option-independent).
+	Replayed   int64 `json:"replayed,omitempty"`
+	Mismatches int64 `json:"mismatches,omitempty"`
 }
 
 // benchMeta records the run environment so BENCH_*.json files are
@@ -158,9 +181,10 @@ type benchMeta struct {
 // benchFile is the machine-readable output envelope; the BENCH_*.json
 // trajectory files record one of these. Schema 1 was a bare result
 // array with no run metadata; schema 2 added the meta envelope; schema
-// 3 adds resource attribution — per-query allocation fields on the
+// 3 added resource attribution — per-query allocation fields on the
 // throughput and verify-sweep rows and the run's resource footprint in
-// meta.
+// meta; schema 4 adds the capture-sweep rows (journal overhead on/off,
+// replay determinism with replayed/mismatch counts).
 type benchFile struct {
 	SchemaVersion int           `json:"schema_version"`
 	Meta          benchMeta     `json:"meta"`
@@ -168,7 +192,7 @@ type benchFile struct {
 }
 
 // benchSchemaVersion is the current benchFile schema.
-const benchSchemaVersion = 3
+const benchSchemaVersion = 4
 
 // collectMeta captures the run environment. The git revision comes from
 // the build info's VCS stamp, falling back to `git rev-parse HEAD`;
@@ -281,6 +305,37 @@ func runVerifySweep(cfg bench.Config, backend string, results *[]benchResult) er
 			LBNsPerCandidate: r.LBNsPerCandidate,
 			AllocBytesPerOp:  r.AllocPerQuery,
 			MallocsPerOp:     r.MallocsPerQuery,
+		})
+	}
+	fmt.Println()
+	return nil
+}
+
+// runCaptureSweep measures the workload journal's per-query overhead
+// (capture off vs on) and replays the captured workload verbatim and
+// under the FlatLB override, recording replayed/mismatch counts and the
+// tier-skip shift.
+func runCaptureSweep(cfg bench.Config, backend string, results *[]benchResult) error {
+	fmt.Printf("=== Workload capture: MT-index, MV(6..29), 8 per MBR, backend=%s ===\n", backend)
+	rows, err := bench.CaptureSweep(cfg, backend)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%18s %12s %12s %10s %10s %10s %8s %8s\n",
+		"arm", "sec/query", "B/query", "mallocs/q", "replayed", "mismatch", "lb t0/q", "lb t2/q")
+	for _, r := range rows {
+		fmt.Printf("%18s %12.6f %12.1f %10.1f %10d %10d %8.1f %8.1f\n",
+			r.Name, r.SecPerQuery, r.AllocPerQuery, r.MallocsPerQuery,
+			r.Replayed, r.Mismatches, r.SkippedLB0, r.SkippedLB2)
+		*results = append(*results, benchResult{
+			Name:            fmt.Sprintf("%s/%s", r.Name, r.Backend),
+			NsPerOp:         r.SecPerQuery * 1e9,
+			AllocBytesPerOp: r.AllocPerQuery,
+			MallocsPerOp:    r.MallocsPerQuery,
+			Replayed:        r.Replayed,
+			Mismatches:      r.Mismatches,
+			SkippedLB0:      r.SkippedLB0,
+			SkippedLB2:      r.SkippedLB2,
 		})
 	}
 	fmt.Println()

@@ -64,8 +64,27 @@ func run() error {
 		queryLog  = flag.Bool("qlog", false, "emit one structured log record per query to stderr (slow queries carry their trace)")
 		attrib    = flag.Bool("attrib", false, "per-query resource attribution: sample alloc/GC deltas and run queries under pprof labels")
 		bundleOut = flag.String("bundle", "", `write a support bundle (JSON) to this path after the query runs ("-" for stdout); exits nonzero if the bundle's reconciliation checks fail`)
+		capPath   = flag.String("capture", "", "journal every query to this capture file (replay it with tsreplay)")
+		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("tsquery", obs.ReadBuildSection())
+		return nil
+	}
+	if *capPath != "" {
+		if _, err := tsq.EnableCapture(*capPath, tsq.CaptureOptions{}); err != nil {
+			return err
+		}
+		defer func() {
+			st := tsq.CaptureSnapshot()
+			if err := tsq.DisableCapture(); err != nil {
+				fmt.Fprintf(os.Stderr, "tsquery: closing capture: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "capture: %d of %d queries journaled to %s\n", st.Written, st.Seen, *capPath)
+		}()
+	}
 	if *bundleOut != "" {
 		// The bundle's recorder-coverage check expects the recorder to
 		// have seen every counted query, so both go on before any query
@@ -88,8 +107,7 @@ func run() error {
 		var dbgMux atomic.Pointer[http.ServeMux]
 		setDebugState = func(db *tsq.DB, ts []tsq.Transform, groups [][]int) {
 			m := http.NewServeMux()
-			tsq.EnableDebugHandlers(m, db)
-			m.Handle("/index", tsq.IndexHandler(db, ts, groups))
+			tsq.EnableDebugHandlers(m, db, tsq.WithIndexEndpoint(ts, groups))
 			dbgMux.Store(m)
 		}
 		if *bundleOut == "" {

@@ -1,0 +1,155 @@
+package bench
+
+// Workload-capture sweep: measures the per-query cost of the always-on
+// query journal (capture off vs on over the identical seeded workload),
+// then replays the resulting file — verbatim and under the FlatLB
+// override — to pin the capture→replay round trip and the PR 6 A/B
+// (identical answers, shifted tier counters) as recorded benchmark rows.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"tsq"
+	"tsq/internal/datagen"
+	"tsq/internal/obs"
+)
+
+// CaptureRow is one measured point of the capture sweep. The capture/*
+// rows report journal overhead; the replay/* rows report the replayed
+// run (Replayed, Mismatches, and its per-query lower-bound tier skips —
+// the flatlb arm books everything in tier 2).
+type CaptureRow struct {
+	Name        string // capture/off, capture/on, replay/verbatim, replay/flatlb
+	Backend     string // "mem" or "disk"
+	Queries     int
+	SecPerQuery float64
+	// Heap-allocation deltas per query over the first (cold) repetition.
+	AllocPerQuery   float64
+	MallocsPerQuery float64
+	// Replay rows only.
+	Replayed   int64
+	Mismatches int64
+	SkippedLB0 float64
+	SkippedLB2 float64
+}
+
+// captureArm times the seeded range workload and samples its allocation
+// delta, minimum-of-reps like VerifySweep.
+func captureArm(db *tsq.DB, cfg Config, ts []tsq.Transform, thr tsq.Threshold, opts tsq.QueryOptions, reps int) (sec float64, res obs.Resources, err error) {
+	for rep := 0; rep < reps; rep++ {
+		runtime.GC()
+		pre := obs.ReadResources()
+		s, _, _, rerr := runRange(db, cfg, ts, thr, opts)
+		if rerr != nil {
+			return 0, res, rerr
+		}
+		if rep == 0 {
+			sec = s
+			res = obs.ReadResources().Sub(pre)
+			continue
+		}
+		if s < sec {
+			sec = s
+		}
+	}
+	return sec, res, nil
+}
+
+// CaptureSweep measures capture overhead and replay determinism on the
+// given backend ("mem", or "disk" for a temp page file). It enables the
+// process-wide capture writer for its middle arm and disables it again
+// before returning.
+func CaptureSweep(cfg Config, backend string) ([]CaptureRow, error) {
+	cfg = cfg.WithDefaults()
+	if backend == "" {
+		backend = "mem"
+	}
+	ss := datagen.StockMarket(cfg.Seed, cfg.StockCount, cfg.Length, datagen.DefaultMarketOptions())
+	dir, err := os.MkdirTemp("", "tsq-capture-bench-")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	var db *tsq.DB
+	switch backend {
+	case "mem":
+		db, err = openDB(ss)
+	case "disk":
+		db, err = tsq.CreateFile(filepath.Join(dir, "bench.tsq"), ss, nil, tsq.Options{PageSize: 4096, BufferPages: 32})
+		if err == nil {
+			defer func() { _ = db.Close() }()
+		}
+	default:
+		return nil, fmt.Errorf("bench: unknown backend %q", backend)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ts := tsq.MovingAverages(cfg.Length, 6, 29)
+	thr := tsq.Correlation(0.96)
+	opts := tsq.QueryOptions{Algorithm: tsq.MTIndex, TransformsPerMBR: 8, PaperQueryRect: cfg.PaperQueryRect}
+	const reps = 3
+	nq := float64(cfg.Queries)
+
+	offSec, offRes, err := captureArm(db, cfg, ts, thr, opts, reps)
+	if err != nil {
+		return nil, err
+	}
+	capPath := filepath.Join(dir, "bench.tscap")
+	if _, err := tsq.EnableCapture(capPath, tsq.CaptureOptions{}); err != nil {
+		return nil, err
+	}
+	onSec, onRes, err := captureArm(db, cfg, ts, thr, opts, reps)
+	capStats := tsq.CaptureSnapshot()
+	if cerr := tsq.DisableCapture(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if capStats.Written != int64(cfg.Queries*reps) {
+		return nil, fmt.Errorf("bench: journaled %d of %d queries (dropped %d, last error %q)",
+			capStats.Written, cfg.Queries*reps, capStats.Dropped, capStats.LastError)
+	}
+	rows := []CaptureRow{
+		{Name: "capture/off", Backend: backend, Queries: cfg.Queries, SecPerQuery: offSec,
+			AllocPerQuery: float64(offRes.AllocBytes) / nq, MallocsPerQuery: float64(offRes.Mallocs) / nq},
+		{Name: "capture/on", Backend: backend, Queries: cfg.Queries, SecPerQuery: onSec,
+			AllocPerQuery: float64(onRes.AllocBytes) / nq, MallocsPerQuery: float64(onRes.Mallocs) / nq},
+	}
+
+	for _, arm := range []struct {
+		name     string
+		override func(*tsq.QueryOptions)
+	}{
+		{"replay/verbatim", nil},
+		{"replay/flatlb", func(q *tsq.QueryOptions) { q.FlatLB = true }},
+	} {
+		start := time.Now()
+		rep, err := tsq.ReplayFile(context.Background(), db, capPath, tsq.ReplayOptions{Override: arm.override})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", arm.name, err)
+		}
+		elapsed := time.Since(start).Seconds()
+		if rep.Errors > 0 || rep.Skipped > 0 {
+			return nil, fmt.Errorf("bench: %s: %d errors, %d skipped of %d records",
+				arm.name, rep.Errors, rep.Skipped, rep.Records)
+		}
+		rows = append(rows, CaptureRow{
+			Name:        arm.name,
+			Backend:     backend,
+			Queries:     int(rep.Replayed),
+			SecPerQuery: elapsed / float64(rep.Replayed),
+			Replayed:    rep.Replayed,
+			Mismatches:  rep.Mismatches,
+			SkippedLB0:  float64(rep.ReplayedTotals.SkippedLB0) / float64(rep.Replayed),
+			SkippedLB2:  float64(rep.ReplayedTotals.SkippedLB2) / float64(rep.Replayed),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"tsq/internal/obs/capture"
+)
+
+// Answer digesting at the dispatch boundary: each query shape folds
+// its result set into an order-insensitive capture.Digest so the
+// workload journal can certify, on replay, that a query still returns
+// the bit-identical answer set. The digest is computed over the same
+// tuples SortMatches orders by, so it is invariant under the
+// nondeterministic shard order of parallel verification.
+
+// AnswerDigestRange digests a range answer: (record, transformation,
+// distance) per match. Ordering-certified matches carry distance -1,
+// which digests deterministically like any other value.
+func AnswerDigestRange(ms []Match) capture.Digest {
+	var d capture.Digest
+	for i := range ms {
+		d.Add(ms[i].RecordID, int64(ms[i].TransformIdx), ms[i].Distance)
+	}
+	return d
+}
+
+// AnswerDigestNN digests a nearest-neighbor answer.
+func AnswerDigestNN(ms []NNMatch) capture.Digest {
+	var d capture.Digest
+	for i := range ms {
+		d.Add(ms[i].RecordID, int64(ms[i].TransformIdx), ms[i].Distance)
+	}
+	return d
+}

@@ -1,0 +1,37 @@
+package core
+
+import "testing"
+
+func TestAnswerDigestOrderInsensitive(t *testing.T) {
+	ms := []Match{
+		{RecordID: 3, TransformIdx: 1, Distance: 0.5},
+		{RecordID: 1, TransformIdx: 0, Distance: -1}, // ordering-certified
+		{RecordID: 2, TransformIdx: 4, Distance: 1.25},
+	}
+	perm := []Match{ms[2], ms[0], ms[1]}
+	if AnswerDigestRange(ms) != AnswerDigestRange(perm) {
+		t.Error("range digest depends on match order")
+	}
+	if AnswerDigestRange(ms) == AnswerDigestRange(ms[:2]) {
+		t.Error("range digest blind to a dropped match")
+	}
+	changed := append([]Match(nil), ms...)
+	changed[0].TransformIdx = 2
+	if AnswerDigestRange(ms) == AnswerDigestRange(changed) {
+		t.Error("range digest blind to a transform index change")
+	}
+
+	ns := []NNMatch{
+		{RecordID: 3, TransformIdx: 1, Distance: 0.5},
+		{RecordID: 1, TransformIdx: 0, Distance: 2},
+	}
+	if AnswerDigestNN(ns) != AnswerDigestNN([]NNMatch{ns[1], ns[0]}) {
+		t.Error("nn digest depends on match order")
+	}
+	// The same tuples digest identically across answer shapes by
+	// construction (both fold (id, transform, distance)): replay relies
+	// only on like-for-like comparison, but pin the empty case.
+	if (AnswerDigestRange(nil) != AnswerDigestRange([]Match{})) || AnswerDigestRange(nil).Count != 0 {
+		t.Error("empty digest not canonical")
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"runtime/debug"
 	"runtime/pprof"
 	"time"
+
+	"tsq/internal/obs/capture"
 )
 
 // Support bundle: one versioned JSON artifact capturing everything the
@@ -76,6 +78,7 @@ type Bundle struct {
 	Rates    *RatesReport      `json:"rates,omitempty"`
 	Queries  *RecorderSnapshot `json:"queries,omitempty"`
 	QueryLog *QueryLogStats    `json:"query_log,omitempty"`
+	Capture  *capture.Stats    `json:"capture,omitempty"`
 	Index    json.RawMessage   `json:"index,omitempty"`
 
 	// Reconciliation audits the sections against each other; see OK.
@@ -116,10 +119,28 @@ func (b *Bundle) WriteJSON(w io.Writer) error {
 	return enc.Encode(b)
 }
 
-// readBuildSection captures the binary's build provenance; every
+// String renders the build section on one line — the CLIs' -version
+// output.
+func (b BuildSection) String() string {
+	s := b.GoVersion
+	if b.Path != "" {
+		s += " " + b.Path
+	}
+	rev := b.Revision
+	if rev == "" {
+		rev = "unknown"
+	}
+	s += " revision " + rev
+	if b.Modified {
+		s += " (modified)"
+	}
+	return s
+}
+
+// ReadBuildSection captures the binary's build provenance; every
 // failure mode degrades to empty fields (a bundle must never fail
 // because the binary lacks VCS stamps).
-func readBuildSection() BuildSection {
+func ReadBuildSection() BuildSection {
 	b := BuildSection{GoVersion: ReadRuntimeInfo().GoVersion}
 	info, ok := debug.ReadBuildInfo()
 	if !ok {
@@ -137,15 +158,15 @@ func readBuildSection() BuildSection {
 	return b
 }
 
-// NewBundle collects a bundle from the given sources. sampler, rec and
-// qlog may be nil (their sections are omitted); indexHealth may be nil.
-// windows selects the rate spans when a sampler is present.
-func NewBundle(reg *Registry, sampler *Sampler, rec *Recorder, qlog *QueryLogger, indexHealth json.RawMessage, opts BundleOptions, windows ...time.Duration) *Bundle {
+// NewBundle collects a bundle from the given sources. sampler, rec,
+// qlog and cw may be nil (their sections are omitted); indexHealth may
+// be nil. windows selects the rate spans when a sampler is present.
+func NewBundle(reg *Registry, sampler *Sampler, rec *Recorder, qlog *QueryLogger, cw *capture.Writer, indexHealth json.RawMessage, opts BundleOptions, windows ...time.Duration) *Bundle {
 	b := &Bundle{
 		SchemaVersion: BundleSchemaVersion,
 		CreatedAt:     time.Now(),
 		UptimeSeconds: Uptime().Seconds(),
-		Build:         readBuildSection(),
+		Build:         ReadBuildSection(),
 		Runtime:       ReadRuntimeInfo(),
 		Index:         indexHealth,
 	}
@@ -160,6 +181,10 @@ func NewBundle(reg *Registry, sampler *Sampler, rec *Recorder, qlog *QueryLogger
 	if qlog != nil {
 		st := qlog.Stats()
 		b.QueryLog = &st
+	}
+	if cw != nil {
+		st := cw.Stats()
+		b.Capture = &st
 	}
 	if sampler != nil {
 		rr := sampler.Report(windows...)
@@ -280,6 +305,17 @@ func reconcile(b *Bundle, opts BundleOptions) []Check {
 			add("recorder_coverage", uint64(pairedTotal) == q.Total,
 				"registry counted %d queries vs recorder total %d", pairedTotal, q.Total)
 		}
+	}
+
+	if b.Capture != nil {
+		// Capture accounting: every query the journal saw was written,
+		// sampled out, or explicitly dropped — nothing vanishes silently.
+		c := b.Capture
+		add("capture_accounting", c.Seen == c.Written+c.SampledOut+c.Dropped,
+			"seen %d vs written %d + sampled out %d + dropped %d",
+			c.Seen, c.Written, c.SampledOut, c.Dropped)
+		add("capture_healthy", c.Dropped == 0 && c.LastError == "",
+			"dropped %d, last error %q", c.Dropped, c.LastError)
 	}
 	return checks
 }

@@ -63,7 +63,7 @@ func bundleFixture(t *testing.T, n int) (*Registry, *Sampler, *Recorder, *QueryL
 // check passes and whose JSON round-trips with all sections present.
 func TestBundleReconciles(t *testing.T) {
 	reg, sampler, rec, ql, opts := bundleFixture(t, 5)
-	b := NewBundle(reg, sampler, rec, ql, json.RawMessage(`{"series":150}`), opts, time.Minute)
+	b := NewBundle(reg, sampler, rec, ql, nil, json.RawMessage(`{"series":150}`), opts, time.Minute)
 
 	if !b.OK() {
 		t.Fatalf("bundle failed reconciliation: %+v", b.FailedChecks())
@@ -135,7 +135,7 @@ func TestBundleReconciles(t *testing.T) {
 func TestBundleDetectsCounterDrift(t *testing.T) {
 	reg, sampler, rec, ql, opts := bundleFixture(t, 3)
 	reg.Counter("q_total").Add(2) // drift: two phantom queries
-	b := NewBundle(reg, sampler, rec, ql, nil, opts)
+	b := NewBundle(reg, sampler, rec, ql, nil, nil, opts)
 	if b.OK() {
 		t.Fatal("bundle passed despite counter drift")
 	}
@@ -178,7 +178,7 @@ func TestBundleDetectsRollupDrift(t *testing.T) {
 			s.Add(AMatches, 5) // rollup drift
 		}
 	}
-	b := NewBundle(reg, sampler, rec, ql, nil, opts)
+	b := NewBundle(reg, sampler, rec, ql, nil, nil, opts)
 	if b.OK() {
 		t.Fatal("bundle passed despite rollup drift")
 	}
@@ -198,7 +198,7 @@ func TestBundleRingEvictionAccounting(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		rec.Record("range", "seqscan", 0, time.Millisecond, nil, nil)
 	}
-	b := NewBundle(reg, nil, rec, nil, nil, BundleOptions{})
+	b := NewBundle(reg, nil, rec, nil, nil, nil, BundleOptions{})
 	if b.Queries.Evicted != 6 || len(b.Queries.Slow) != 4 {
 		t.Fatalf("evicted=%d slow=%d, want 6 and 4", b.Queries.Evicted, len(b.Queries.Slow))
 	}
@@ -217,7 +217,7 @@ func TestBundleRingEvictionAccounting(t *testing.T) {
 func TestBundleNilSections(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("x_total").Add(3)
-	b := NewBundle(reg, nil, nil, nil, nil, BundleOptions{})
+	b := NewBundle(reg, nil, nil, nil, nil, nil, BundleOptions{})
 	if b.Queries != nil || b.QueryLog != nil || b.Rates != nil || b.Index != nil {
 		t.Errorf("nil sources produced sections: %+v", b)
 	}
@@ -242,7 +242,7 @@ func TestBundleNilSections(t *testing.T) {
 // TestBundleHeapProfile: the flag-gated heap profile lands in the
 // bundle as a non-empty pprof blob.
 func TestBundleHeapProfile(t *testing.T) {
-	b := NewBundle(NewRegistry(), nil, nil, nil, nil, BundleOptions{HeapProfile: true})
+	b := NewBundle(NewRegistry(), nil, nil, nil, nil, nil, BundleOptions{HeapProfile: true})
 	if b.ProfileError != "" {
 		t.Fatalf("profile error: %s", b.ProfileError)
 	}
@@ -250,7 +250,7 @@ func TestBundleHeapProfile(t *testing.T) {
 		t.Fatal("heap profile empty")
 	}
 	// CPU profile with a tiny duration also collects.
-	b = NewBundle(NewRegistry(), nil, nil, nil, nil, BundleOptions{CPUProfile: 10 * time.Millisecond})
+	b = NewBundle(NewRegistry(), nil, nil, nil, nil, nil, BundleOptions{CPUProfile: 10 * time.Millisecond})
 	if b.ProfileError != "" {
 		t.Fatalf("cpu profile error: %s", b.ProfileError)
 	}
@@ -267,7 +267,7 @@ func TestBundleErrRecords(t *testing.T) {
 	reg.Counter("q_total").Inc()
 	reg.Histogram("q_latency_ns", nil).ObserveDurationExemplar(time.Millisecond, qid)
 	rec.Record("range", "mt-index", qid, time.Millisecond, errors.New("checksum mismatch"), nil)
-	b := NewBundle(reg, sampler, rec, ql, nil, opts)
+	b := NewBundle(reg, sampler, rec, ql, nil, nil, opts)
 	if !b.OK() {
 		t.Fatalf("bundle with errored query failed: %+v", b.FailedChecks())
 	}

@@ -219,21 +219,47 @@ func EnableResourceAttribution() { obs.SetAttribution(true) }
 // DisableResourceAttribution turns per-query resource attribution off.
 func DisableResourceAttribution() { obs.SetAttribution(false) }
 
+// DebugOption customizes EnableDebugHandlers.
+type DebugOption func(*debugConfig)
+
+type debugConfig struct {
+	index       bool
+	indexTS     []Transform
+	indexGroups [][]int
+}
+
+// WithIndexEndpoint additionally registers the /index health endpoint,
+// profiling the given transformation set and groups (see IndexHandler).
+// It lives behind an option because the endpoint needs the set the
+// deployment queries with, and each request walks the whole index.
+func WithIndexEndpoint(ts []Transform, groups [][]int) DebugOption {
+	return func(c *debugConfig) {
+		c.index = true
+		c.indexTS = ts
+		c.indexGroups = groups
+	}
+}
+
 // EnableDebugHandlers registers the library's diagnostic endpoints on
 // mux: /metrics, /queries, /rates, /debug/bundle, and the stdlib
 // net/http/pprof profile handlers under /debug/pprof/. db may be nil
-// (bundles then carry no index health). Pair with IndexHandler for an
-// /index endpoint — it is not registered here because it needs the
-// transformation set the deployment queries with. Opt-in by design:
-// importing tsq alone exposes nothing (note the stdlib net/http/pprof
-// package registers its handlers on http.DefaultServeMux as an import
-// side effect; pass a private mux here to keep the debug surface off
-// your main listener).
-func EnableDebugHandlers(mux *http.ServeMux, db *DB) {
+// (bundles then carry no index health). Add /index with
+// WithIndexEndpoint. Opt-in by design: importing tsq alone exposes
+// nothing (note the stdlib net/http/pprof package registers its
+// handlers on http.DefaultServeMux as an import side effect; pass a
+// private mux here to keep the debug surface off your main listener).
+func EnableDebugHandlers(mux *http.ServeMux, db *DB, opts ...DebugOption) {
+	var cfg debugConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	mux.Handle("/metrics", MetricsHandler())
 	mux.Handle("/queries", QueriesHandler())
 	mux.Handle("/rates", RatesHandler())
 	mux.Handle("/debug/bundle", BundleHandler(db))
+	if cfg.index {
+		mux.Handle("/index", IndexHandler(db, cfg.indexTS, cfg.indexGroups))
+	}
 	mux.HandleFunc("/debug/pprof/", httppprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
@@ -276,7 +302,7 @@ func CollectBundle(ctx context.Context, db *DB, opts BundleOptions) (*Bundle, er
 		}
 	}
 	b := obs.NewBundle(obs.Default, statsSampler.Load(), flightRecorder.Load(),
-		queryLogger.Load(), health, opts, DefaultRateWindows...)
+		queryLogger.Load(), captureWriter.Load(), health, opts, DefaultRateWindows...)
 	return b, nil
 }
 

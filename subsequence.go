@@ -1,6 +1,12 @@
 package tsq
 
-import "tsq/internal/subseq"
+import (
+	"time"
+
+	"tsq/internal/obs"
+	"tsq/internal/storage"
+	"tsq/internal/subseq"
+)
 
 // SubseqMatch is one subsequence-matching answer: sequence Seq matches
 // the query window at offset Offset.
@@ -38,9 +44,19 @@ func NewSubsequenceIndex(ss []Series, opts SubseqOptions) (*SubsequenceIndex, er
 func (x *SubsequenceIndex) Window() int { return x.ix.Window() }
 
 // Search returns every (sequence, offset) within eps of the query, which
-// must have the window length.
+// must have the window length. Like whole-matching queries, searches are
+// journaled when workload capture is enabled.
 func (x *SubsequenceIndex) Search(q Series, eps float64) ([]SubseqMatch, SubseqStats, error) {
-	return x.ix.Search(q, eps)
+	cw := captureWriter.Load()
+	if cw == nil {
+		return x.ix.Search(q, eps)
+	}
+	start := time.Now()
+	ioPre := storage.GlobalStats()
+	m, st, err := x.ix.Search(q, eps)
+	captureSubseq(cw, obs.NextQueryID(), q, eps, x.ix.Window(), m, st,
+		time.Since(start), err, ioPre, storage.GlobalStats())
+	return m, st, err
 }
 
 // ScanSubsequences is the brute-force oracle for subsequence matching.

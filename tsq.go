@@ -449,8 +449,9 @@ func (db *DB) rangeRecord(ctx context.Context, qr *core.Record, ts []Transform, 
 		ctx = obs.ContextWithSpan(ctx, root)
 	}
 	ql := queryLogger.Load()
+	cw := captureWriter.Load()
 	var ioPre storage.Stats
-	if ql != nil {
+	if ql != nil || cw != nil {
 		ioPre = storage.GlobalStats()
 	}
 	var m []Match
@@ -473,35 +474,40 @@ func (db *DB) rangeRecord(ctx context.Context, qr *core.Record, ts []Transform, 
 	if rec := flightRecorder.Load(); rec != nil {
 		rec.Record("range", opts.Algorithm.String(), qid, dur, err, obs.FromContext(ctx))
 	}
-	if ql != nil {
+	if ql != nil || cw != nil {
 		ioPost := storage.GlobalStats()
-		ql.Log(obs.QueryLogRecord{
-			QueryID:         qid,
-			Kind:            "range",
-			Label:           opts.Algorithm.String(),
-			Transforms:      len(ts),
-			Eps:             thr.Epsilon(db.ds.N),
-			Duration:        dur,
-			Err:             err,
-			Matches:         int64(len(m)),
-			Candidates:      int64(st.Candidates),
-			SkippedLB:       int64(st.SkippedLB),
-			SkippedLB0:      int64(st.SkippedLB0),
-			SkippedLB1:      int64(st.SkippedLB1),
-			SkippedLB2:      int64(st.SkippedLB2),
-			Abandoned:       int64(st.Abandoned),
-			Comparisons:     int64(st.Comparisons),
-			PagesRead:       ioPost.Reads - ioPre.Reads,
-			PagesPrefetched: ioPost.Prefetched - ioPre.Prefetched,
-			BufferHits:      ioPost.Hits - ioPre.Hits,
-			Resources: obs.Resources{
-				AllocBytes: st.AllocBytes,
-				Mallocs:    st.Mallocs,
-				GCCycles:   st.GCCycles,
-				GCPauseNs:  st.GCPauseNs,
-			},
-			Trace: obs.FromContext(ctx),
-		})
+		if cw != nil {
+			captureRange(cw, qid, qr, ts, thr.Epsilon(db.ds.N), opts, m, st, dur, err, ioPre, ioPost)
+		}
+		if ql != nil {
+			ql.Log(obs.QueryLogRecord{
+				QueryID:         qid,
+				Kind:            "range",
+				Label:           opts.Algorithm.String(),
+				Transforms:      len(ts),
+				Eps:             thr.Epsilon(db.ds.N),
+				Duration:        dur,
+				Err:             err,
+				Matches:         int64(len(m)),
+				Candidates:      int64(st.Candidates),
+				SkippedLB:       int64(st.SkippedLB),
+				SkippedLB0:      int64(st.SkippedLB0),
+				SkippedLB1:      int64(st.SkippedLB1),
+				SkippedLB2:      int64(st.SkippedLB2),
+				Abandoned:       int64(st.Abandoned),
+				Comparisons:     int64(st.Comparisons),
+				PagesRead:       ioPost.Reads - ioPre.Reads,
+				PagesPrefetched: ioPost.Prefetched - ioPre.Prefetched,
+				BufferHits:      ioPost.Hits - ioPre.Hits,
+				Resources: obs.Resources{
+					AllocBytes: st.AllocBytes,
+					Mallocs:    st.Mallocs,
+					GCCycles:   st.GCCycles,
+					GCPauseNs:  st.GCPauseNs,
+				},
+				Trace: obs.FromContext(ctx),
+			})
+		}
 	}
 	return m, st, err
 }
@@ -726,8 +732,9 @@ func (db *DB) NearestNeighborsCtx(ctx context.Context, q Series, ts []Transform,
 	}
 	oneSided := opts.OneSided || opts.QueryTransform != nil
 	ql := queryLogger.Load()
+	cw := captureWriter.Load()
 	var ioPre storage.Stats
-	if ql != nil {
+	if ql != nil || cw != nil {
 		ioPre = storage.GlobalStats()
 	}
 	var m []NNMatch
@@ -748,35 +755,40 @@ func (db *DB) NearestNeighborsCtx(ctx context.Context, q Series, ts []Transform,
 	if rec := flightRecorder.Load(); rec != nil {
 		rec.Record("nn", opts.Algorithm.String(), qid, dur, err, obs.FromContext(ctx))
 	}
-	if ql != nil {
+	if ql != nil || cw != nil {
 		ioPost := storage.GlobalStats()
-		ql.Log(obs.QueryLogRecord{
-			QueryID:         qid,
-			Kind:            "nn",
-			Label:           opts.Algorithm.String(),
-			Transforms:      len(ts),
-			K:               k,
-			Duration:        dur,
-			Err:             err,
-			Matches:         int64(len(m)),
-			Candidates:      int64(st.Candidates),
-			SkippedLB:       int64(st.SkippedLB),
-			SkippedLB0:      int64(st.SkippedLB0),
-			SkippedLB1:      int64(st.SkippedLB1),
-			SkippedLB2:      int64(st.SkippedLB2),
-			Abandoned:       int64(st.Abandoned),
-			Comparisons:     int64(st.Comparisons),
-			PagesRead:       ioPost.Reads - ioPre.Reads,
-			PagesPrefetched: ioPost.Prefetched - ioPre.Prefetched,
-			BufferHits:      ioPost.Hits - ioPre.Hits,
-			Resources: obs.Resources{
-				AllocBytes: st.AllocBytes,
-				Mallocs:    st.Mallocs,
-				GCCycles:   st.GCCycles,
-				GCPauseNs:  st.GCPauseNs,
-			},
-			Trace: obs.FromContext(ctx),
-		})
+		if cw != nil {
+			captureNN(cw, qid, qr, ts, k, opts, m, st, dur, err, ioPre, ioPost)
+		}
+		if ql != nil {
+			ql.Log(obs.QueryLogRecord{
+				QueryID:         qid,
+				Kind:            "nn",
+				Label:           opts.Algorithm.String(),
+				Transforms:      len(ts),
+				K:               k,
+				Duration:        dur,
+				Err:             err,
+				Matches:         int64(len(m)),
+				Candidates:      int64(st.Candidates),
+				SkippedLB:       int64(st.SkippedLB),
+				SkippedLB0:      int64(st.SkippedLB0),
+				SkippedLB1:      int64(st.SkippedLB1),
+				SkippedLB2:      int64(st.SkippedLB2),
+				Abandoned:       int64(st.Abandoned),
+				Comparisons:     int64(st.Comparisons),
+				PagesRead:       ioPost.Reads - ioPre.Reads,
+				PagesPrefetched: ioPost.Prefetched - ioPre.Prefetched,
+				BufferHits:      ioPost.Hits - ioPre.Hits,
+				Resources: obs.Resources{
+					AllocBytes: st.AllocBytes,
+					Mallocs:    st.Mallocs,
+					GCCycles:   st.GCCycles,
+					GCPauseNs:  st.GCPauseNs,
+				},
+				Trace: obs.FromContext(ctx),
+			})
+		}
 	}
 	if err != nil {
 		return nil, st, err
