@@ -40,10 +40,29 @@ type CheckReport struct {
 	HeaderErr    string
 	OpenErr      string
 	IntegrityErr string
+
+	// Sharded databases: ShardCount is the manifest's shard count and
+	// Shards holds one full sub-report per shard file (every physical
+	// pass — header, tail, checksums, standalone open — runs per shard,
+	// so corruption is always pinned to a shard). ManifestErr records a
+	// bad manifest: wrong magic, torn CRC, implausible parameters. The
+	// top-level OpenErr/IntegrityErr then cover the combined
+	// scatter-gather open. All zero/empty for single-file databases.
+	ShardCount  int
+	ManifestErr string
+	Shards      []*CheckReport
 }
 
 // OK reports whether the scrub found the file fully intact.
 func (r *CheckReport) OK() bool {
+	if r.ManifestErr != "" {
+		return false
+	}
+	for _, s := range r.Shards {
+		if !s.OK() {
+			return false
+		}
+	}
 	return r.TailBytes == 0 && r.BadPageCount == 0 &&
 		r.HeaderErr == "" && r.OpenErr == "" && r.IntegrityErr == ""
 }
@@ -52,6 +71,39 @@ func (r *CheckReport) OK() bool {
 func (r *CheckReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "check %s\n", r.Path)
+	if r.ManifestErr != "" {
+		fmt.Fprintf(&b, "  manifest:  BAD (%s)\n", r.ManifestErr)
+		fmt.Fprintf(&b, "result: CORRUPT\n")
+		return b.String()
+	}
+	if r.ShardCount > 0 {
+		fmt.Fprintf(&b, "  manifest:  %d shards\n", r.ShardCount)
+		for i, s := range r.Shards {
+			status := "ok"
+			if !s.OK() {
+				status = "CORRUPT"
+			}
+			fmt.Fprintf(&b, "  shard %d:   %s (%s)\n", i, status, s.Path)
+			if !s.OK() {
+				for _, line := range strings.Split(strings.TrimRight(s.String(), "\n"), "\n") {
+					fmt.Fprintf(&b, "    %s\n", line)
+				}
+			}
+		}
+		if r.OpenErr != "" {
+			fmt.Fprintf(&b, "  open:      BAD (%s)\n", r.OpenErr)
+		} else if r.IntegrityErr != "" {
+			fmt.Fprintf(&b, "  integrity: BAD (%s)\n", r.IntegrityErr)
+		} else {
+			fmt.Fprintf(&b, "  structure: ok\n")
+		}
+		if r.OK() {
+			fmt.Fprintf(&b, "result: OK\n")
+		} else {
+			fmt.Fprintf(&b, "result: CORRUPT\n")
+		}
+		return b.String()
+	}
 	if r.HeaderErr != "" {
 		fmt.Fprintf(&b, "  header:    BAD (%s)\n", r.HeaderErr)
 		fmt.Fprintf(&b, "result: CORRUPT\n")
@@ -92,10 +144,63 @@ func (r *CheckReport) String() string {
 // CheckFile scrubs the database file at path: it validates the raw
 // header, detects a torn tail, checksum-verifies every page (for
 // checksummed files), and runs the full structural integrity pass
-// (OpenFile + Verify). The file is only read. The returned error is
+// (OpenFile + Verify). A shard manifest is validated and every shard
+// file scrubbed individually (each is a complete page file), then the
+// combined scatter-gather open runs; any damage is reported against the
+// shard that carries it. The files are only read. The returned error is
 // non-nil only when the file cannot be examined at all (e.g. it does not
 // exist); corruption is reported in the CheckReport, not as an error.
 func CheckFile(path string) (*CheckReport, error) {
+	if _, err := os.Stat(path); err != nil {
+		return nil, fmt.Errorf("tsq: check: %w", err)
+	}
+	magic, err := sniffMagic(path)
+	if err != nil {
+		return nil, fmt.Errorf("tsq: check: %w", err)
+	}
+	if magic == manifestMagic {
+		return checkShardedFile(path)
+	}
+	return checkSingleFile(path)
+}
+
+// checkShardedFile scrubs a manifest and its shard files.
+func checkShardedFile(path string) (*CheckReport, error) {
+	r := &CheckReport{Path: path}
+	mi, err := readManifest(path)
+	if err != nil {
+		r.ManifestErr = err.Error()
+		return r, nil
+	}
+	r.ShardCount = mi.shards
+	for i := 0; i < mi.shards; i++ {
+		sp := shardPath(path, i)
+		sub, err := checkSingleFile(sp)
+		if err != nil {
+			// A missing or unreadable shard file is corruption of the
+			// sharded database, not an examination failure.
+			sub = &CheckReport{Path: sp, HeaderErr: err.Error()}
+		}
+		r.Shards = append(r.Shards, sub)
+	}
+	// Combined structural pass: the scatter-gather open cross-checks the
+	// shard files against each other (matching n/k, counts matching the
+	// partition function) — corruption no single-shard scrub can see.
+	db, err := OpenFile(path)
+	if err != nil {
+		r.OpenErr = err.Error()
+		return r, nil
+	}
+	defer func() { _ = db.Close() }() // read-only scrub
+	if err := db.Verify(); err != nil {
+		r.IntegrityErr = err.Error()
+	}
+	return r, nil
+}
+
+// checkSingleFile scrubs one page file (a whole single-file database or
+// one shard, which is itself a complete database over shard-local ids).
+func checkSingleFile(path string) (*CheckReport, error) {
 	r := &CheckReport{Path: path}
 	st, err := os.Stat(path)
 	if err != nil {

@@ -62,7 +62,8 @@ func main() {
 		jsonOut    = flag.String("json", "", "write machine-readable results to this file (- for stdout)")
 		verify     = flag.Bool("verify-sweep", false, "run the naive-vs-pipeline verification A/B sweep")
 		capSweep   = flag.Bool("capture-sweep", false, "run the workload-capture overhead and replay-determinism sweep")
-		backend    = flag.String("backend", "mem", "verify/capture sweep backends, comma-separated: mem, or disk for a temp page file")
+		shardSweep = flag.String("shards", "", "run the shard sweep at these comma-separated shard counts, e.g. -shards 1,2,4")
+		backend    = flag.String("backend", "mem", "verify/capture/shard sweep backends, comma-separated: mem, or disk for a temp page file")
 		version    = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -120,6 +121,22 @@ func main() {
 			}
 		}
 	}
+	if *shardSweep != "" {
+		counts, err := parseWorkers(*shardSweep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsbench: bad -shards: %v\n", err)
+			os.Exit(1)
+		}
+		for _, be := range strings.Split(*backend, ",") {
+			if be = strings.TrimSpace(be); be == "" {
+				continue
+			}
+			if err := runShardSweep(cfg, be, counts, &results); err != nil {
+				fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
 	if *jsonOut != "" {
 		if err := writeJSON(*jsonOut, results); err != nil {
 			fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
@@ -159,6 +176,11 @@ type benchResult struct {
 	// and option-independent).
 	Replayed   int64 `json:"replayed,omitempty"`
 	Mismatches int64 `json:"mismatches,omitempty"`
+	// Shard-sweep rows (schema 5): the shard count and the wall time of
+	// partitioning + building all shard trees (and, on disk, committing
+	// shard files + the manifest).
+	Shards  int     `json:"shards,omitempty"`
+	BuildNs float64 `json:"build_ns,omitempty"`
 }
 
 // benchMeta records the run environment so BENCH_*.json files are
@@ -183,8 +205,9 @@ type benchMeta struct {
 // array with no run metadata; schema 2 added the meta envelope; schema
 // 3 added resource attribution — per-query allocation fields on the
 // throughput and verify-sweep rows and the run's resource footprint in
-// meta; schema 4 adds the capture-sweep rows (journal overhead on/off,
-// replay determinism with replayed/mismatch counts).
+// meta; schema 4 added the capture-sweep rows (journal overhead on/off,
+// replay determinism with replayed/mismatch counts); schema 5 adds the
+// shard-sweep rows (shards, build_ns).
 type benchFile struct {
 	SchemaVersion int           `json:"schema_version"`
 	Meta          benchMeta     `json:"meta"`
@@ -192,7 +215,7 @@ type benchFile struct {
 }
 
 // benchSchemaVersion is the current benchFile schema.
-const benchSchemaVersion = 4
+const benchSchemaVersion = 5
 
 // collectMeta captures the run environment. The git revision comes from
 // the build info's VCS stamp, falling back to `git rev-parse HEAD`;
@@ -336,6 +359,37 @@ func runCaptureSweep(cfg bench.Config, backend string, results *[]benchResult) e
 			Mismatches:      r.Mismatches,
 			SkippedLB0:      r.SkippedLB0,
 			SkippedLB2:      r.SkippedLB2,
+		})
+	}
+	fmt.Println()
+	return nil
+}
+
+// runShardSweep builds the dataset at each shard count and prints (and
+// records) build time and per-query effort of the scatter-gather path.
+// The shards=1 row is the serial parity baseline (the passthrough
+// engine), marked single_cpu like the workers=1 throughput row.
+func runShardSweep(cfg bench.Config, backend string, counts []int, results *[]benchResult) error {
+	fmt.Printf("=== Shard sweep: MT-index, MV(6..29), 8 per MBR, backend=%s ===\n", backend)
+	rows, err := bench.ShardSweep(cfg, backend, counts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%10s %12s %12s %14s %10s\n", "shards", "build(s)", "sec/query", "pages/query", "avg out")
+	for _, r := range rows {
+		note := ""
+		if r.Shards == 1 {
+			note = "  (single-tree parity baseline)"
+		}
+		fmt.Printf("%10d %12.4f %12.6f %14.1f %10.1f%s\n",
+			r.Shards, r.BuildSec, r.SecPerQuery, r.PagesPerQuery, r.AvgOutput, note)
+		*results = append(*results, benchResult{
+			Name:      fmt.Sprintf("shards/%s/n=%d", r.Backend, r.Shards),
+			NsPerOp:   r.SecPerQuery * 1e9,
+			DiskReads: r.PagesPerQuery,
+			SingleCPU: r.Shards == 1,
+			Shards:    r.Shards,
+			BuildNs:   r.BuildSec * 1e9,
 		})
 	}
 	fmt.Println()

@@ -16,6 +16,7 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -64,6 +65,7 @@ func run() error {
 		queryLog  = flag.Bool("qlog", false, "emit one structured log record per query to stderr (slow queries carry their trace)")
 		attrib    = flag.Bool("attrib", false, "per-query resource attribution: sample alloc/GC deltas and run queries under pprof labels")
 		bundleOut = flag.String("bundle", "", `write a support bundle (JSON) to this path after the query runs ("-" for stdout); exits nonzero if the bundle's reconciliation checks fail`)
+		shards    = flag.Int("shards", 0, "partition the database into this many independent shards (with -data; 0 or 1 = unsharded)")
 		capPath   = flag.String("capture", "", "journal every query to this capture file (replay it with tsreplay)")
 		version   = flag.Bool("version", false, "print build information and exit")
 	)
@@ -168,7 +170,7 @@ func run() error {
 			return err
 		}
 		if *save != "" {
-			db, err = tsq.CreateFile(*save, ss, names, tsq.Options{})
+			db, err = tsq.CreateFile(*save, ss, names, tsq.Options{Shards: *shards})
 			if err != nil {
 				return err
 			}
@@ -181,7 +183,7 @@ func run() error {
 			fmt.Printf("wrote %d series to %s\n", n, *save)
 			return nil
 		}
-		db, err = tsq.Open(ss, names, tsq.Options{})
+		db, err = tsq.Open(ss, names, tsq.Options{Shards: *shards})
 		if err != nil {
 			return err
 		}
@@ -201,8 +203,8 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("index: k=%d, tree height %d, %d pages of %d bytes, avg leaf capacity %.1f, paged=%v\n",
-			meta.IndexedK, meta.TreeHeight, meta.Pages, meta.PageSize, meta.LeafCapacity, meta.Paged)
+		fmt.Printf("index: k=%d, tree height %d, %d pages of %d bytes, avg leaf capacity %.1f, paged=%v, shards=%d\n",
+			meta.IndexedK, meta.TreeHeight, meta.Pages, meta.PageSize, meta.LeafCapacity, meta.Paged, meta.Shards)
 		return nil
 	}
 
@@ -454,6 +456,7 @@ func explainAnalyze(db *tsq.DB, id int64, ts []tsq.Transform, thr tsq.Threshold,
 
 		fmt.Printf("\n--- %s ---\n", ar.name)
 		fmt.Print(tr.String())
+		printShardRollup(tr)
 		storageIO := (after.Reads - before.Reads) + (after.Hits - before.Hits) +
 			(after.Prefetched - before.Prefetched)
 		tracedIO := tr.Sum(obs.KindProbe, obs.APagesRead) + tr.Sum(obs.KindProbe, obs.ABufferHits) +
@@ -492,6 +495,53 @@ func explainAnalyze(db *tsq.DB, id int64, ts []tsq.Transform, thr tsq.Threshold,
 			r.name, r.da, r.cand, ratio, r.skipped, r.sk0, r.sk1, r.sk2, r.abandoned, r.fp, r.matches, r.dur.Round(time.Microsecond))
 	}
 	return nil
+}
+
+// printShardRollup aggregates the trace's probe spans by shard ordinal
+// and prints one row per shard. Scatter-gather probes carry the shard
+// attribute only on multi-shard databases, so unsharded traces print
+// nothing.
+func printShardRollup(tr *tsq.Trace) {
+	type agg struct {
+		probes  int
+		pages   int64
+		hits    int64
+		cand    int64
+		matches int64
+		dur     time.Duration
+	}
+	byShard := map[int64]*agg{}
+	var order []int64
+	for _, s := range tr.Spans() {
+		if s.Kind() != obs.KindProbe || !s.Has(obs.AShard) {
+			continue
+		}
+		id := s.Get(obs.AShard)
+		a := byShard[id]
+		if a == nil {
+			a = &agg{}
+			byShard[id] = a
+			order = append(order, id)
+		}
+		a.probes++
+		a.pages += s.Get(obs.APagesRead)
+		a.hits += s.Get(obs.ABufferHits)
+		a.cand += s.Get(obs.ACandidates)
+		a.matches += s.Get(obs.AMatches)
+		a.dur += s.Duration()
+	}
+	if len(byShard) == 0 {
+		return
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	fmt.Printf("per-shard rollup (%d shards probed):\n", len(order))
+	fmt.Printf("  %-7s %7s %11s %9s %11s %9s %12s\n",
+		"shard", "probes", "pages_read", "buf_hits", "candidates", "matches", "probe time")
+	for _, id := range order {
+		a := byShard[id]
+		fmt.Printf("  %-7d %7d %11d %9d %11d %9d %12s\n",
+			id, a.probes, a.pages, a.hits, a.cand, a.matches, a.dur.Round(time.Microsecond))
+	}
 }
 
 // resolveQuery interprets the -query argument as a name or numeric id.

@@ -95,6 +95,7 @@ func run() int {
 		dbPath      = flag.String("db", "", "a .tsq database file to replay against")
 		workers     = flag.Int("workers", 0, "override Workers on every replayed query (0 keeps the captured value)")
 		limit       = flag.Int64("limit", 0, "replay at most this many queries (0 = all)")
+		shards      = flag.Int("shards", 0, "rebuild the -data dataset with this many shards before replaying (answer digests are shard-layout independent)")
 		jsonOut     = flag.Bool("json", false, "emit the report as JSON instead of text")
 		version     = flag.Bool("version", false, "print build information and exit")
 	)
@@ -115,6 +116,10 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "tsreplay: -data and -db are exclusive")
 		return 2
 	case *dbPath != "":
+		if *shards > 1 {
+			fmt.Fprintln(os.Stderr, "tsreplay: -shards only applies to -data (a .tsq file carries its own shard layout)")
+			return 2
+		}
 		var err error
 		db, err = tsq.OpenFile(*dbPath)
 		if err != nil {
@@ -128,7 +133,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "tsreplay: %v\n", err)
 			return 2
 		}
-		db, err = tsq.Open(ss, names, tsq.Options{})
+		db, err = tsq.Open(ss, names, tsq.Options{Shards: *shards})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tsreplay: %v\n", err)
 			return 2

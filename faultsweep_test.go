@@ -7,6 +7,8 @@ package tsq
 // the storage stack's error-propagation contract.
 
 import (
+	"fmt"
+	"os"
 	"path/filepath"
 	"reflect"
 	"runtime"
@@ -41,7 +43,7 @@ func buildFaultedMemDB(t *testing.T, seed int64) (*DB, *storage.FaultBackend) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &DB{ds: ds, ix: ix}, fb
+	return &DB{ds: ds, ix: core.WrapIndex(ix)}, fb
 }
 
 // assertFaultOutcome checks the sweep invariant for one armed run: an
@@ -259,5 +261,107 @@ func TestFaultSweepCrashDuringCreate(t *testing.T) {
 			t.Errorf("crash at op %d: create succeeded but scrub says corrupt:\n%s", op, r)
 		}
 		_ = r.String() // rendering must not panic either
+	}
+}
+
+func TestFaultSweepCrashDuringShardedCreate(t *testing.T) {
+	// The multi-shard commit protocol: shard files commit first, the
+	// manifest last. Crash or tear a write at any point of any shard's
+	// create-time I/O trace — what survives must never open as a
+	// partially-visible database: OpenFile either reconstructs the full
+	// DB or rejects the set, and the scrubber renders a verdict that
+	// agrees with the create's outcome.
+	dir := t.TempDir()
+	ss := datagen.RandomWalks(27, 36, 32)
+	opts := Options{PageSize: 2048, Shards: 3}
+
+	// Baseline: one disarmed probe per shard file counts each shard's
+	// create-time ops (wrap runs serially, once per shard, in order).
+	var probes []*storage.FaultBackend
+	base := filepath.Join(dir, "baseline.tsq")
+	db, err := createFile(base, ss, nil, opts, func(b storage.Backend) storage.Backend {
+		fb := storage.NewFaultBackend(b, int64(len(probes)+1))
+		probes = append(probes, fb)
+		return fb
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(probes) != opts.Shards {
+		t.Fatalf("wrap ran %d times, want once per shard (%d)", len(probes), opts.Shards)
+	}
+
+	for _, kind := range []storage.FaultKind{storage.FaultCrash, storage.FaultTornWrite} {
+		for s := 0; s < opts.Shards; s++ {
+			total := probes[s].Ops()
+			if total == 0 {
+				t.Fatalf("shard %d performed no create I/O; sweep is vacuous", s)
+			}
+			var points []int64
+			for op := int64(1); op <= total; op++ {
+				if op <= 8 || op%11 == 0 || op == total {
+					points = append(points, op)
+				}
+			}
+			for _, op := range points {
+				path := filepath.Join(dir, fmt.Sprintf("f%d_s%d_%d.tsq", kind, s, op))
+				calls := 0
+				db, err := createFile(path, ss, nil, opts, func(b storage.Backend) storage.Backend {
+					fb := storage.NewFaultBackend(b, op)
+					if calls == s {
+						fb.FailAt(op, kind)
+					}
+					calls++
+					return fb
+				})
+				label := fmt.Sprintf("kind %d shard %d op %d", kind, s, op)
+				if err == nil {
+					// The fault point was never reached; the database
+					// must be fully usable.
+					if verr := db.Verify(); verr != nil {
+						t.Errorf("%s: create succeeded but Verify failed: %v", label, verr)
+					}
+					if cerr := db.Close(); cerr != nil {
+						t.Errorf("%s: close: %v", label, cerr)
+					}
+				} else if !strings.Contains(err.Error(), "shard") {
+					t.Errorf("%s: create error does not name the shard: %v", label, err)
+				}
+
+				// Whatever the create left on disk must never open as a
+				// silently-wrong database. A failed multi-shard create
+				// never wrote the manifest, so the usual rejection is
+				// "no such file" at path — exactly the invisible-DB
+				// guarantee.
+				if re, oerr := OpenFile(path); oerr == nil {
+					if verr := re.Verify(); verr != nil {
+						t.Errorf("%s: reopened a corrupt database: %v", label, verr)
+					}
+					_ = re.Close()
+				}
+
+				// The scrubber agrees with the outcome whenever there is
+				// a manifest to scrub.
+				if _, serr := os.Stat(path); serr == nil {
+					r, cerr := CheckFile(path)
+					if cerr != nil {
+						t.Errorf("%s: CheckFile: %v", label, cerr)
+						continue
+					}
+					if err != nil && r.OK() {
+						t.Errorf("%s: create failed but scrub says OK:\n%s", label, r)
+					}
+					if err == nil && !r.OK() {
+						t.Errorf("%s: create succeeded but scrub says corrupt:\n%s", label, r)
+					}
+					_ = r.String()
+				} else if err == nil {
+					t.Errorf("%s: create succeeded but no manifest on disk", label)
+				}
+			}
+		}
 	}
 }

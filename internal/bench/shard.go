@@ -1,0 +1,105 @@
+package bench
+
+// Shard sweep: builds the same dataset at several shard counts and
+// measures build time and per-query effort of the scatter-gather path
+// against the single-tree baseline. The answer set is deterministic and
+// shard-layout independent, so the sweep asserts that every shard count
+// returns the same output volume before reporting a single number.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"tsq"
+	"tsq/internal/datagen"
+)
+
+// ShardRow is one measured point of the shard sweep.
+type ShardRow struct {
+	Shards  int
+	Backend string // "mem" or "disk"
+	// BuildSec is the wall time of partitioning + building all shard
+	// trees (and, on disk, committing shard files + manifest).
+	BuildSec float64
+	// SecPerQuery / PagesPerQuery are means over the seeded MT-index
+	// range workload (MV(6..29), 8 per MBR — the verify-sweep workload).
+	SecPerQuery   float64
+	PagesPerQuery float64
+	AvgOutput     float64
+}
+
+// ShardSweep builds the stock dataset at each shard count on the given
+// backend and runs the seeded range workload against it.
+func ShardSweep(cfg Config, backend string, shardCounts []int) ([]ShardRow, error) {
+	cfg = cfg.WithDefaults()
+	if backend == "" {
+		backend = "mem"
+	}
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, 4}
+	}
+	ss := datagen.StockMarket(cfg.Seed, cfg.StockCount, cfg.Length, datagen.DefaultMarketOptions())
+	dir, err := os.MkdirTemp("", "tsq-shard-bench-")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+
+	ts := tsq.MovingAverages(cfg.Length, 6, 29)
+	thr := tsq.Correlation(0.96)
+	opts := tsq.QueryOptions{Algorithm: tsq.MTIndex, TransformsPerMBR: 8, PaperQueryRect: cfg.PaperQueryRect}
+
+	var rows []ShardRow
+	for _, n := range shardCounts {
+		if n < 1 {
+			return nil, fmt.Errorf("bench: shard count %d", n)
+		}
+		var db *tsq.DB
+		start := time.Now()
+		switch backend {
+		case "mem":
+			db, err = tsq.Open(ss, nil, tsq.Options{PageSize: 1024, Shards: n})
+		case "disk":
+			db, err = tsq.CreateFile(filepath.Join(dir, fmt.Sprintf("bench%d.tsq", n)), ss, nil,
+				tsq.Options{PageSize: 4096, BufferPages: 32, Shards: n})
+		default:
+			return nil, fmt.Errorf("bench: unknown backend %q", backend)
+		}
+		buildSec := time.Since(start).Seconds()
+		if err != nil {
+			return nil, err
+		}
+		pre := db.DiskStats()
+		sec, avgOut, _, err := runRange(db, cfg, ts, thr, opts)
+		if err != nil {
+			_ = db.Close()
+			return nil, err
+		}
+		post := db.DiskStats()
+		if backend == "disk" {
+			if err := db.Close(); err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, ShardRow{
+			Shards:        n,
+			Backend:       backend,
+			BuildSec:      buildSec,
+			SecPerQuery:   sec,
+			PagesPerQuery: float64((post.Reads-pre.Reads)+(post.Hits-pre.Hits)+(post.Prefetched-pre.Prefetched)) / float64(cfg.Queries),
+			AvgOutput:     avgOut,
+		})
+	}
+	// The workload is seeded and the answer set shard-layout
+	// independent: any drift in output volume across shard counts is an
+	// engine bug, not a measurement.
+	for _, r := range rows[1:] {
+		if r.AvgOutput != rows[0].AvgOutput {
+			return nil, fmt.Errorf("bench: %d shards returned %.2f matches/query, %d shards %.2f — scatter-gather answer drift",
+				r.Shards, r.AvgOutput, rows[0].Shards, rows[0].AvgOutput)
+		}
+	}
+	return rows, nil
+}

@@ -51,6 +51,15 @@ type ExecResult struct {
 	Err     error
 }
 
+// QueryEngine is the query surface the executor dispatches on. Both the
+// single-tree Index and the sharded engine implement it, so a batch
+// runs unchanged over either.
+type QueryEngine interface {
+	Dataset() *Dataset
+	MTIndexRangeCtx(ctx context.Context, q *Record, ts []transform.Transform, eps float64, opts RangeOptions) ([]Match, QueryStats, error)
+	MTIndexNNCtx(ctx context.Context, q *Record, ts []transform.Transform, k int, oneSided bool) ([]NNMatch, QueryStats, error)
+}
+
 // Executor runs many queries concurrently over one shared index with a
 // fixed-size worker pool. The index and its storage manager are only read
 // during query evaluation, so all workers share them without locking;
@@ -61,7 +70,7 @@ type ExecResult struct {
 // same index; the tsq.DB wrapper enforces that with its reader-writer
 // lock.
 type Executor struct {
-	ix      *Index
+	ix      QueryEngine
 	workers int
 
 	memoMu sync.Mutex
@@ -70,7 +79,7 @@ type Executor struct {
 
 // NewExecutor returns an executor over ix with the given worker-pool
 // size; workers <= 0 means GOMAXPROCS.
-func NewExecutor(ix *Index, workers int) *Executor {
+func NewExecutor(ix QueryEngine, workers int) *Executor {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -80,8 +89,8 @@ func NewExecutor(ix *Index, workers int) *Executor {
 // Workers returns the worker-pool size.
 func (e *Executor) Workers() int { return e.workers }
 
-// Index returns the shared index queries run against.
-func (e *Executor) Index() *Index { return e.ix }
+// Index returns the shared engine queries run against.
+func (e *Executor) Index() QueryEngine { return e.ix }
 
 // Run evaluates every request and returns one result per request, in
 // order. Requests are distributed over the worker pool; when ctx is
@@ -172,14 +181,14 @@ func (e *Executor) runOne(ctx context.Context, req *ExecRequest) ExecResult {
 	}
 	if req.K > 0 {
 		if req.SeqScan {
-			nn, st := SeqScanNNCtx(ctx, e.ix.ds, qr, req.Transforms, req.K, opts.OneSided)
+			nn, st := SeqScanNNCtx(ctx, e.ix.Dataset(), qr, req.Transforms, req.K, opts.OneSided)
 			return ExecResult{NN: nn, Stats: st}
 		}
 		nn, st, err := e.ix.MTIndexNNCtx(ctx, qr, req.Transforms, req.K, opts.OneSided)
 		return ExecResult{NN: nn, Stats: st, Err: err}
 	}
 	if req.SeqScan {
-		m, st := SeqScanRangeCtx(ctx, e.ix.ds, qr, req.Transforms, req.Eps, opts)
+		m, st := SeqScanRangeCtx(ctx, e.ix.Dataset(), qr, req.Transforms, req.Eps, opts)
 		return ExecResult{Matches: m, Stats: st}
 	}
 	m, st, err := e.ix.MTIndexRangeCtx(ctx, qr, req.Transforms, req.Eps, opts)
@@ -191,8 +200,8 @@ func (e *Executor) runOne(ctx context.Context, req *ExecRequest) ExecResult {
 // computed once per batch. Entries are compared by value after the hash,
 // so colliding series still resolve correctly.
 func (e *Executor) queryRecord(s series.Series) (*Record, error) {
-	if len(s) != e.ix.ds.N {
-		return e.ix.ds.QueryRecord(s) // let the dataset report the error
+	if len(s) != e.ix.Dataset().N {
+		return e.ix.Dataset().QueryRecord(s) // let the dataset report the error
 	}
 	h := hashSeries(s)
 	e.memoMu.Lock()
@@ -205,7 +214,7 @@ func (e *Executor) queryRecord(s series.Series) (*Record, error) {
 	e.memoMu.Unlock()
 	// Featurize outside the lock: the DFT is the expensive part and
 	// independent queries should not serialize on it.
-	r, err := e.ix.ds.QueryRecord(s)
+	r, err := e.ix.Dataset().QueryRecord(s)
 	if err != nil {
 		return nil, err
 	}

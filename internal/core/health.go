@@ -52,10 +52,18 @@ type HealthReport struct {
 	K            int               `json:"k"`
 	Dim          int               `json:"dim"`
 	PageSize     int               `json:"page_size"`
-	Tree         *rtree.TreeHealth `json:"tree"`
+	Tree         *rtree.TreeHealth `json:"tree,omitempty"` // nil on a multi-shard rollup (see Shards)
 	Heap         *heapfile.Health  `json:"heap,omitempty"` // nil when not paged
 	Storage      storage.Stats     `json:"storage"`
 	Groups       []GroupHealth     `json:"groups,omitempty"`
+
+	// ShardCount and Shards carry the per-shard breakdown of a sharded
+	// DB: the top-level report then holds the combined rollup (summed
+	// storage counters, shard-independent group geometry) and one full
+	// report per shard. Both are zero/empty for a single-shard report,
+	// whose JSON is unchanged.
+	ShardCount int             `json:"shard_count,omitempty"`
+	Shards     []*HealthReport `json:"shards,omitempty"`
 }
 
 // Health walks the index read-only and reports its structural health.
@@ -85,9 +93,23 @@ func (ix *Index) Health(ctx context.Context, ts []transform.Transform, groups []
 	}
 	hr.Storage = ix.mgr.Stats()
 
+	gh, err := ix.groupHealth(ts, groups)
+	if err != nil {
+		return nil, err
+	}
+	hr.Groups = gh
+	return hr, nil
+}
+
+// groupHealth computes the static geometry section of the report: one
+// GroupHealth per transformation group with the lifted-MBR volumes. The
+// result depends only on the transformation set and the index options,
+// so any shard of a sharded DB computes the same values.
+func (ix *Index) groupHealth(ts []transform.Transform, groups [][]int) ([]GroupHealth, error) {
 	if len(ts) > 0 && groups == nil {
 		groups = [][]int{identityIndexes(len(ts))}
 	}
+	var out []GroupHealth
 	for gi, g := range groups {
 		gh := GroupHealth{Group: gi, Size: len(g)}
 		sub := make([]transform.Transform, 0, len(g))
@@ -100,9 +122,9 @@ func (ix *Index) Health(ctx context.Context, ts []transform.Transform, groups []
 		mult, add := ix.fullMBRs(sub)
 		gh.MultVolume = dftVolume(mult)
 		gh.AddVolume = dftVolume(add)
-		hr.Groups = append(hr.Groups, gh)
+		out = append(out, gh)
 	}
-	return hr, nil
+	return out, nil
 }
 
 // dftVolume is the volume of a lifted rectangle over the transform-
@@ -153,11 +175,35 @@ func (hr *HealthReport) FoldTrace(tr *obs.Trace) {
 	}
 }
 
-// WriteText renders the report as the `tsquery -inspect` page.
+// WriteText renders the report as the `tsquery -inspect` page. A
+// sharded report prints the combined rollup (storage, groups) followed
+// by one structural section per shard.
 func (hr *HealthReport) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "index health: %d series of length %d, k=%d (%d-dim), page %d B\n",
 		hr.Series, hr.SeriesLength, hr.K, hr.Dim, hr.PageSize)
+	if hr.ShardCount > 1 {
+		fmt.Fprintf(w, "sharded: %d shards, hash-partitioned by series id, queried scatter-gather\n", hr.ShardCount)
+		hr.writeStorage(w)
+		hr.writeGroups(w)
+		for i, sh := range hr.Shards {
+			fmt.Fprintf(w, "\n--- shard %d: %d series ---\n", i, sh.Series)
+			sh.writeStructure(w)
+			sh.writeStorage(w)
+		}
+		return
+	}
+	hr.writeStructure(w)
+	hr.writeStorage(w)
+	hr.writeGroups(w)
+}
+
+// writeStructure renders the per-tree section: level table, leaf
+// occupancy and heap accounting.
+func (hr *HealthReport) writeStructure(w io.Writer) {
 	t := hr.Tree
+	if t == nil {
+		return
+	}
 	fmt.Fprintf(w, "\nR*-tree: height=%d entries=%d nodes=%d fill=[%d..%d]\n",
 		t.Height, t.Entries, t.Nodes, t.MinFill, t.MaxFill)
 	fmt.Fprintf(w, "%-6s %7s %9s %9s %11s %11s %13s %13s\n",
@@ -179,6 +225,10 @@ func (hr *HealthReport) WriteText(w io.Writer) {
 		fmt.Fprintf(w, "\nheap: %d records (%d live, %d deleted) on %d pages + %d directory, %.1f%% utilized\n",
 			h.Records, h.Live, h.Deleted, h.RecordPages, h.DirectoryPages, 100*h.Utilization)
 	}
+}
+
+// writeStorage renders the storage counter line.
+func (hr *HealthReport) writeStorage(w io.Writer) {
 	s := hr.Storage
 	fmt.Fprintf(w, "\nstorage: reads=%d hits=%d writes=%d allocs=%d frees=%d",
 		s.Reads, s.Hits, s.Writes, s.Allocs, s.Frees)
@@ -186,15 +236,19 @@ func (hr *HealthReport) WriteText(w io.Writer) {
 		fmt.Fprintf(w, " (hit ratio %.1f%%)", 100*float64(s.Hits)/float64(tot))
 	}
 	fmt.Fprintln(w)
+}
 
-	if len(hr.Groups) > 0 {
-		fmt.Fprintf(w, "\ntransformation groups:\n")
-		fmt.Fprintf(w, "%-6s %5s %12s %12s %8s %11s %9s %10s %8s\n",
-			"group", "size", "mult_vol", "add_vol", "probes", "candidates", "matches", "false_pos", "fp_rate")
-		for _, g := range hr.Groups {
-			fmt.Fprintf(w, "%-6d %5d %12.3g %12.3g %8d %11d %9d %10d %8.2f\n",
-				g.Group, g.Size, g.MultVolume, g.AddVolume, g.Probes, g.Candidates, g.Matches, g.FalsePositives, g.FalsePositiveRate)
-		}
+// writeGroups renders the transformation-group table.
+func (hr *HealthReport) writeGroups(w io.Writer) {
+	if len(hr.Groups) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\ntransformation groups:\n")
+	fmt.Fprintf(w, "%-6s %5s %12s %12s %8s %11s %9s %10s %8s\n",
+		"group", "size", "mult_vol", "add_vol", "probes", "candidates", "matches", "false_pos", "fp_rate")
+	for _, g := range hr.Groups {
+		fmt.Fprintf(w, "%-6d %5d %12.3g %12.3g %8d %11d %9d %10d %8.2f\n",
+			g.Group, g.Size, g.MultVolume, g.AddVolume, g.Probes, g.Candidates, g.Matches, g.FalsePositives, g.FalsePositiveRate)
 	}
 }
 

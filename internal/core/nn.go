@@ -110,7 +110,15 @@ func (ix *Index) MTIndexNN(q *Record, ts []transform.Transform, k int, oneSided 
 // best-first traversal is recorded as one KindProbe span (node visits,
 // MINDIST-pruned subtrees, candidates resolved, page I/O) when ctx holds
 // a parent span. A nil ctx takes the exact untraced path.
-func (ix *Index) MTIndexNNCtx(ctx context.Context, q *Record, ts []transform.Transform, k int, oneSided bool) (_ []NNMatch, _ QueryStats, retErr error) {
+func (ix *Index) MTIndexNNCtx(ctx context.Context, q *Record, ts []transform.Transform, k int, oneSided bool) ([]NNMatch, QueryStats, error) {
+	return ix.mtIndexNNShard(ctx, q, ts, k, oneSided, -1)
+}
+
+// mtIndexNNShard is MTIndexNNCtx with a shard tag: when shard >= 0 the
+// probe span carries an AShard attribute so scatter-gather traces can be
+// rolled up per shard. shard < 0 (the single-shard path) leaves the span
+// exactly as before.
+func (ix *Index) mtIndexNNShard(ctx context.Context, q *Record, ts []transform.Transform, k int, oneSided bool, shard int) (_ []NNMatch, _ QueryStats, retErr error) {
 	var st QueryStats
 	if k <= 0 || len(ts) == 0 {
 		return nil, st, nil
@@ -122,6 +130,9 @@ func (ix *Index) MTIndexNNCtx(ctx context.Context, q *Record, ts []transform.Tra
 	if parent != nil {
 		sp = parent.Child(obs.KindProbe, fmt.Sprintf("nn best-first (k=%d)", k))
 		sp.Set(obs.ATransforms, int64(len(ts)))
+		if shard >= 0 {
+			sp.Set(obs.AShard, int64(shard))
+		}
 		qio := &storage.QueryIO{}
 		ctx = storage.WithQueryIO(ctx, qio)
 		defer func() {

@@ -136,6 +136,11 @@ type RangeOptions struct {
 	// provably-out-of-range candidates only, so answers are identical;
 	// the flag exists to A/B the cascade's per-candidate cost.
 	FlatLB bool
+	// ShardID and ShardTotal identify the shard a scatter-gather probe
+	// runs in. When ShardTotal > 1 every probe span carries an AShard
+	// attribute; the zero values leave single-shard traces untouched.
+	ShardID    int
+	ShardTotal int
 }
 
 // SeqScanRange answers Query 1 by scanning the whole relation: for every
@@ -305,6 +310,9 @@ func (ix *Index) rangeGroup(ctx context.Context, q *Record, ts []transform.Trans
 		probe = parent.Child(obs.KindProbe, fmt.Sprintf("probe %d/%d", gi+1, ngroups))
 		probe.Set(obs.ATransforms, int64(len(g)))
 		probe.Set(obs.AGroupIndex, int64(gi))
+		if opts.ShardTotal > 1 {
+			probe.Set(obs.AShard, int64(opts.ShardID))
+		}
 		qio = &storage.QueryIO{}
 		ctx = storage.WithQueryIO(ctx, qio)
 		defer func() {

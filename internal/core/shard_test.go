@@ -1,0 +1,575 @@
+package core
+
+// Shard parity: the sharded engine must return exactly the single-tree
+// answer on every query shape. At one shard that identity is bitwise
+// (same matches, same stats, same I/O accounting — the passthrough adds
+// nothing); at N > 1 the answers must be identical after the
+// deterministic merge, while the per-shard statistics are allowed to
+// differ (N smaller trees do different amounts of work).
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"testing"
+
+	"tsq/internal/datagen"
+	"tsq/internal/series"
+	"tsq/internal/storage"
+	"tsq/internal/transform"
+)
+
+func TestShardOfDeterministicAndUniform(t *testing.T) {
+	// Same (g, n) must always land on the same shard, inside range.
+	counts := make([]int, 4)
+	for g := int64(0); g < 4000; g++ {
+		s := ShardOf(g, 4)
+		if s < 0 || s >= 4 {
+			t.Fatalf("ShardOf(%d, 4) = %d out of range", g, s)
+		}
+		if s2 := ShardOf(g, 4); s2 != s {
+			t.Fatalf("ShardOf(%d, 4) unstable: %d then %d", g, s, s2)
+		}
+		counts[s]++
+	}
+	// The mix must spread sequential ids: no shard may be empty or hold
+	// the vast majority (a modulo without mixing would stripe perfectly,
+	// a broken mix can collapse).
+	for s, c := range counts {
+		if c < 500 || c > 1500 {
+			t.Errorf("shard %d holds %d of 4000 sequential ids; partition is skewed", s, c)
+		}
+	}
+	if ShardOf(123, 1) != 0 || ShardOf(123, 0) != 0 {
+		t.Error("n <= 1 must map everything to shard 0")
+	}
+}
+
+func TestShardLayoutRoundTrip(t *testing.T) {
+	local, global := shardLayout(1000, 3)
+	for g := int64(0); g < 1000; g++ {
+		s := ShardOf(g, 3)
+		if got := global[s][local[g]]; got != g {
+			t.Fatalf("layout round trip broken at %d: got %d", g, got)
+		}
+	}
+	// Local ids must ascend with global ids within each shard (the heap
+	// files append positionally).
+	for s := range global {
+		for l := 1; l < len(global[s]); l++ {
+			if global[s][l] <= global[s][l-1] {
+				t.Fatalf("shard %d local order not ascending at %d", s, l)
+			}
+		}
+	}
+}
+
+// sortNN orders NN matches by the sharded merge comparator so single-
+// and multi-shard answers compare exactly (the single-tree search only
+// orders by distance).
+func sortNN(ms []NNMatch) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Distance != ms[j].Distance {
+			return ms[i].Distance < ms[j].Distance
+		}
+		if ms[i].RecordID != ms[j].RecordID {
+			return ms[i].RecordID < ms[j].RecordID
+		}
+		return ms[i].TransformIdx < ms[j].TransformIdx
+	})
+}
+
+func sortJoin(ms []JoinMatch) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].IDA != ms[j].IDA {
+			return ms[i].IDA < ms[j].IDA
+		}
+		if ms[i].IDB != ms[j].IDB {
+			return ms[i].IDB < ms[j].IDB
+		}
+		return ms[i].TransformIdx < ms[j].TransformIdx
+	})
+}
+
+func sortClosest(ms []JoinMatch) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Distance != ms[j].Distance {
+			return ms[i].Distance < ms[j].Distance
+		}
+		if ms[i].IDA != ms[j].IDA {
+			return ms[i].IDA < ms[j].IDA
+		}
+		return ms[i].IDB < ms[j].IDB
+	})
+}
+
+// TestWrapIndexBitIdentity pins the N=1 contract: BuildSharded at one
+// shard and a bare BuildIndex over the same dataset return bit-identical
+// answers AND bit-identical statistics on every query shape — the
+// passthrough must add no spans, no merge, no accounting.
+func TestWrapIndexBitIdentity(t *testing.T) {
+	ds, ix := buildFixture(t, 7, 300, 64, DefaultIndexOptions())
+	sh, err := BuildSharded(ds, 1, DefaultIndexOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.ShardCount() != 1 {
+		t.Fatalf("ShardCount = %d, want 1", sh.ShardCount())
+	}
+	if sh.Dataset() != ds {
+		t.Fatal("one-shard Sharded must share the dataset pointer")
+	}
+	ts := transform.MovingAverageSet(64, 5, 20)
+	eps := series.DistanceForCorrelation(64, 0.90)
+	q := ds.Records[13]
+
+	wm, wst, err := ix.MTIndexRange(q, ts, eps, RangeOptions{Mode: QRectSafe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm, gst, err := sh.MTIndexRange(q, ts, eps, RangeOptions{Mode: QRectSafe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gm, wm) {
+		t.Errorf("range answers differ: %d vs %d", len(gm), len(wm))
+	}
+	if noTime(gst) != noTime(wst) {
+		t.Errorf("range stats differ:\n got %+v\nwant %+v", noTime(gst), noTime(wst))
+	}
+
+	wn, wnst, err := ix.MTIndexNN(q, ts, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gn, gnst, err := sh.MTIndexNN(q, ts, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gn, wn) {
+		t.Errorf("NN answers differ:\n got %+v\nwant %+v", gn, wn)
+	}
+	if noTime(gnst) != noTime(wnst) {
+		t.Errorf("NN stats differ:\n got %+v\nwant %+v", noTime(gnst), noTime(wnst))
+	}
+
+	wj, wjst, err := ix.MTIndexJoin(ts[:4], eps, RangeOptions{Mode: QRectSafe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gj, gjst, err := sh.MTIndexJoin(ts[:4], eps, RangeOptions{Mode: QRectSafe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gj, wj) {
+		t.Errorf("join answers differ: %d vs %d", len(gj), len(wj))
+	}
+	if noTime(gjst) != noTime(wjst) {
+		t.Errorf("join stats differ:\n got %+v\nwant %+v", noTime(gjst), noTime(wjst))
+	}
+
+	wc, _, err := ix.MTIndexClosestPairs(ts[:3], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, _, err := sh.MTIndexClosestPairs(ts[:3], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gc, wc) {
+		t.Errorf("closest-pairs answers differ:\n got %+v\nwant %+v", gc, wc)
+	}
+
+	wr, wrst, err := ix.RawRange(q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, grst, err := sh.RawRange(q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gr, wr) {
+		t.Errorf("raw answers differ: %d vs %d", len(gr), len(wr))
+	}
+	if noTime(grst) != noTime(wrst) {
+		t.Errorf("raw stats differ:\n got %+v\nwant %+v", noTime(grst), noTime(wrst))
+	}
+}
+
+// TestShardedAnswerParity is the scatter-gather exactness claim: for any
+// shard count the merged answers equal the single-tree answers on every
+// query shape, in the deterministic merge order.
+func TestShardedAnswerParity(t *testing.T) {
+	ds, ix := buildFixture(t, 11, 260, 64, DefaultIndexOptions())
+	ts := transform.MovingAverageSet(64, 5, 16)
+	eps := series.DistanceForCorrelation(64, 0.90)
+
+	for _, nshards := range []int{2, 3, 4} {
+		// Rebuild the dataset for each shard count: BuildSharded
+		// partitions Records by shallow copy, and the baseline must stay
+		// untouched.
+		sh, err := BuildSharded(ds, nshards, DefaultIndexOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sh.ShardCount() != nshards {
+			t.Fatalf("ShardCount = %d, want %d", sh.ShardCount(), nshards)
+		}
+		if err := sh.Verify(); err != nil {
+			t.Fatalf("%d shards: verify: %v", nshards, err)
+		}
+
+		for trial := 0; trial < 8; trial++ {
+			q := ds.Records[(trial*31)%len(ds.Records)]
+
+			want, _, err := ix.MTIndexRange(q, ts, eps, RangeOptions{Mode: QRectSafe})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := sh.MTIndexRange(q, ts, eps, RangeOptions{Mode: QRectSafe})
+			if err != nil {
+				t.Fatal(err)
+			}
+			SortMatches(want)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%d shards trial %d: range mismatch (%d vs %d matches)", nshards, trial, len(got), len(want))
+			}
+
+			wantST, _, err := ix.STIndexRange(q, ts, eps, RangeOptions{Mode: QRectSafe})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotST, _, err := sh.STIndexRange(q, ts, eps, RangeOptions{Mode: QRectSafe})
+			if err != nil {
+				t.Fatal(err)
+			}
+			SortMatches(wantST)
+			if !reflect.DeepEqual(gotST, wantST) {
+				t.Fatalf("%d shards trial %d: ST range mismatch", nshards, trial)
+			}
+
+			wantNN, _, err := ix.MTIndexNN(q, ts, 7, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotNN, _, err := sh.MTIndexNN(q, ts, 7, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sortNN(wantNN)
+			if !reflect.DeepEqual(gotNN, wantNN) {
+				t.Fatalf("%d shards trial %d: NN mismatch\n got %+v\nwant %+v", nshards, trial, gotNN, wantNN)
+			}
+
+			wantRaw, _, err := ix.RawRange(q, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotRaw, _, err := sh.RawRange(q, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sort.Slice(wantRaw, func(i, j int) bool { return wantRaw[i].RecordID < wantRaw[j].RecordID })
+			if !reflect.DeepEqual(gotRaw, wantRaw) {
+				t.Fatalf("%d shards trial %d: raw range mismatch", nshards, trial)
+			}
+		}
+
+		wantJ, _, err := ix.MTIndexJoin(ts[:4], eps, RangeOptions{Mode: QRectSafe})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotJ, _, err := sh.MTIndexJoin(ts[:4], eps, RangeOptions{Mode: QRectSafe})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortJoin(wantJ)
+		sortJoin(gotJ)
+		if !reflect.DeepEqual(gotJ, wantJ) {
+			t.Fatalf("%d shards: join mismatch (%d vs %d pairs)", nshards, len(gotJ), len(wantJ))
+		}
+
+		wantSJ, _, err := ix.STIndexJoin(ts[:4], eps, RangeOptions{Mode: QRectSafe})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSJ, _, err := sh.STIndexJoin(ts[:4], eps, RangeOptions{Mode: QRectSafe})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortJoin(wantSJ)
+		sortJoin(gotSJ)
+		if !reflect.DeepEqual(gotSJ, wantSJ) {
+			t.Fatalf("%d shards: ST join mismatch", nshards)
+		}
+
+		wantC, _, err := ix.MTIndexClosestPairs(ts[:3], 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotC, _, err := sh.MTIndexClosestPairs(ts[:3], 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortClosest(wantC)
+		sortClosest(gotC)
+		if !reflect.DeepEqual(gotC, wantC) {
+			t.Fatalf("%d shards: closest pairs mismatch\n got %+v\nwant %+v", nshards, gotC, wantC)
+		}
+	}
+}
+
+// TestShardedNNSelfExclusion: the query record's owning shard sees it
+// under its local id, so a stored query excludes itself exactly as the
+// single tree does — on every shard count.
+func TestShardedNNSelfExclusion(t *testing.T) {
+	ds, _ := buildFixture(t, 3, 120, 32, DefaultIndexOptions())
+	ts := transform.MovingAverageSet(32, 3, 6)
+	for _, nshards := range []int{1, 2, 4} {
+		sh, err := BuildSharded(ds, nshards, DefaultIndexOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, qid := range []int{0, 7, 63, 119} {
+			nn, _, err := sh.MTIndexNN(ds.Records[qid], ts, 3, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range nn {
+				if m.RecordID == int64(qid) {
+					t.Fatalf("%d shards: query %d returned itself", nshards, qid)
+				}
+			}
+			if len(nn) != 3 {
+				t.Fatalf("%d shards: query %d returned %d of 3 neighbors", nshards, qid, len(nn))
+			}
+		}
+	}
+}
+
+// TestShardedEmptyShards: more shards than records leaves some shards
+// empty; every query shape must still answer exactly.
+func TestShardedEmptyShards(t *testing.T) {
+	ds, err := NewDataset(datagen.RandomWalks(5, 3, 32), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := BuildSharded(ds, 8, DefaultIndexOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	ts := transform.MovingAverageSet(32, 3, 6)
+	q := ds.Records[0]
+	want, _ := SeqScanRange(ds, q, ts, 50, RangeOptions{})
+	got, _, err := sh.MTIndexRange(q, ts, 50, RangeOptions{Mode: QRectSafe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameKeys(matchKeySet(got), matchKeySet(want)) {
+		t.Fatalf("empty-shard range mismatch: %d vs %d", len(got), len(want))
+	}
+	wantJ, _ := SeqScanJoin(ds, ts, 50)
+	gotJ, _, err := sh.MTIndexJoin(ts, 50, RangeOptions{Mode: QRectSafe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotJ) != len(wantJ) {
+		t.Fatalf("empty-shard join mismatch: %d vs %d", len(gotJ), len(wantJ))
+	}
+	if _, _, err := sh.MTIndexClosestPairs(ts, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedInsertDelete: inserts route to the shard the partition
+// function names, deletes tombstone through it, and queries stay exact
+// against a fresh single-tree baseline afterwards.
+func TestShardedInsertDelete(t *testing.T) {
+	ss := datagen.RandomWalks(17, 80, 32)
+	ds, err := NewDataset(ss, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := BuildSharded(ds, 3, DefaultIndexOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := datagen.RandomWalks(99, 5, 32)
+	for i, s := range extra {
+		id, err := sh.Insert("", s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != int64(80+i) {
+			t.Fatalf("insert %d got id %d, want %d", i, id, 80+i)
+		}
+	}
+	if err := sh.Delete(40); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Delete(40); err == nil {
+		t.Fatal("double delete must fail")
+	}
+	if err := sh.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline: single tree over the same final state.
+	all := append(append([]series.Series{}, ss...), extra...)
+	ds2, err := NewDataset(all, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := BuildIndex(ds2, DefaultIndexOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix2.Delete(40); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := transform.MovingAverageSet(32, 3, 6)
+	eps := series.DistanceForCorrelation(32, 0.85)
+	q := sh.Dataset().Records[81]
+	want, _, err := ix2.MTIndexRange(ds2.Records[81], ts, eps, RangeOptions{Mode: QRectSafe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := sh.MTIndexRange(q, ts, eps, RangeOptions{Mode: QRectSafe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortMatches(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-insert/delete range mismatch: %d vs %d", len(got), len(want))
+	}
+	for _, m := range got {
+		if m.RecordID == 40 {
+			t.Fatal("deleted record still matches")
+		}
+	}
+}
+
+// TestShardedHealth: the combined report sums the shards and carries one
+// sub-report per shard.
+func TestShardedHealth(t *testing.T) {
+	ds, _ := buildFixture(t, 23, 90, 32, DefaultIndexOptions())
+	sh, err := BuildSharded(ds, 3, DefaultIndexOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := transform.MovingAverageSet(32, 3, 6)
+	hr, err := sh.Health(context.Background(), ts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.ShardCount != 3 || len(hr.Shards) != 3 {
+		t.Fatalf("ShardCount=%d len(Shards)=%d, want 3/3", hr.ShardCount, len(hr.Shards))
+	}
+	total := 0
+	for _, s := range hr.Shards {
+		total += s.Series
+		if s.Tree == nil {
+			t.Error("per-shard report missing tree section")
+		}
+	}
+	if total != 90 || hr.Series != 90 {
+		t.Fatalf("shard series sum %d, combined %d, want 90", total, hr.Series)
+	}
+	if len(hr.Groups) == 0 {
+		t.Error("combined report missing group section")
+	}
+	if hr.String() == "" {
+		t.Error("text rendering empty")
+	}
+
+	// Single-shard report must stay exactly the classic report: no shard
+	// fields.
+	one, err := BuildSharded(ds, 1, DefaultIndexOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr1, err := one.Health(context.Background(), ts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr1.ShardCount != 0 || hr1.Shards != nil {
+		t.Fatalf("single-shard report grew shard fields: %+v", hr1)
+	}
+}
+
+// TestShardedTreeStatsAndCapacity: estimator inputs stay well-formed
+// under sharding.
+func TestShardedTreeStats(t *testing.T) {
+	ds, _ := buildFixture(t, 29, 150, 32, DefaultIndexOptions())
+	sh, err := BuildSharded(ds, 4, DefaultIndexOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, world, err := sh.TreeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) == 0 || len(world.Lo) == 0 {
+		t.Fatalf("degenerate tree stats: %d levels", len(stats))
+	}
+	nodes := 0
+	for _, ls := range stats {
+		nodes += ls.Nodes
+	}
+	if nodes == 0 {
+		t.Fatal("no nodes counted")
+	}
+	cap0, err := sh.AvgLeafCapacity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap0 <= 0 {
+		t.Fatalf("AvgLeafCapacity = %v", cap0)
+	}
+}
+
+// TestAssembleShardsRejectsWrongCounts: a shard set whose record counts
+// contradict the partition function must be rejected with the shard
+// named — this is the open-path corruption check.
+func TestAssembleShardsRejectsWrongCounts(t *testing.T) {
+	ds, err := NewDataset(datagen.RandomWalks(31, 40, 32), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locals, err := PartitionDataset(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap the shard datasets: totals match but the per-shard counts
+	// contradict ShardOf (the two shards of 40 sequential ids are
+	// essentially never the same size; pick a seed where they differ).
+	if len(locals[0].Records) == len(locals[1].Records) {
+		t.Skip("partition happened to be exactly even; corruption undetectable by count")
+	}
+	var ixs [2]*Index
+	for i, l := range []*Dataset{locals[1], locals[0]} {
+		ixs[i], err = BuildIndex(l, DefaultIndexOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := AssembleShards(ixs[:]); err == nil {
+		t.Fatal("swapped shards assembled without error")
+	}
+}
+
+// TestBuildShardedRejectsSharedManager: one manager cannot back N
+// independent shards.
+func TestBuildShardedRejectsSharedManager(t *testing.T) {
+	ds, _ := buildFixture(t, 37, 20, 32, DefaultIndexOptions())
+	mgr := storage.NewManager(storage.Options{PageSize: 4096})
+	defer func() { _ = mgr.Close() }()
+	_, err := BuildSharded(ds, 2, IndexOptions{K: 2, PageSize: 4096, Paged: true, Manager: mgr})
+	if err == nil {
+		t.Fatal("shared-manager multi-shard build must fail")
+	}
+}

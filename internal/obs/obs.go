@@ -136,8 +136,12 @@ const (
 	// AGCPauseNs is the stop-the-world pause time (ns) that elapsed
 	// during the query.
 	AGCPauseNs
+	// AShard is the shard ordinal a scatter-gather probe ran in. Only
+	// set when the DB has more than one shard, so single-shard traces
+	// are unchanged.
+	AShard
 
-	numAttrs = int(AGCPauseNs) + 1
+	numAttrs = int(AShard) + 1
 )
 
 // String names the attribute as rendered in the span tree.
@@ -187,6 +191,8 @@ func (a Attr) String() string {
 		return "gc_cycles"
 	case AGCPauseNs:
 		return "gc_pause_ns"
+	case AShard:
+		return "shard"
 	default:
 		return "attr"
 	}

@@ -14,6 +14,7 @@ import (
 	"log/slog"
 	"net/http"
 	httppprof "net/http/pprof"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -84,14 +85,24 @@ func (db *DB) QueryGroups(ts []Transform, opts QueryOptions) [][]int {
 // IndexHandler serves db's health report — the `-debug-addr` /index
 // endpoint. JSON by default, the -inspect text report with
 // ?format=text; ts/groups select the transformation groups profiled.
-// The walk reads every index page, so each request is a full (buffered)
-// index scan — an operator action, not a scrape target.
+// On a sharded DB, ?shard=N serves shard N's section alone (400 when
+// out of range or the DB is not sharded). The walk reads every index
+// page, so each request is a full (buffered) index scan — an operator
+// action, not a scrape target.
 func IndexHandler(db *DB, ts []Transform, groups [][]int) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		hr, err := db.IndexHealth(req.Context(), ts, groups)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
+		}
+		if v := req.URL.Query().Get("shard"); v != "" {
+			i, err := strconv.Atoi(v)
+			if err != nil || i < 0 || i >= len(hr.Shards) {
+				http.Error(w, fmt.Sprintf("shard must be in [0, %d)", len(hr.Shards)), http.StatusBadRequest)
+				return
+			}
+			hr = hr.Shards[i]
 		}
 		if req.URL.Query().Get("format") == "text" {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")

@@ -23,10 +23,26 @@ package tsq
 // header, and syncs the header before returning — the header acts as a
 // commit record, so a crash mid-create leaves a file OpenFile rejects
 // (no magic) rather than a plausible-looking torn database.
+//
+// Sharded layout (Options.Shards > 1): each shard is a complete
+// single-shard page file at <path>.shard<i> — same format, same commit
+// protocol, records carrying shard-local ids — and <path> itself holds
+// a small CRC-protected manifest (magic "TSQM") naming the shard count
+// and the index parameters. The global<->local id mapping is a pure
+// function of the total record count and the partition function, so it
+// is re-derived on open and cross-checked against the shard files.
+// Commit order: every shard file is fully committed first, the manifest
+// is written and synced last — a crash anywhere mid-create leaves
+// either no manifest (OpenFile: not a tsq database), a torn manifest
+// (CRC reject), or a manifest whose named shard file fails its own
+// header/checksum validation with a shard-identifying error. A
+// partially-visible DB is never constructible. Single-shard files are
+// written and opened in the classic TSQF format, unchanged.
 
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 
 	"tsq/internal/core"
@@ -34,8 +50,9 @@ import (
 )
 
 var (
-	fileMagic  = [4]byte{'T', 'S', 'Q', 'F'}
-	superMagic = [4]byte{'T', 'S', 'Q', '1'}
+	fileMagic     = [4]byte{'T', 'S', 'Q', 'F'}
+	superMagic    = [4]byte{'T', 'S', 'Q', '1'}
+	manifestMagic = [4]byte{'T', 'S', 'Q', 'M'}
 )
 
 const rawHeaderSize = 16
@@ -114,9 +131,10 @@ func decodeSuper(buf []byte) (superInfo, error) {
 	return si, nil
 }
 
-// CreateFile builds a database in a page file at path. The file holds the
-// records and the index; reopen it with OpenFile. The returned DB must be
-// closed.
+// CreateFile builds a database in a page file at path (or, with
+// Options.Shards > 1, per-shard page files behind a manifest at path).
+// The files hold the records and the index; reopen with OpenFile. The
+// returned DB must be closed.
 func CreateFile(path string, ss []Series, names []string, opts Options) (*DB, error) {
 	return createFile(path, ss, names, opts, nil)
 }
@@ -132,6 +150,24 @@ func createFile(path string, ss []Series, names []string, opts Options, wrap fun
 	if opts.K == 0 {
 		opts.K = 2
 	}
+	ds, err := core.NewDataset(ss, names)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Shards > 1 {
+		return createShardedFiles(path, ds, opts, wrap)
+	}
+	ix, err := createShardFile(path, ds, opts, wrap)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{ds: ds, ix: core.WrapIndex(ix)}, nil
+}
+
+// createShardFile writes one complete single-shard page file at path
+// from a ready dataset, returning its opened index. On error the
+// storage manager is closed.
+func createShardFile(path string, ds *core.Dataset, opts Options, wrap func(storage.Backend) storage.Backend) (*core.Index, error) {
 	physPageSize := opts.PageSize
 	fileBackend, err := storage.NewFileBackend(path, physPageSize)
 	if err != nil {
@@ -157,18 +193,13 @@ func createFile(path string, ss []Series, names []string, opts Options, wrap fun
 		_ = mgr.Close()
 		return nil, err
 	}
-	ds, err := core.NewDataset(ss, names)
-	if err != nil {
-		_ = mgr.Close()
-		return nil, err
-	}
 	ix, err := core.BuildIndex(ds, core.IndexOptions{
 		K:           opts.K,
 		PageSize:    pageSize,
 		UseSymmetry: !opts.DisableSymmetry,
 		Paged:       true,
 		Manager:     mgr,
-		BulkLoad:    opts.BulkLoad,
+		BulkLoad:    opts.BulkLoad && len(ds.Records) > 0,
 	})
 	if err != nil {
 		_ = mgr.Close()
@@ -203,18 +234,276 @@ func createFile(path string, ss []Series, names []string, opts Options, wrap fun
 		_ = mgr.Close()
 		return nil, err
 	}
-	return &DB{ds: ds, ix: ix}, nil
+	return ix, nil
 }
 
-// OpenFile reopens a database created by CreateFile. Files written with
-// and without page checksums are both recognized (the raw header flags
-// field says which).
+// shardPath names shard i's page file of the sharded database at path.
+func shardPath(path string, i int) string {
+	return fmt.Sprintf("%s.shard%d", path, i)
+}
+
+// createShardedFiles writes an Options.Shards-way sharded database:
+// every shard a complete single-shard page file, committed before the
+// manifest at path is written last.
+func createShardedFiles(path string, ds *core.Dataset, opts Options, wrap func(storage.Backend) storage.Backend) (*DB, error) {
+	locals, err := core.PartitionDataset(ds, opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	shards := make([]*core.Index, opts.Shards)
+	// On error, close the managers but leave any partial shard files on
+	// disk (matching the single-file path): the manifest is only written
+	// after every shard commits, so the partial set is unopenable — and
+	// it is exactly the image a crash would leave, which the fault sweep
+	// examines.
+	cleanup := func() {
+		for _, ix := range shards {
+			if ix != nil {
+				_ = ix.Manager().Close()
+			}
+		}
+	}
+	if wrap == nil {
+		// Parallel shard build: each file has its own backend, manager
+		// and tree, so the builds share nothing.
+		errs := make([]error, opts.Shards)
+		done := make(chan int, opts.Shards)
+		for i := 0; i < opts.Shards; i++ {
+			go func(i int) {
+				shards[i], errs[i] = createShardFile(shardPath(path, i), locals[i], opts, nil)
+				done <- i
+			}(i)
+		}
+		for i := 0; i < opts.Shards; i++ {
+			<-done
+		}
+		for i, err := range errs {
+			if err != nil {
+				cleanup()
+				return nil, fmt.Errorf("tsq: creating shard %d: %w", i, err)
+			}
+		}
+	} else {
+		// Fault-injection builds run serially so the hook observes a
+		// deterministic write sequence.
+		for i := 0; i < opts.Shards; i++ {
+			shards[i], err = createShardFile(shardPath(path, i), locals[i], opts, wrap)
+			if err != nil {
+				cleanup()
+				return nil, fmt.Errorf("tsq: creating shard %d: %w", i, err)
+			}
+		}
+	}
+	if err := writeManifest(path, manifestInfo{
+		shards:      opts.Shards,
+		n:           ds.N,
+		k:           opts.K,
+		symmetry:    !opts.DisableSymmetry,
+		checksummed: !opts.DisableChecksums,
+	}); err != nil {
+		cleanup()
+		return nil, err
+	}
+	sh, err := core.AssembleShards(shards)
+	if err != nil {
+		cleanup()
+		return nil, err
+	}
+	return &DB{ds: sh.Dataset(), ix: sh}, nil
+}
+
+// manifestInfo is the decoded shard manifest.
+type manifestInfo struct {
+	shards      int
+	n, k        int
+	symmetry    bool
+	checksummed bool
+}
+
+// Manifest layout (little endian, 36 bytes):
+//
+//	offset 0:  magic "TSQM"
+//	offset 4:  format version (uint32, currently 1)
+//	offset 8:  shard count (uint32)
+//	offset 12: series length n (uint32)
+//	offset 16: indexed coefficients k (uint32)
+//	offset 20: flags (uint32; bit 0 = symmetry, bit 1 = checksummed)
+//	offset 24: reserved (8 bytes, zero)
+//	offset 32: CRC32C over bytes [0, 32)
+//
+// The record count is deliberately absent: it is derived from the shard
+// files on open (and cross-checked against the partition function), so
+// inserts never have to rewrite the manifest.
+const manifestSize = 36
+
+func encodeManifest(mi manifestInfo) []byte {
+	buf := make([]byte, manifestSize)
+	copy(buf, manifestMagic[:])
+	binary.LittleEndian.PutUint32(buf[4:], 1)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(mi.shards))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(mi.n))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(mi.k))
+	var flags uint32
+	if mi.symmetry {
+		flags |= superFlagSymmetry
+	}
+	if mi.checksummed {
+		flags |= superFlagChecksums
+	}
+	binary.LittleEndian.PutUint32(buf[20:], flags)
+	binary.LittleEndian.PutUint32(buf[32:], crc32.Checksum(buf[:32], crc32.MakeTable(crc32.Castagnoli)))
+	return buf
+}
+
+func decodeManifest(buf []byte) (manifestInfo, error) {
+	var mi manifestInfo
+	if len(buf) < manifestSize {
+		return mi, fmt.Errorf("tsq: shard manifest truncated (%d bytes, need %d)", len(buf), manifestSize)
+	}
+	if [4]byte(buf[:4]) != manifestMagic {
+		return mi, fmt.Errorf("tsq: bad shard manifest magic %q", buf[:4])
+	}
+	if got, want := binary.LittleEndian.Uint32(buf[32:]), crc32.Checksum(buf[:32], crc32.MakeTable(crc32.Castagnoli)); got != want {
+		return mi, fmt.Errorf("tsq: shard manifest checksum mismatch (stored %08x, computed %08x): torn or corrupt manifest", got, want)
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:]); v != 1 {
+		return mi, fmt.Errorf("tsq: unsupported shard manifest version %d", v)
+	}
+	mi.shards = int(binary.LittleEndian.Uint32(buf[8:]))
+	mi.n = int(binary.LittleEndian.Uint32(buf[12:]))
+	mi.k = int(binary.LittleEndian.Uint32(buf[16:]))
+	flags := binary.LittleEndian.Uint32(buf[20:])
+	mi.symmetry = flags&superFlagSymmetry != 0
+	mi.checksummed = flags&superFlagChecksums != 0
+	if mi.shards < 2 || mi.shards > 1<<16 {
+		return mi, fmt.Errorf("tsq: corrupt shard manifest: implausible shard count %d", mi.shards)
+	}
+	if mi.n <= 0 || mi.k <= 0 || mi.k > mi.n {
+		return mi, fmt.Errorf("tsq: corrupt shard manifest: n=%d k=%d", mi.n, mi.k)
+	}
+	return mi, nil
+}
+
+// writeManifest commits the shard manifest: written in one call and
+// synced, after every shard file is already durable.
+func writeManifest(path string, mi manifestInfo) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("tsq: %w", err)
+	}
+	if _, err := f.WriteAt(encodeManifest(mi), 0); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("tsq: writing shard manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("tsq: syncing shard manifest: %w", err)
+	}
+	return f.Close()
+}
+
+// readManifest loads and validates the shard manifest at path.
+func readManifest(path string) (manifestInfo, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return manifestInfo{}, fmt.Errorf("tsq: %w", err)
+	}
+	return decodeManifest(buf)
+}
+
+// sniffMagic reads the first four bytes of a file, distinguishing the
+// single-file format (TSQF) from a shard manifest (TSQM).
+func sniffMagic(path string) ([4]byte, error) {
+	var magic [4]byte
+	f, err := os.Open(path)
+	if err != nil {
+		return magic, fmt.Errorf("tsq: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.ReadAt(magic[:], 0); err != nil {
+		return magic, fmt.Errorf("tsq: reading file header: %w", err)
+	}
+	return magic, nil
+}
+
+// OpenFile reopens a database created by CreateFile: a classic
+// single-file database or a shard manifest with its per-shard files.
+// Files written with and without page checksums are both recognized
+// (the raw header flags field says which).
 func OpenFile(path string) (*DB, error) {
-	return openFile(path, nil)
+	return openFileAny(path, nil)
 }
 
-// openFile is OpenFile with the same fault-injection hook as createFile.
+// openFileAny dispatches on the leading magic: TSQM opens the sharded
+// layout, anything else takes the single-file path (whose own header
+// validation reports non-databases).
+func openFileAny(path string, wrap func(storage.Backend) storage.Backend) (*DB, error) {
+	magic, err := sniffMagic(path)
+	if err != nil {
+		return nil, err
+	}
+	if magic == manifestMagic {
+		return openShardedFiles(path, wrap)
+	}
+	return openFile(path, wrap)
+}
+
+// openShardedFiles opens every shard file named by the manifest and
+// reassembles the global id space. Any shard that fails validation is
+// reported by ordinal and path — a half-written shard set never opens.
+func openShardedFiles(path string, wrap func(storage.Backend) storage.Backend) (*DB, error) {
+	mi, err := readManifest(path)
+	if err != nil {
+		return nil, err
+	}
+	shards := make([]*core.Index, mi.shards)
+	cleanup := func() {
+		for _, ix := range shards {
+			if ix != nil {
+				_ = ix.Manager().Close()
+			}
+		}
+	}
+	for i := 0; i < mi.shards; i++ {
+		sp := shardPath(path, i)
+		ix, err := openShardFile(sp, wrap)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("tsq: shard %d (%s): %w", i, sp, err)
+		}
+		if got := ix.Dataset().N; got != mi.n {
+			cleanup()
+			_ = ix.Manager().Close()
+			return nil, fmt.Errorf("tsq: shard %d (%s): series length %d, manifest says %d", i, sp, got, mi.n)
+		}
+		if got := ix.Options().K; got != mi.k {
+			cleanup()
+			_ = ix.Manager().Close()
+			return nil, fmt.Errorf("tsq: shard %d (%s): k=%d, manifest says %d", i, sp, got, mi.k)
+		}
+		shards[i] = ix
+	}
+	sh, err := core.AssembleShards(shards)
+	if err != nil {
+		cleanup()
+		return nil, fmt.Errorf("tsq: %w", err)
+	}
+	return &DB{ds: sh.Dataset(), ix: sh}, nil
+}
+
+// openFile is the single-file open path, with the same fault-injection
+// hook as createFile.
 func openFile(path string, wrap func(storage.Backend) storage.Backend) (*DB, error) {
+	ix, err := openShardFile(path, wrap)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{ds: ix.Dataset(), ix: core.WrapIndex(ix)}, nil
+}
+
+// openShardFile opens one page file (a whole single-file database, or
+// one shard of a sharded one) and returns its index.
+func openShardFile(path string, wrap func(storage.Backend) storage.Backend) (*core.Index, error) {
 	physPageSize, flags, err := readRawHeader(path)
 	if err != nil {
 		return nil, err
@@ -282,7 +571,7 @@ func openFile(path string, wrap func(storage.Backend) storage.Backend) (*DB, err
 		_ = mgr.Close()
 		return nil, err
 	}
-	return &DB{ds: ix.Dataset(), ix: ix}, nil
+	return ix, nil
 }
 
 // readRawHeader reads and validates the page-0 raw header, returning
@@ -339,7 +628,7 @@ func writeRawHeader(path string, pageSize int, flags uint32) error {
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.ix.Manager().Close()
+	return db.ix.Close()
 }
 
 // Insert adds a series to the database (and to the file, for file-backed

@@ -184,6 +184,12 @@ type Options struct {
 	// of repeated insertion: faster builds, near-full nodes, fewer disk
 	// accesses per query. The index remains fully updatable.
 	BulkLoad bool
+	// Shards partitions the database into that many independent shards
+	// (deterministic hash over series ids), each with its own R*-tree,
+	// heap file and buffer pool, built in parallel and queried
+	// scatter-gather. 0 or 1 keeps the classic single-tree engine;
+	// answers are identical at every shard count.
+	Shards int
 }
 
 // QueryOptions tunes an individual query.
@@ -241,7 +247,7 @@ type QueryOptions struct {
 type DB struct {
 	mu sync.RWMutex
 	ds *core.Dataset
-	ix *core.Index
+	ix *core.Sharded
 }
 
 // Open normalizes and indexes the given series. Names may be nil.
@@ -250,7 +256,7 @@ func Open(ss []Series, names []string, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix, err := core.BuildIndex(ds, core.IndexOptions{
+	ix, err := core.BuildSharded(ds, opts.Shards, core.IndexOptions{
 		K:           opts.K,
 		PageSize:    opts.PageSize,
 		BufferPages: opts.BufferPages,
@@ -262,6 +268,9 @@ func Open(ss []Series, names []string, opts Options) (*DB, error) {
 	}
 	return &DB{ds: ds, ix: ix}, nil
 }
+
+// Shards returns the shard count of the database (1 when unsharded).
+func (db *DB) Shards() int { return db.ix.ShardCount() }
 
 // Len returns the number of stored series.
 func (db *DB) Len() int {
@@ -314,6 +323,7 @@ type Info struct {
 	PageSize     int
 	LeafCapacity float64
 	Paged        bool
+	Shards       int
 }
 
 // Info returns a snapshot of the database's shape.
@@ -328,11 +338,12 @@ func (db *DB) Info() (Info, error) {
 		Series:       len(db.ds.Records),
 		SeriesLength: db.ds.N,
 		IndexedK:     db.ix.Options().K,
-		TreeHeight:   db.ix.Tree().Height(),
-		Pages:        db.ix.Manager().NumPages(),
-		PageSize:     db.ix.Manager().PageSize(),
+		TreeHeight:   db.ix.Height(),
+		Pages:        db.ix.NumPages(),
+		PageSize:     db.ix.PageSize(),
 		LeafCapacity: ca,
-		Paged:        db.ix.Heap() != nil,
+		Paged:        db.ix.Paged(),
+		Shards:       db.ix.ShardCount(),
 	}, nil
 }
 
