@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"tsq/internal/storage"
+	"tsq/internal/wal"
 )
 
 // maxReportedBadPages caps the page list a CheckReport carries; the
@@ -28,9 +29,33 @@ type CheckReport struct {
 	Scanned     int  // pages checksum-verified (0 for pre-checksum files)
 
 	// BadPages lists pages that failed checksum verification, capped at
-	// maxReportedBadPages; BadPageCount is the exact total.
+	// maxReportedBadPages; BadPageCount is the exact total. HealedPages
+	// counts the bad pages whose full after-image is pending in the
+	// write-ahead log: those are a crash between the log fsync and the
+	// page flush, repaired by replay on the next open, so they do not
+	// make the file corrupt.
 	BadPages     []storage.PageID
 	BadPageCount int
+	HealedPages  int
+
+	// FreePages counts pages that are entirely zero: allocated (the file
+	// was grown) but never written. An aborted transaction leaves these
+	// behind — the file grew before the operation was logged, and the
+	// abort only returns the pages to the allocator. They hold no data,
+	// so they are reported but are not corruption.
+	FreePages int
+
+	// Write-ahead log scrub. WALRecords/WALBytes describe the pending
+	// (acknowledged but not yet folded) records; WALTornBytes is a torn
+	// tail past the last durable record — a crashed append, truncated on
+	// the next read-write open, so informational rather than corruption.
+	// WALErr records real log corruption (foreign magic, an undecodable
+	// durable record); it fails the scrub.
+	WALPresent   bool
+	WALRecords   int
+	WALBytes     int64
+	WALTornBytes int64
+	WALErr       string
 
 	// HeaderErr, OpenErr, and IntegrityErr record the failures of the
 	// three structural passes (raw header validation, OpenFile, and
@@ -63,7 +88,7 @@ func (r *CheckReport) OK() bool {
 			return false
 		}
 	}
-	return r.TailBytes == 0 && r.BadPageCount == 0 &&
+	return r.TailBytes == 0 && r.BadPageCount == r.HealedPages && r.WALErr == "" &&
 		r.HeaderErr == "" && r.OpenErr == "" && r.IntegrityErr == ""
 }
 
@@ -117,7 +142,13 @@ func (r *CheckReport) String() string {
 	b.WriteString("\n")
 	if r.Checksummed {
 		fmt.Fprintf(&b, "  checksums: %d pages scanned, %d bad", r.Scanned, r.BadPageCount)
+		if r.FreePages > 0 {
+			fmt.Fprintf(&b, ", %d free (never written)", r.FreePages)
+		}
 		if r.BadPageCount > 0 {
+			if r.HealedPages > 0 {
+				fmt.Fprintf(&b, " (%d healable from wal)", r.HealedPages)
+			}
 			fmt.Fprintf(&b, " (pages %v", r.BadPages)
 			if r.BadPageCount > len(r.BadPages) {
 				fmt.Fprintf(&b, " and %d more", r.BadPageCount-len(r.BadPages))
@@ -125,6 +156,19 @@ func (r *CheckReport) String() string {
 			b.WriteString(")")
 		}
 		b.WriteString("\n")
+	}
+	if r.WALErr != "" {
+		fmt.Fprintf(&b, "  wal:       BAD (%s)\n", r.WALErr)
+	} else if r.WALPresent {
+		if r.WALRecords == 0 && r.WALTornBytes == 0 {
+			fmt.Fprintf(&b, "  wal:       empty\n")
+		} else {
+			fmt.Fprintf(&b, "  wal:       %d pending records, %d bytes", r.WALRecords, r.WALBytes)
+			if r.WALTornBytes > 0 {
+				fmt.Fprintf(&b, " + %d-byte torn tail (crashed append; truncated on next open)", r.WALTornBytes)
+			}
+			b.WriteString("\n")
+		}
 	}
 	if r.OpenErr != "" {
 		fmt.Fprintf(&b, "  open:      BAD (%s)\n", r.OpenErr)
@@ -186,7 +230,8 @@ func checkShardedFile(path string) (*CheckReport, error) {
 	// Combined structural pass: the scatter-gather open cross-checks the
 	// shard files against each other (matching n/k, counts matching the
 	// partition function) — corruption no single-shard scrub can see.
-	db, err := OpenFile(path)
+	// Scrub mode keeps every shard file and WAL untouched.
+	db, err := openFileAny(path, nil, openScrub)
 	if err != nil {
 		r.OpenErr = err.Error()
 		return r, nil
@@ -216,8 +261,28 @@ func checkSingleFile(path string) (*CheckReport, error) {
 	r.Pages = int(st.Size() / int64(physPageSize))
 	r.TailBytes = int(st.Size() % int64(physPageSize))
 
+	// Write-ahead log scrub: scan the log without repairing it, and
+	// collect the pages whose after-images it still holds — a checksum
+	// failure on one of those is a crash mid-flush, healed by replay,
+	// not data loss.
+	pending, info, werr := wal.ReadPending(walPath(path))
+	r.WALPresent = info.Present
+	r.WALRecords = info.Records
+	r.WALBytes = info.Bytes
+	r.WALTornBytes = info.TornBytes
+	covered := make(map[storage.PageID]bool)
+	if werr != nil {
+		r.WALErr = werr.Error()
+	} else {
+		for _, rec := range pending {
+			for _, img := range rec.Pages {
+				covered[img.ID] = true
+			}
+		}
+	}
+
 	if r.Checksummed {
-		if err := r.scanChecksums(path); err != nil {
+		if err := r.scanChecksums(path, covered); err != nil {
 			return nil, err
 		}
 	}
@@ -225,8 +290,11 @@ func checkSingleFile(path string) (*CheckReport, error) {
 	// Structural pass: a full open plus index/heap verification. This
 	// is what catches corruption checksums cannot see (a logically
 	// inconsistent but correctly-written file) and everything in
-	// pre-checksum files.
-	db, err := OpenFile(path)
+	// pre-checksum files. The scrub-mode open replays pending WAL
+	// records into a memory overlay, so the pass judges the state the
+	// next real open would recover to — while the file and the log stay
+	// untouched.
+	db, err := openFile(path, nil, openScrub)
 	if err != nil {
 		r.OpenErr = err.Error()
 		return r, nil
@@ -241,8 +309,9 @@ func checkSingleFile(path string) (*CheckReport, error) {
 // scanChecksums verifies the trailer of every full page after the
 // header region. Reads go through a Manager over the checksum layer so
 // failures land in the storage error counters exactly as read-path
-// failures do.
-func (r *CheckReport) scanChecksums(path string) error {
+// failures do. Bad pages in covered (pending WAL after-images) are
+// counted as healed.
+func (r *CheckReport) scanChecksums(path string, covered map[storage.PageID]bool) error {
 	fileBackend, err := storage.NewFileBackend(path, r.PageSize)
 	if err != nil {
 		return fmt.Errorf("tsq: check: %w", err)
@@ -254,14 +323,35 @@ func (r *CheckReport) scanChecksums(path string) error {
 	})
 	defer func() { _ = mgr.Close() }()
 	buf := make([]byte, cb.LogicalPageSize())
+	phys := make([]byte, r.PageSize)
 	for id := storage.PageID(1); int(id) < r.Pages; id++ {
 		r.Scanned++
 		if err := mgr.Read(id, buf); err != nil {
+			// An entirely-zero page is allocated-but-never-written (an
+			// aborted transaction grew the file); it holds no data, so
+			// it is free space, not corruption.
+			if rerr := fileBackend.ReadPage(id, phys); rerr == nil && allZero(phys) {
+				r.FreePages++
+				continue
+			}
 			r.BadPageCount++
+			if covered[id] {
+				r.HealedPages++
+			}
 			if len(r.BadPages) < maxReportedBadPages {
 				r.BadPages = append(r.BadPages, id)
 			}
 		}
 	}
 	return nil
+}
+
+// allZero reports whether every byte of p is zero.
+func allZero(p []byte) bool {
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
 }

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -23,6 +24,7 @@ import (
 
 	"tsq"
 	"tsq/internal/csvio"
+	"tsq/internal/datagen"
 	"tsq/internal/obs"
 )
 
@@ -60,7 +62,10 @@ func run() error {
 		explain   = flag.Bool("explain", false, "print the planner's cost comparison and an EXPLAIN ANALYZE of all three algorithms instead of running the query")
 		trace     = flag.Bool("trace", false, "print the query's span tree after running it")
 		inspect   = flag.Bool("inspect", false, "print the index health report (R*-tree occupancy/overlap, heap utilization, transformation groups) and exit")
-		check     = flag.Bool("check", false, "scrub the -db file (header, page checksums, structural integrity) and exit; nonzero exit status on corruption")
+		check     = flag.Bool("check", false, "scrub the -db file (header, page checksums, structural integrity, WAL segments) and exit; nonzero exit status on corruption")
+		insertN   = flag.Int("insert", 0, "append this many random-walk series to -db and exit")
+		insSeed   = flag.Int64("seed", 1, "random seed for -insert")
+		kill      = flag.Bool("kill", false, "with -insert: exit without closing the database, simulating a crash (the WAL replays on next open)")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /index, /queries, /rates, /debug/bundle and /debug/pprof/ on this address while the command runs")
 		queryLog  = flag.Bool("qlog", false, "emit one structured log record per query to stderr (slow queries carry their trace)")
 		attrib    = flag.Bool("attrib", false, "per-query resource attribution: sample alloc/GC deltas and run queries under pprof labels")
@@ -144,6 +149,36 @@ func run() error {
 		if !report.OK() {
 			return fmt.Errorf("%s is corrupt", *dbPath)
 		}
+		return nil
+	}
+	if *insertN > 0 {
+		if *dbPath == "" {
+			return fmt.Errorf("-insert requires -db")
+		}
+		db, err := tsq.OpenFile(*dbPath)
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(*insSeed))
+		n := db.SeriesLength()
+		base := db.Len()
+		for i := 0; i < *insertN; i++ {
+			name := fmt.Sprintf("ins%06d", base+i)
+			if _, err := db.Insert(name, datagen.RandomWalk(rng, n)); err != nil {
+				return fmt.Errorf("inserting series %d: %w", i, err)
+			}
+		}
+		if *kill {
+			// Simulate a crash: exit without Close, so nothing is
+			// checkpointed and the main file may miss the new pages. Every
+			// insert was acknowledged, so the WAL replays them on next open.
+			fmt.Printf("inserted %d series into %s; exiting without close (simulated crash)\n", *insertN, *dbPath)
+			os.Exit(0)
+		}
+		if err := db.Close(); err != nil {
+			return fmt.Errorf("closing %s: %w", *dbPath, err)
+		}
+		fmt.Printf("inserted %d series into %s\n", *insertN, *dbPath)
 		return nil
 	}
 	var db *tsq.DB

@@ -141,7 +141,7 @@ func TestFaultSweepDiskQueries(t *testing.T) {
 	re, err := openFile(path, func(b storage.Backend) storage.Backend {
 		fb = storage.NewFaultBackend(b, 13)
 		return fb
-	})
+	}, openRW)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@ import (
 	"tsq/internal/series"
 	"tsq/internal/storage"
 	"tsq/internal/transform"
+	"tsq/internal/wal"
 )
 
 // QRectMode selects how the MT-index query rectangle is built.
@@ -79,6 +80,15 @@ type Index struct {
 	heap  *heapfile.File // non-nil when Paged
 	comps []int          // polar component ids of the transform-sensitive dims
 	dim   int
+
+	// Online-write state (see write.go). wal and stage are nil for
+	// purely in-memory indexes, which mutate directly with in-memory
+	// unwind instead of log-then-apply.
+	wal          *wal.Log
+	stage        *storage.StagedBackend
+	walThreshold int64
+	readOnly     bool
+	failErr      error
 }
 
 // BuildIndex constructs the feature index over the dataset.
@@ -279,48 +289,102 @@ func (ix *Index) fetchBatchCtx(ctx context.Context, ids []int64) ([]*Record, err
 }
 
 // Insert adds a new series to the dataset, the heap (when paged) and the
-// tree, returning its id.
+// tree, returning its id. With a WAL attached the mutation is staged,
+// logged, and only then applied to the file (write.go); without one it
+// mutates in place but unwinds on partial failure, so a failed insert
+// never leaves an orphaned heap record.
 func (ix *Index) Insert(name string, s series.Series) (int64, error) {
+	if err := ix.checkWritable(); err != nil {
+		return 0, err
+	}
 	if len(s) != ix.ds.N {
 		return 0, fmt.Errorf("core: inserting series of length %d into dataset of length %d", len(s), ix.ds.N)
 	}
 	id := int64(len(ix.ds.Records))
 	r := NewRecord(id, name, s)
-	if ix.heap != nil {
-		rec, err := ix.heap.Append(recordToHeap(r))
-		if err != nil {
+	if ix.wal != nil && ix.stage != nil {
+		if err := ix.insertStaged(r, name, s); err != nil {
 			return 0, err
 		}
-		if rec != id {
-			return 0, fmt.Errorf("core: heap record %d for id %d", rec, id)
-		}
-		if err := ix.heap.Sync(); err != nil {
-			return 0, err
-		}
-	}
-	if err := ix.tree.InsertPoint(r.Feature(ix.opts.K), id); err != nil {
+	} else if err := ix.insertDirect(r); err != nil {
 		return 0, err
 	}
 	ix.ds.Records = append(ix.ds.Records, r)
 	return id, nil
 }
 
+// insertDirect applies an insert straight to the heap and tree (no WAL).
+// The tree insertion runs between the heap append and the directory
+// sync: if it fails, the append is unwound before anything references
+// the new page, and only an unwind failure — in-memory state now
+// unknown — fail-stops the index.
+func (ix *Index) insertDirect(r *Record) error {
+	if ix.heap != nil {
+		rec, err := ix.heap.Append(recordToHeap(r))
+		if err != nil {
+			return err
+		}
+		if rec != r.ID {
+			return fmt.Errorf("core: heap record %d for id %d", rec, r.ID)
+		}
+		if err := ix.tree.InsertPoint(r.Feature(ix.opts.K), r.ID); err != nil {
+			if uerr := ix.heap.Unappend(rec); uerr != nil {
+				ix.failStop(fmt.Errorf("unwinding insert of record %d: %v (after %w)", r.ID, uerr, err))
+			}
+			return err
+		}
+		if err := ix.heap.Sync(); err != nil {
+			if uerr := ix.tree.Delete(geom.PointRect(r.Feature(ix.opts.K)), r.ID); uerr != nil {
+				ix.failStop(fmt.Errorf("unwinding insert of record %d: %v (after %w)", r.ID, uerr, err))
+			} else if uerr := ix.heap.Unappend(rec); uerr != nil {
+				ix.failStop(fmt.Errorf("unwinding insert of record %d: %v (after %w)", r.ID, uerr, err))
+			}
+			return err
+		}
+		return nil
+	}
+	return ix.tree.InsertPoint(r.Feature(ix.opts.K), r.ID)
+}
+
 // Delete removes series id from the index and marks its record deleted
-// (the heap page, if any, is left in place).
+// (the heap page, if any, is left in place). With a WAL attached the
+// mutation is staged and logged first (write.go); without one, a heap
+// tombstone failure restores the just-removed tree entry so the record
+// never becomes unreachable-but-live.
 func (ix *Index) Delete(id int64) error {
+	if err := ix.checkWritable(); err != nil {
+		return err
+	}
 	r := ix.ds.Record(id)
 	if r == nil {
 		return fmt.Errorf("core: no record %d", id)
 	}
-	if err := ix.tree.Delete(geom.PointRect(r.Feature(ix.opts.K)), id); err != nil {
+	if ix.wal != nil && ix.stage != nil {
+		if err := ix.deleteStaged(r); err != nil {
+			return err
+		}
+	} else if err := ix.deleteDirect(r); err != nil {
+		return err
+	}
+	ix.ds.Records[id] = nil
+	return nil
+}
+
+// deleteDirect applies a delete straight to the tree and heap (no WAL),
+// re-inserting the tree entry if the heap tombstone fails.
+func (ix *Index) deleteDirect(r *Record) error {
+	feat := r.Feature(ix.opts.K)
+	if err := ix.tree.Delete(geom.PointRect(feat), r.ID); err != nil {
 		return err
 	}
 	if ix.heap != nil {
-		if err := ix.heap.Delete(id); err != nil {
+		if err := ix.heap.Delete(r.ID); err != nil {
+			if rerr := ix.tree.InsertPoint(feat, r.ID); rerr != nil {
+				ix.failStop(fmt.Errorf("restoring index entry %d: %v (after %w)", r.ID, rerr, err))
+			}
 			return err
 		}
 	}
-	ix.ds.Records[id] = nil
 	return nil
 }
 
@@ -538,6 +602,26 @@ func (ix *Index) Verify() error {
 		return fmt.Errorf("core: index holds %d entries for %d live records", len(indexed), live)
 	}
 	if ix.heap != nil {
+		// Orphan detection: a heap record past the end of the dataset is
+		// the signature of an insert that appended to the heap and then
+		// failed before reaching the index; a live (untombstoned) heap
+		// record the dataset marks deleted is a delete that removed the
+		// tree entry but never tombstoned the page.
+		if ix.heap.Len() != len(ix.ds.Records) {
+			return fmt.Errorf("core: heap holds %d records but the dataset %d — orphaned append", ix.heap.Len(), len(ix.ds.Records))
+		}
+		for id, r := range ix.ds.Records {
+			if r != nil {
+				continue
+			}
+			hr, err := ix.heap.Read(int64(id))
+			if err != nil {
+				return fmt.Errorf("core: heap record %d: %w", id, err)
+			}
+			if hr != nil {
+				return fmt.Errorf("core: record %d deleted from the index but live in the heap — orphaned delete", id)
+			}
+		}
 		for _, r := range ix.ds.Records {
 			if r == nil {
 				continue

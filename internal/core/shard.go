@@ -233,12 +233,24 @@ func (s *Sharded) Height() int {
 	return h
 }
 
-// Close closes every shard's storage manager, returning the first
-// error but closing all.
+// Close closes every shard — folding each shard's WAL first when one
+// is attached and healthy — returning the first error but closing all.
 func (s *Sharded) Close() error {
 	var first error
 	for _, ix := range s.shards {
-		if err := ix.Manager().Close(); err != nil && first == nil {
+		if err := ix.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Checkpoint folds every shard's WAL into its main file (no-op for
+// shards without one), returning the first error but attempting all.
+func (s *Sharded) Checkpoint() error {
+	var first error
+	for _, ix := range s.shards {
+		if err := ix.Checkpoint(); err != nil && first == nil {
 			first = err
 		}
 	}

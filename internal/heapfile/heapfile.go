@@ -319,6 +319,47 @@ func (f *File) Delete(rec int64) error {
 	return f.mgr.Write(f.pages[rec], buf)
 }
 
+// MemState is a snapshot of the heap's in-memory bookkeeping, taken
+// before a mutation so a failed mutation can be unwound without
+// touching the pages it may have written (see RestoreMemState).
+type MemState struct {
+	pages    int
+	dirPages int
+	dirDirty bool
+}
+
+// MemState snapshots the current bookkeeping.
+func (f *File) MemState() MemState {
+	return MemState{pages: len(f.pages), dirPages: len(f.dirPages), dirDirty: f.dirDirty}
+}
+
+// RestoreMemState rolls the in-memory bookkeeping back to a snapshot
+// taken by MemState. It neither rewrites nor frees any page: callers
+// pair it with a storage-level rollback (an aborted staged transaction)
+// that discards the page writes and returns every page grown during the
+// transaction — including the ones dropped here — to the allocator.
+func (f *File) RestoreMemState(s MemState) {
+	f.pages = f.pages[:s.pages]
+	f.dirPages = f.dirPages[:s.dirPages]
+	f.dirDirty = s.dirDirty
+}
+
+// Unappend removes record rec, which must be the most recent append,
+// from the heap and returns its page to the allocator. It is the
+// unwind path for a failed insert on an unstaged (in-memory) backend,
+// where the appended page is already durable but nothing references it
+// yet. The directory is left dirty so the next Sync drops the entry.
+func (f *File) Unappend(rec int64) error {
+	if rec != int64(len(f.pages))-1 {
+		return fmt.Errorf("heapfile: unappend of record %d, last is %d", rec, len(f.pages)-1)
+	}
+	id := f.pages[rec]
+	f.pages = f.pages[:rec]
+	f.dirDirty = true
+	f.mgr.Free(id)
+	return nil
+}
+
 // Sync writes the page directory; call after appends when the heap must
 // be reopenable.
 func (f *File) Sync() error {

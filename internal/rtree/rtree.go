@@ -144,6 +144,27 @@ func (t *Tree) writeMeta() error {
 	return t.mgr.Write(t.metaID, t.buf)
 }
 
+// Reload re-reads the meta page and restores the in-memory root,
+// height, and size from it. Callers use it after rolling back the
+// backing store underneath an open tree (an aborted staged mutation):
+// the durable meta page is the pre-mutation state, and Reload discards
+// whatever the failed operation left in the struct.
+func (t *Tree) Reload() error {
+	buf := make([]byte, t.mgr.PageSize())
+	if err := t.mgr.Read(t.metaID, buf); err != nil {
+		return fmt.Errorf("rtree: reloading meta page %d: %w", t.metaID, err)
+	}
+	dim, root, height, size, err := decodeMeta(buf)
+	if err != nil {
+		return fmt.Errorf("rtree: reloading meta page %d: %w", t.metaID, err)
+	}
+	if dim != t.dim {
+		return fmt.Errorf("rtree: reloading meta page %d: dimension changed from %d to %d", t.metaID, t.dim, dim)
+	}
+	t.root, t.height, t.size = root, height, size
+	return nil
+}
+
 // Insert adds a rectangle with the given record id.
 func (t *Tree) Insert(r geom.Rect, rec int64) error {
 	if r.Dim() != t.dim {

@@ -1,0 +1,134 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestStagedBackendCommitAndAbort(t *testing.T) {
+	const ps = 64
+	inner := NewMemBackend(ps)
+	sb := NewStagedBackend(inner)
+	m := NewManager(Options{PageSize: ps, Backend: sb})
+
+	a, err := m.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := bytes.Repeat([]byte{1}, ps)
+	if err := m.Write(a, base); err != nil {
+		t.Fatal(err)
+	}
+
+	// Staged write: visible through the manager, invisible to inner.
+	sb.Begin()
+	staged := bytes.Repeat([]byte{2}, ps)
+	if err := m.Write(a, staged); err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Alloc() // grown inside the transaction
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(b, staged); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, ps)
+	if err := m.Read(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, staged) {
+		t.Fatal("manager read does not see the staged write")
+	}
+	if err := inner.ReadPage(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, base) {
+		t.Fatal("staged write leaked to the inner backend before commit")
+	}
+	images := sb.Staged()
+	if len(images) != 2 || images[0].ID != a || images[1].ID != b {
+		t.Fatalf("Staged() = %v pages, want [%d %d]", len(images), a, b)
+	}
+	if err := sb.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inner.ReadPage(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, staged) {
+		t.Fatal("commit did not flush the overlay")
+	}
+
+	// Aborted write: inner keeps the committed contents; the caller
+	// gets the staged and grown ids back for eviction and freeing.
+	sb.Begin()
+	if err := m.Write(a, base); err != nil {
+		t.Fatal(err)
+	}
+	c, err := m.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, grown := sb.Abort()
+	if len(ids) != 1 || ids[0] != a {
+		t.Fatalf("Abort staged ids = %v, want [%d]", ids, a)
+	}
+	if len(grown) != 1 || grown[0] != c {
+		t.Fatalf("Abort grown ids = %v, want [%d]", grown, c)
+	}
+	m.Evict(a)
+	m.Free(c)
+	if err := m.Read(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, staged) {
+		t.Fatal("abort did not preserve the committed contents")
+	}
+
+	// Outside a transaction writes pass straight through.
+	if err := m.Write(a, base); err != nil {
+		t.Fatal(err)
+	}
+	if err := inner.ReadPage(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, base) {
+		t.Fatal("pass-through write did not reach the inner backend")
+	}
+}
+
+func TestStagedBackendRunReadSeesOverlay(t *testing.T) {
+	const ps = 64
+	inner := NewMemBackend(ps)
+	sb := NewStagedBackend(inner)
+	m := NewManager(Options{PageSize: ps, Backend: sb})
+	var ids []PageID
+	for i := 0; i < 4; i++ {
+		id, err := m.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		if err := m.Write(id, bytes.Repeat([]byte{byte(i)}, ps)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sb.Begin()
+	if err := m.Write(ids[2], bytes.Repeat([]byte{0xAA}, ps)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4*ps)
+	if err := m.ReadRunCtx(nil, ids[0], 4, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[2*ps] != 0xAA {
+		t.Fatal("run read did not serve the staged image")
+	}
+	if buf[ps] != 1 || buf[3*ps] != 3 {
+		t.Fatal("run read corrupted unstaged pages")
+	}
+	if _, _ = sb.Abort(); sb.Active() {
+		t.Fatal("Abort left the transaction active")
+	}
+}

@@ -360,6 +360,16 @@ func (m *Manager) Free(id PageID) {
 	global.frees.Add(1)
 }
 
+// Evict drops page id from the buffer pool, if one is configured,
+// without freeing the page. Callers use it when the backing store was
+// rolled back underneath the manager (an aborted staged transaction)
+// and a cached copy would otherwise serve the discarded contents.
+func (m *Manager) Evict(id PageID) {
+	if m.pool != nil {
+		m.pool.evict(id)
+	}
+}
+
 // QueryIO attributes page traffic to one logical query. A pointer is
 // carried in a context.Context (WithQueryIO) past the R*-tree and heap
 // file down to the manager, which adds every read it serves for that

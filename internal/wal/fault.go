@@ -1,0 +1,158 @@
+package wal
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"tsq/internal/storage"
+)
+
+// FaultDevice wraps a Device and injects deterministic failures into
+// the WAL's own I/O, mirroring storage.FaultBackend for page I/O (same
+// kinds, same sentinel errors, same counting discipline) so one sweep
+// harness covers both halves of the write path. Write-path operations —
+// WriteAt, Sync, Truncate — are counted from 1 in arrival order; ReadAt
+// and Size pass through uncounted (they happen during recovery, which
+// the sweep drives separately) but are frozen after a crash point like
+// everything else.
+type FaultDevice struct {
+	mu    sync.Mutex
+	inner Device
+	rng   *rand.Rand
+	ops   int64
+
+	failOp  int64
+	kind    storage.FaultKind
+	crashed bool
+}
+
+// NewFaultDevice wraps inner; seed fixes the torn-write prefix lengths.
+func NewFaultDevice(inner Device, seed int64) *FaultDevice {
+	return &FaultDevice{inner: inner, rng: rand.New(rand.NewSource(seed))}
+}
+
+// FailAt arms the device to inject kind at the op-th write-path
+// operation from now, counting from 1, clearing any crash state and
+// resetting the counter (so sweeps re-arm one device).
+func (d *FaultDevice) FailAt(op int64, kind storage.FaultKind) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failOp = op
+	d.kind = kind
+	d.ops = 0
+	d.crashed = false
+}
+
+// Ops returns the write-path operations served (or failed) since the
+// last FailAt.
+func (d *FaultDevice) Ops() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ops
+}
+
+// Crashed reports whether a FaultCrash point has fired.
+func (d *FaultDevice) Crashed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.crashed
+}
+
+// step advances the op counter; caller holds d.mu.
+func (d *FaultDevice) step() (storage.FaultKind, error) {
+	if d.crashed {
+		return storage.FaultNone, storage.ErrCrashed
+	}
+	d.ops++
+	if d.failOp != 0 && d.ops == d.failOp {
+		if d.kind == storage.FaultCrash {
+			d.crashed = true
+			return storage.FaultNone, storage.ErrCrashed
+		}
+		return d.kind, nil
+	}
+	return storage.FaultNone, nil
+}
+
+// WriteAt implements Device. A torn write applies a random prefix
+// before failing — exactly the tail the open-time scan must truncate.
+func (d *FaultDevice) WriteAt(p []byte, off int64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	kind, err := d.step()
+	if err != nil {
+		return 0, fmt.Errorf("wal: fault: write at %d: %w", off, err)
+	}
+	switch kind {
+	case storage.FaultNone:
+		return d.inner.WriteAt(p, off)
+	case storage.FaultTornWrite:
+		cut := d.rng.Intn(len(p) + 1)
+		if cut > 0 {
+			if _, werr := d.inner.WriteAt(p[:cut], off); werr != nil {
+				return 0, fmt.Errorf("wal: fault: torn write at %d: %w", off, werr)
+			}
+		}
+		return 0, fmt.Errorf("wal: fault: torn write at %d (%d of %d bytes applied): %w",
+			off, cut, len(p), storage.ErrInjected)
+	default:
+		return 0, fmt.Errorf("wal: fault: write at %d: %w", off, storage.ErrInjected)
+	}
+}
+
+// Sync implements Device (counted: a lost fsync is the canonical
+// crash-consistency bug).
+func (d *FaultDevice) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	kind, err := d.step()
+	if err != nil {
+		return fmt.Errorf("wal: fault: sync: %w", err)
+	}
+	if kind != storage.FaultNone {
+		return fmt.Errorf("wal: fault: sync: %w", storage.ErrInjected)
+	}
+	return d.inner.Sync()
+}
+
+// Truncate implements Device (counted: checkpoints truncate).
+func (d *FaultDevice) Truncate(size int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	kind, err := d.step()
+	if err != nil {
+		return fmt.Errorf("wal: fault: truncate to %d: %w", size, err)
+	}
+	if kind != storage.FaultNone {
+		return fmt.Errorf("wal: fault: truncate to %d: %w", size, storage.ErrInjected)
+	}
+	return d.inner.Truncate(size)
+}
+
+// ReadAt implements Device (uncounted; frozen after a crash).
+func (d *FaultDevice) ReadAt(p []byte, off int64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return 0, fmt.Errorf("wal: fault: read at %d: %w", off, storage.ErrCrashed)
+	}
+	return d.inner.ReadAt(p, off)
+}
+
+// Size implements Device (uncounted; frozen after a crash).
+func (d *FaultDevice) Size() (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return 0, fmt.Errorf("wal: fault: size: %w", storage.ErrCrashed)
+	}
+	return d.inner.Size()
+}
+
+// Close always reaches the inner device so tests do not leak handles.
+func (d *FaultDevice) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inner.Close()
+}

@@ -1,0 +1,640 @@
+// Package wal implements the write-ahead log that makes Insert/Delete
+// crash-consistent: every mutation is recorded — as a logical operation
+// plus the full after-images of every page it modifies — and fsynced
+// before any page of the tree or heap is touched in place. A crash at
+// any point therefore leaves either (a) no trace of an unacknowledged
+// write, or (b) a durable WAL record from which reopen reconstructs the
+// acknowledged state exactly, healing torn pages by rewriting their
+// logged images (physical redo, which a logical-only log could not do:
+// a tree split or heap-directory rewrite overwrites live pages, and a
+// torn directory page destroys state no operation record can rebuild).
+//
+// The file format mirrors the capture journal's framing discipline:
+// an 8-byte magic ("TSQWAL01") followed by frames of
+//
+//	kind (1 byte) | payload length (4 bytes LE) | payload | CRC32C (4 bytes)
+//
+// where the CRC covers header and payload. A torn tail — an incomplete
+// or checksum-failing final frame — is truncated away on open; replay
+// is idempotent (rewriting a page image it already holds is a no-op in
+// effect), so recovery can itself crash and re-run.
+//
+// Checkpointing folds the log into the main file: the caller syncs the
+// page file first, then Checkpoint truncates the WAL back to its magic.
+// Group commit: concurrent appenders share fsyncs — an append whose
+// bytes were covered by another appender's in-flight fsync returns
+// without issuing its own.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tsq/internal/storage"
+)
+
+// Magic identifies a WAL segment file.
+var Magic = [8]byte{'T', 'S', 'Q', 'W', 'A', 'L', '0', '1'}
+
+// castagnoli is the CRC32C table, the same polynomial as the storage
+// layer's page trailers and the capture journal.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frameHeaderSize is kind (1) + payload length (4).
+const frameHeaderSize = 5
+
+// frameRecord is the only frame kind so far; the byte exists so the
+// format can grow (e.g. checkpoint markers) without a magic bump.
+const frameRecord = 1
+
+// maxFramePayload bounds a frame so a torn length field cannot drive a
+// multi-gigabyte allocation during the open scan.
+const maxFramePayload = 1 << 28
+
+// Op is the logical operation a record describes.
+type Op uint8
+
+const (
+	// OpInsert appends one series to the index.
+	OpInsert Op = 1
+	// OpDelete tombstones one series.
+	OpDelete Op = 2
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// PageImage is the full logical after-image of one page an operation
+// modified. Replay rewrites these through the normal write path (so
+// checksum trailers are recomputed), healing any torn in-place write.
+type PageImage struct {
+	ID   storage.PageID
+	Data []byte
+}
+
+// Record is one logged operation: what happened logically (for
+// diagnostics and scrubbing) and which pages it produced physically
+// (for redo).
+type Record struct {
+	LSN    uint64
+	Op     Op
+	ID     int64     // record id, shard-local
+	Name   string    // OpInsert only
+	Series []float64 // OpInsert only
+	Pages  []PageImage
+}
+
+// Device is the byte store under a Log. The indirection exists for the
+// fault-injection tests; production logs sit on an *os.File via
+// OpenDevice.
+type Device interface {
+	io.ReaderAt
+	io.WriterAt
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+	Size() (int64, error)
+}
+
+// fileDevice adapts *os.File to Device.
+type fileDevice struct{ f *os.File }
+
+func (d fileDevice) ReadAt(p []byte, off int64) (int, error)  { return d.f.ReadAt(p, off) }
+func (d fileDevice) WriteAt(p []byte, off int64) (int, error) { return d.f.WriteAt(p, off) }
+func (d fileDevice) Truncate(size int64) error                { return d.f.Truncate(size) }
+func (d fileDevice) Sync() error                              { return d.f.Sync() }
+func (d fileDevice) Close() error                             { return d.f.Close() }
+func (d fileDevice) Size() (int64, error) {
+	st, err := d.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// OpenDevice opens (creating if needed) the WAL file at path as a
+// Device.
+func OpenDevice(path string) (Device, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	return fileDevice{f: f}, nil
+}
+
+// Stats snapshots what a Log has done this session plus what its file
+// holds now.
+type Stats struct {
+	Records      int64  `json:"records"`       // records appended this session
+	Pending      int64  `json:"pending"`       // records in the file awaiting checkpoint
+	Bytes        int64  `json:"bytes"`         // current segment size
+	Fsyncs       int64  `json:"fsyncs"`        // fsyncs issued
+	GroupCommits int64  `json:"group_commits"` // appends that rode another append's fsync
+	Checkpoints  int64  `json:"checkpoints"`   // truncations after a fold
+	TornBytes    int64  `json:"torn_bytes"`    // torn tail dropped at open
+	LastLSN      uint64 `json:"last_lsn"`
+}
+
+// globalCounters tallies WAL activity across every Log in the process,
+// monotonic, for the metrics registry (the same pattern as the storage
+// layer's process-global counters).
+var globalCounters struct {
+	records      atomic.Int64
+	replayed     atomic.Int64
+	fsyncs       atomic.Int64
+	groupCommits atomic.Int64
+	checkpoints  atomic.Int64
+	fsyncNanos   atomic.Int64
+}
+
+// GlobalStats returns the process-wide monotonic WAL counters.
+// Replayed is reported via GlobalReplayed.
+func GlobalStats() Stats {
+	return Stats{
+		Records:      globalCounters.records.Load(),
+		Fsyncs:       globalCounters.fsyncs.Load(),
+		GroupCommits: globalCounters.groupCommits.Load(),
+		Checkpoints:  globalCounters.checkpoints.Load(),
+	}
+}
+
+// GlobalReplayed returns how many WAL records recovery has re-applied
+// process-wide.
+func GlobalReplayed() int64 { return globalCounters.replayed.Load() }
+
+// GlobalFsyncNanos returns the cumulative time spent in WAL fsyncs.
+func GlobalFsyncNanos() int64 { return globalCounters.fsyncNanos.Load() }
+
+// NoteReplayed books n replayed records (called by the recovery path in
+// the persistence layer, which is where replay actually runs).
+func NoteReplayed(n int64) { globalCounters.replayed.Add(n) }
+
+// Log is an open write-ahead log. Append is safe for concurrent use;
+// Checkpoint and Close serialize against appenders.
+type Log struct {
+	mu      sync.Mutex // ordering state: end offset, LSN, scratch
+	dev     Device
+	end     int64
+	lastLSN uint64
+	pending int64
+	closed  bool
+	scratch []byte
+
+	syncMu       sync.Mutex // group-commit state
+	synced       int64      // bytes known durable
+	fsyncs       int64
+	groupCommits int64
+
+	records     int64
+	checkpoints int64
+	tornBytes   int64
+
+	// OnFsync, when set (before the first Append), observes each fsync's
+	// latency — the facade feeds it into the metrics histogram.
+	OnFsync func(time.Duration)
+}
+
+var errClosed = errors.New("wal: log is closed")
+
+// Open attaches to the WAL on dev: a fresh (or sub-magic) device is
+// initialized and synced; an existing one is scanned, its torn tail
+// truncated away, and every intact record returned for replay. The
+// caller folds the returned records into the main file and then calls
+// Checkpoint.
+func Open(dev Device) (*Log, []Record, error) {
+	size, err := dev.Size()
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: sizing log: %w", err)
+	}
+	l := &Log{dev: dev}
+	if size < int64(len(Magic)) {
+		// Fresh, or a header torn mid-create: nothing acknowledged can be
+		// in here, start over.
+		if err := dev.Truncate(0); err != nil {
+			return nil, nil, fmt.Errorf("wal: initializing log: %w", err)
+		}
+		if _, err := dev.WriteAt(Magic[:], 0); err != nil {
+			return nil, nil, fmt.Errorf("wal: writing log magic: %w", err)
+		}
+		if err := dev.Sync(); err != nil {
+			return nil, nil, fmt.Errorf("wal: syncing log magic: %w", err)
+		}
+		l.end = int64(len(Magic))
+		l.synced = l.end
+		return l, nil, nil
+	}
+	var magic [8]byte
+	if _, err := dev.ReadAt(magic[:], 0); err != nil {
+		return nil, nil, fmt.Errorf("wal: reading log magic: %w", err)
+	}
+	if magic != Magic {
+		return nil, nil, fmt.Errorf("wal: not a WAL segment (magic %q)", magic[:])
+	}
+	recs, end, err := scan(dev, size)
+	if err != nil {
+		return nil, nil, err
+	}
+	if end < size {
+		if err := dev.Truncate(end); err != nil {
+			return nil, nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		if err := dev.Sync(); err != nil {
+			return nil, nil, fmt.Errorf("wal: syncing after tail truncation: %w", err)
+		}
+		l.tornBytes = size - end
+	}
+	l.end = end
+	l.synced = end
+	l.pending = int64(len(recs))
+	for i := range recs {
+		if recs[i].LSN > l.lastLSN {
+			l.lastLSN = recs[i].LSN
+		}
+	}
+	return l, recs, nil
+}
+
+// OpenFile is Open over the file at path.
+func OpenFile(path string) (*Log, []Record, error) {
+	dev, err := OpenDevice(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	l, recs, err := Open(dev)
+	if err != nil {
+		_ = dev.Close()
+		return nil, nil, err
+	}
+	return l, recs, nil
+}
+
+// scan walks the frames after the magic, returning every intact record
+// and the offset of the first incomplete or checksum-failing frame —
+// the truncation point. A frame is only accepted when its whole extent
+// and CRC check out, so the scan never misparses a torn write.
+func scan(dev io.ReaderAt, size int64) ([]Record, int64, error) {
+	var recs []Record
+	end := int64(len(Magic))
+	var header [frameHeaderSize]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(io.NewSectionReader(dev, end, size-end), header[:]); err != nil {
+			return recs, end, nil // clean EOF or torn header
+		}
+		n := binary.LittleEndian.Uint32(header[1:])
+		if n > maxFramePayload {
+			return recs, end, nil // garbage length: torn tail
+		}
+		if cap(payload) < int(n)+4 {
+			payload = make([]byte, int(n)+4)
+		}
+		body := payload[:int(n)+4]
+		if _, err := io.ReadFull(io.NewSectionReader(dev, end+frameHeaderSize, size-end-frameHeaderSize), body); err != nil {
+			return recs, end, nil // torn payload
+		}
+		crc := crc32.Update(crc32.Checksum(header[:], castagnoli), castagnoli, body[:n])
+		if crc != binary.LittleEndian.Uint32(body[n:]) {
+			return recs, end, nil // checksum failure: truncate here
+		}
+		if header[0] == frameRecord {
+			rec, err := decodeRecord(body[:n])
+			if err != nil {
+				// The CRC passed but the payload does not decode: that is
+				// corruption of a durable record, not a torn tail.
+				return recs, end, fmt.Errorf("wal: corrupt record at offset %d: %w", end, err)
+			}
+			recs = append(recs, rec)
+		}
+		end += int64(frameHeaderSize) + int64(n) + 4
+	}
+}
+
+// Append logs one record and returns once it is durable (fsynced). The
+// LSN is assigned here, continuing the sequence found at open. This is
+// the acknowledgement point of the write path: after Append returns
+// nil, the operation survives any crash.
+func (l *Log) Append(rec *Record) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return errClosed
+	}
+	rec.LSN = l.lastLSN + 1
+	l.scratch = appendFrame(l.scratch[:0], rec)
+	if _, err := l.dev.WriteAt(l.scratch, l.end); err != nil {
+		// Nothing is acknowledged; whatever bytes landed sit past l.end
+		// where the next open's scan truncates them.
+		l.mu.Unlock()
+		return fmt.Errorf("wal: appending %s record %d: %w", rec.Op, rec.ID, err)
+	}
+	l.lastLSN = rec.LSN
+	l.end += int64(len(l.scratch))
+	l.pending++
+	l.records++
+	target := l.end
+	l.mu.Unlock()
+
+	if err := l.syncTo(target); err != nil {
+		return fmt.Errorf("wal: fsync of %s record %d: %w", rec.Op, rec.ID, err)
+	}
+	globalCounters.records.Add(1)
+	return nil
+}
+
+// syncTo makes everything up to target durable, sharing fsyncs between
+// concurrent appenders: whoever holds syncMu syncs up to the log's
+// current end, and any appender whose target that covered returns
+// without a syscall of its own (a group commit).
+func (l *Log) syncTo(target int64) error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if l.synced >= target {
+		l.groupCommits++
+		globalCounters.groupCommits.Add(1)
+		return nil
+	}
+	l.mu.Lock()
+	end := l.end
+	l.mu.Unlock()
+	start := time.Now()
+	err := l.dev.Sync()
+	d := time.Since(start)
+	l.fsyncs++
+	globalCounters.fsyncs.Add(1)
+	globalCounters.fsyncNanos.Add(int64(d))
+	if l.OnFsync != nil {
+		l.OnFsync(d)
+	}
+	if err != nil {
+		return err
+	}
+	l.synced = end
+	return nil
+}
+
+// Checkpoint truncates the log back to its magic. The caller must have
+// made the logged operations durable in the main file (mgr.Sync) first
+// — that ordering is the whole protocol. LSNs keep counting up in
+// memory, so records appended after a checkpoint never reuse a
+// sequence number within the session.
+func (l *Log) Checkpoint() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errClosed
+	}
+	if err := l.dev.Truncate(int64(len(Magic))); err != nil {
+		return fmt.Errorf("wal: checkpoint truncate: %w", err)
+	}
+	if err := l.dev.Sync(); err != nil {
+		return fmt.Errorf("wal: checkpoint sync: %w", err)
+	}
+	l.end = int64(len(Magic))
+	l.synced = l.end
+	l.pending = 0
+	l.checkpoints++
+	globalCounters.checkpoints.Add(1)
+	return nil
+}
+
+// Size returns the current segment size in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.end
+}
+
+// Pending returns how many records the segment holds awaiting a
+// checkpoint.
+func (l *Log) Pending() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pending
+}
+
+// Stats snapshots the log's counters. Nil-receiver safe (the zero
+// stats), matching the facade convention for disabled subsystems.
+func (l *Log) Stats() Stats {
+	if l == nil {
+		return Stats{}
+	}
+	l.syncMu.Lock()
+	fsyncs, groups := l.fsyncs, l.groupCommits
+	l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Records:      l.records,
+		Pending:      l.pending,
+		Bytes:        l.end,
+		Fsyncs:       fsyncs,
+		GroupCommits: groups,
+		Checkpoints:  l.checkpoints,
+		TornBytes:    l.tornBytes,
+		LastLSN:      l.lastLSN,
+	}
+}
+
+// Close syncs and closes the device. Nil-receiver safe.
+func (l *Log) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var firstErr error
+	if err := l.dev.Sync(); err != nil {
+		firstErr = err
+	}
+	if err := l.dev.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// ScanInfo is what a read-only scan of a WAL file found — the
+// scrubber's view.
+type ScanInfo struct {
+	Present   bool   // the file exists
+	Records   int    // intact records awaiting fold
+	Bytes     int64  // file size
+	TornBytes int64  // torn tail a recovery would discard (expected after a crash)
+	FirstLSN  uint64 // of the pending records; 0 when none
+	LastLSN   uint64
+}
+
+// ReadPending scans the WAL at path without modifying it, returning the
+// pending records and what the scan saw. A missing file is a valid
+// empty WAL (Present false); a present file with a foreign magic or an
+// undecodable durable record is an error — that is corruption, not a
+// crash artifact.
+func ReadPending(path string) ([]Record, ScanInfo, error) {
+	var info ScanInfo
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, info, nil
+		}
+		return nil, info, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	defer f.Close()
+	info.Present = true
+	st, err := f.Stat()
+	if err != nil {
+		return nil, info, fmt.Errorf("wal: stat %s: %w", path, err)
+	}
+	info.Bytes = st.Size()
+	if st.Size() < int64(len(Magic)) {
+		// Torn mid-create: nothing acknowledged can be inside.
+		info.TornBytes = st.Size()
+		return nil, info, nil
+	}
+	var magic [8]byte
+	if _, err := f.ReadAt(magic[:], 0); err != nil {
+		return nil, info, fmt.Errorf("wal: reading magic of %s: %w", path, err)
+	}
+	if magic != Magic {
+		return nil, info, fmt.Errorf("wal: %s is not a WAL segment (magic %q)", path, magic[:])
+	}
+	recs, end, err := scan(f, st.Size())
+	if err != nil {
+		return nil, info, err
+	}
+	info.Records = len(recs)
+	info.TornBytes = st.Size() - end
+	if len(recs) > 0 {
+		info.FirstLSN = recs[0].LSN
+		info.LastLSN = recs[len(recs)-1].LSN
+	}
+	return recs, info, nil
+}
+
+// Record payload layout (little endian):
+//
+//	offset 0:  LSN (uint64)
+//	offset 8:  op (uint8)
+//	offset 9:  record id (int64)
+//	offset 17: name length (uint16), name bytes
+//	then: series length (uint32), series samples (float64 each)
+//	then: page count (uint32); per page: id (uint32), data length
+//	      (uint32), data bytes
+func appendFrame(buf []byte, rec *Record) []byte {
+	start := len(buf)
+	buf = append(buf, frameRecord, 0, 0, 0, 0) // header; length patched below
+	payloadStart := len(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, rec.LSN)
+	buf = append(buf, byte(rec.Op))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(rec.ID))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(rec.Name)))
+	buf = append(buf, rec.Name...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.Series)))
+	for _, v := range rec.Series {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.Pages)))
+	for _, p := range rec.Pages {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(p.ID))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Data)))
+		buf = append(buf, p.Data...)
+	}
+	n := len(buf) - payloadStart
+	binary.LittleEndian.PutUint32(buf[start+1:], uint32(n))
+	crc := crc32.Update(crc32.Checksum(buf[start:start+frameHeaderSize], castagnoli), castagnoli, buf[payloadStart:])
+	return binary.LittleEndian.AppendUint32(buf, crc)
+}
+
+// decodeRecord parses one frame payload. Every length is validated
+// against the remaining bytes so a corrupt-but-CRC-passing payload
+// (which only a software bug could produce) fails cleanly.
+func decodeRecord(p []byte) (Record, error) {
+	var rec Record
+	need := func(n int) error {
+		if len(p) < n {
+			return fmt.Errorf("wal: record payload truncated (need %d bytes, have %d)", n, len(p))
+		}
+		return nil
+	}
+	if err := need(19); err != nil {
+		return rec, err
+	}
+	rec.LSN = binary.LittleEndian.Uint64(p)
+	rec.Op = Op(p[8])
+	rec.ID = int64(binary.LittleEndian.Uint64(p[9:]))
+	nameLen := int(binary.LittleEndian.Uint16(p[17:]))
+	p = p[19:]
+	if rec.Op != OpInsert && rec.Op != OpDelete {
+		return rec, fmt.Errorf("wal: unknown op %d", uint8(rec.Op))
+	}
+	if err := need(nameLen); err != nil {
+		return rec, err
+	}
+	rec.Name = string(p[:nameLen])
+	p = p[nameLen:]
+	if err := need(4); err != nil {
+		return rec, err
+	}
+	seriesLen := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	if err := need(8 * seriesLen); err != nil {
+		return rec, err
+	}
+	if seriesLen > 0 {
+		rec.Series = make([]float64, seriesLen)
+		for i := range rec.Series {
+			rec.Series[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[8*i:]))
+		}
+		p = p[8*seriesLen:]
+	}
+	if err := need(4); err != nil {
+		return rec, err
+	}
+	npages := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	rec.Pages = make([]PageImage, 0, npages)
+	for i := 0; i < npages; i++ {
+		if err := need(8); err != nil {
+			return rec, err
+		}
+		id := storage.PageID(binary.LittleEndian.Uint32(p))
+		dataLen := int(binary.LittleEndian.Uint32(p[4:]))
+		p = p[8:]
+		if err := need(dataLen); err != nil {
+			return rec, err
+		}
+		data := make([]byte, dataLen)
+		copy(data, p[:dataLen])
+		p = p[dataLen:]
+		if id == storage.NilPage {
+			return rec, errors.New("wal: page image for the nil page")
+		}
+		rec.Pages = append(rec.Pages, PageImage{ID: id, Data: data})
+	}
+	if len(p) != 0 {
+		return rec, fmt.Errorf("wal: %d trailing bytes after record", len(p))
+	}
+	return rec, nil
+}

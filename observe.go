@@ -21,6 +21,7 @@ import (
 	"tsq/internal/core"
 	"tsq/internal/obs"
 	"tsq/internal/storage"
+	"tsq/internal/wal"
 )
 
 // HealthReport is an index health analysis; see DB.IndexHealth.
@@ -368,6 +369,11 @@ func init() {
 	obs.Default.CounterFunc("tsq_pages_prefetched_total", func() int64 { return storage.GlobalStats().Prefetched })
 	obs.Default.CounterFunc("tsq_io_errors_total", func() int64 { return storage.GlobalStats().IOErrors })
 	obs.Default.CounterFunc("tsq_checksum_failures_total", func() int64 { return storage.GlobalStats().ChecksumFailures })
+	obs.Default.CounterFunc("tsq_wal_records_total", func() int64 { return wal.GlobalStats().Records })
+	obs.Default.CounterFunc("tsq_wal_replayed_total", wal.GlobalReplayed)
+	obs.Default.CounterFunc("tsq_wal_fsyncs_total", func() int64 { return wal.GlobalStats().Fsyncs })
+	obs.Default.CounterFunc("tsq_wal_group_commits_total", func() int64 { return wal.GlobalStats().GroupCommits })
+	obs.Default.CounterFunc("tsq_wal_checkpoints_total", func() int64 { return wal.GlobalStats().Checkpoints })
 	obs.RegisterRuntimeMetrics(obs.Default)
 	mRangeLatency.EnableExemplars()
 	mNNLatency.EnableExemplars()

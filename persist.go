@@ -46,7 +46,9 @@ import (
 	"os"
 
 	"tsq/internal/core"
+	"tsq/internal/obs"
 	"tsq/internal/storage"
+	"tsq/internal/wal"
 )
 
 var (
@@ -164,10 +166,37 @@ func createFile(path string, ss []Series, names []string, opts Options, wrap fun
 	return &DB{ds: ds, ix: core.WrapIndex(ix)}, nil
 }
 
+// walPath names the write-ahead log that protects the page file at
+// path (one per shard file in the sharded layout).
+func walPath(path string) string { return path + ".wal" }
+
+// mWALFsync is the group-commit fsync latency histogram; the hook is
+// installed on every log this package opens.
+var mWALFsync = obs.Default.Histogram("tsq_wal_fsync_latency_ns", obs.DurationBuckets())
+
+// openWAL opens (or creates) the write-ahead log for the page file at
+// path, wiring the fsync latency hook, and returns the log plus any
+// records that were acknowledged but not yet folded into the file.
+func openWAL(path string) (*wal.Log, []wal.Record, error) {
+	wlog, pending, err := wal.OpenFile(walPath(path))
+	if err != nil {
+		return nil, nil, fmt.Errorf("tsq: opening write-ahead log: %w", err)
+	}
+	wlog.OnFsync = mWALFsync.ObserveDuration
+	return wlog, pending, nil
+}
+
 // createShardFile writes one complete single-shard page file at path
-// from a ready dataset, returning its opened index. On error the
-// storage manager is closed.
+// from a ready dataset, returning its opened index with a fresh WAL
+// attached. On error the storage manager is closed.
 func createShardFile(path string, ds *core.Dataset, opts Options, wrap func(storage.Backend) storage.Backend) (*core.Index, error) {
+	// A WAL left over from a previous database at this path would replay
+	// foreign pages into the new file on reopen: remove it before the
+	// first page write, and create the fresh log only after the header
+	// commits.
+	if err := os.Remove(walPath(path)); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("tsq: removing stale write-ahead log: %w", err)
+	}
 	physPageSize := opts.PageSize
 	fileBackend, err := storage.NewFileBackend(path, physPageSize)
 	if err != nil {
@@ -183,6 +212,8 @@ func createShardFile(path string, ds *core.Dataset, opts Options, wrap func(stor
 		backend = cb
 		pageSize = cb.LogicalPageSize()
 	}
+	staged := storage.NewStagedBackend(backend)
+	backend = staged
 	mgr := storage.NewManager(storage.Options{
 		PageSize:    pageSize,
 		BufferPages: opts.BufferPages,
@@ -234,6 +265,13 @@ func createShardFile(path string, ds *core.Dataset, opts Options, wrap func(stor
 		_ = mgr.Close()
 		return nil, err
 	}
+	// The file is committed; arm the online write path.
+	wlog, _, err := openWAL(path)
+	if err != nil {
+		_ = mgr.Close()
+		return nil, err
+	}
+	ix.AttachWAL(wlog, staged)
 	return ix, nil
 }
 
@@ -259,7 +297,7 @@ func createShardedFiles(path string, ds *core.Dataset, opts Options, wrap func(s
 	cleanup := func() {
 		for _, ix := range shards {
 			if ix != nil {
-				_ = ix.Manager().Close()
+				_ = ix.Close()
 			}
 		}
 	}
@@ -426,32 +464,48 @@ func sniffMagic(path string) ([4]byte, error) {
 	return magic, nil
 }
 
+// openMode selects how openShardFile treats the write-ahead log.
+type openMode int
+
+const (
+	// openRW is the normal open: acked-but-unfolded WAL records are
+	// replayed into the file (then checkpointed away), the torn tail is
+	// truncated, and the index accepts writes.
+	openRW openMode = iota
+	// openScrub is the read-only open used by CheckFile: pending WAL
+	// records are replayed into a memory overlay only — the file and the
+	// log are not modified — and the index refuses writes.
+	openScrub
+)
+
 // OpenFile reopens a database created by CreateFile: a classic
 // single-file database or a shard manifest with its per-shard files.
 // Files written with and without page checksums are both recognized
-// (the raw header flags field says which).
+// (the raw header flags field says which). Recovery runs here: any
+// Insert/Delete that was acknowledged before a crash is replayed from
+// the write-ahead log before the first query sees the index.
 func OpenFile(path string) (*DB, error) {
-	return openFileAny(path, nil)
+	return openFileAny(path, nil, openRW)
 }
 
 // openFileAny dispatches on the leading magic: TSQM opens the sharded
 // layout, anything else takes the single-file path (whose own header
 // validation reports non-databases).
-func openFileAny(path string, wrap func(storage.Backend) storage.Backend) (*DB, error) {
+func openFileAny(path string, wrap func(storage.Backend) storage.Backend, mode openMode) (*DB, error) {
 	magic, err := sniffMagic(path)
 	if err != nil {
 		return nil, err
 	}
 	if magic == manifestMagic {
-		return openShardedFiles(path, wrap)
+		return openShardedFiles(path, wrap, mode)
 	}
-	return openFile(path, wrap)
+	return openFile(path, wrap, mode)
 }
 
 // openShardedFiles opens every shard file named by the manifest and
 // reassembles the global id space. Any shard that fails validation is
 // reported by ordinal and path — a half-written shard set never opens.
-func openShardedFiles(path string, wrap func(storage.Backend) storage.Backend) (*DB, error) {
+func openShardedFiles(path string, wrap func(storage.Backend) storage.Backend, mode openMode) (*DB, error) {
 	mi, err := readManifest(path)
 	if err != nil {
 		return nil, err
@@ -460,25 +514,25 @@ func openShardedFiles(path string, wrap func(storage.Backend) storage.Backend) (
 	cleanup := func() {
 		for _, ix := range shards {
 			if ix != nil {
-				_ = ix.Manager().Close()
+				_ = ix.Close()
 			}
 		}
 	}
 	for i := 0; i < mi.shards; i++ {
 		sp := shardPath(path, i)
-		ix, err := openShardFile(sp, wrap)
+		ix, err := openShardFile(sp, wrap, mode)
 		if err != nil {
 			cleanup()
 			return nil, fmt.Errorf("tsq: shard %d (%s): %w", i, sp, err)
 		}
 		if got := ix.Dataset().N; got != mi.n {
 			cleanup()
-			_ = ix.Manager().Close()
+			_ = ix.Close()
 			return nil, fmt.Errorf("tsq: shard %d (%s): series length %d, manifest says %d", i, sp, got, mi.n)
 		}
 		if got := ix.Options().K; got != mi.k {
 			cleanup()
-			_ = ix.Manager().Close()
+			_ = ix.Close()
 			return nil, fmt.Errorf("tsq: shard %d (%s): k=%d, manifest says %d", i, sp, got, mi.k)
 		}
 		shards[i] = ix
@@ -493,8 +547,8 @@ func openShardedFiles(path string, wrap func(storage.Backend) storage.Backend) (
 
 // openFile is the single-file open path, with the same fault-injection
 // hook as createFile.
-func openFile(path string, wrap func(storage.Backend) storage.Backend) (*DB, error) {
-	ix, err := openShardFile(path, wrap)
+func openFile(path string, wrap func(storage.Backend) storage.Backend, mode openMode) (*DB, error) {
+	ix, err := openShardFile(path, wrap, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -502,8 +556,16 @@ func openFile(path string, wrap func(storage.Backend) storage.Backend) (*DB, err
 }
 
 // openShardFile opens one page file (a whole single-file database, or
-// one shard of a sharded one) and returns its index.
-func openShardFile(path string, wrap func(storage.Backend) storage.Backend) (*core.Index, error) {
+// one shard of a sharded one) and returns its index, replaying the
+// write-ahead log first.
+//
+// Recovery is physical redo: each pending record carries the full
+// after-image of every page its operation wrote, so replay rewrites
+// those pages (through the checksum layer, which recomputes trailers)
+// and is idempotent — a crash during recovery just replays again. In
+// openScrub mode the images land in the staging overlay instead, so
+// the scrubber sees the healed state without modifying anything.
+func openShardFile(path string, wrap func(storage.Backend) storage.Backend, mode openMode) (*core.Index, error) {
 	physPageSize, flags, err := readRawHeader(path)
 	if err != nil {
 		return nil, err
@@ -512,8 +574,35 @@ func openShardFile(path string, wrap func(storage.Backend) storage.Backend) (*co
 	if err != nil {
 		return nil, fmt.Errorf("tsq: %w", err)
 	}
+	// Read the log before building the manager: replayed images can lie
+	// past the file's current end (the crash happened before the grown
+	// pages were flushed), and allocation must resume after them.
+	var (
+		wlog    *wal.Log
+		pending []wal.Record
+	)
+	if mode == openRW {
+		wlog, pending, err = openWAL(path)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		pending, _, err = wal.ReadPending(walPath(path))
+		if err != nil {
+			return nil, fmt.Errorf("tsq: reading write-ahead log: %w", err)
+		}
+	}
+	closeAll := func(mgr *storage.Manager) {
+		if mgr != nil {
+			_ = mgr.Close()
+		}
+		if wlog != nil {
+			_ = wlog.Close()
+		}
+	}
 	fileBackend, err := storage.NewFileBackend(path, physPageSize)
 	if err != nil {
+		closeAll(nil)
 		return nil, err
 	}
 	var backend storage.Backend = fileBackend
@@ -527,26 +616,61 @@ func openShardFile(path string, wrap func(storage.Backend) storage.Backend) (*co
 		backend = cb
 		pageSize = cb.LogicalPageSize()
 	}
-	// Resume allocation after the last page the file covers, so
-	// post-reopen inserts cannot overwrite live pages.
+	staged := storage.NewStagedBackend(backend)
+	backend = staged
+	// Resume allocation after the last page the file covers — or after
+	// the last page the WAL is about to replay, whichever is further —
+	// so post-reopen inserts cannot overwrite live pages.
 	firstUnallocated := storage.PageID((st.Size() + int64(physPageSize) - 1) / int64(physPageSize))
+	for _, rec := range pending {
+		for _, img := range rec.Pages {
+			if img.ID >= firstUnallocated {
+				firstUnallocated = img.ID + 1
+			}
+		}
+	}
 	mgr := storage.NewManager(storage.Options{
 		PageSize:         pageSize,
 		Backend:          backend,
 		FirstUnallocated: firstUnallocated,
 	})
+	if mode == openScrub && len(pending) > 0 {
+		// Overlay-only replay: the transaction is deliberately never
+		// committed or aborted; Close discards it.
+		staged.Begin()
+	}
+	for _, rec := range pending {
+		for _, img := range rec.Pages {
+			if err := mgr.Write(img.ID, img.Data); err != nil {
+				closeAll(mgr)
+				return nil, fmt.Errorf("tsq: replaying WAL record %d (page %d): %w", rec.LSN, img.ID, err)
+			}
+		}
+	}
+	if mode == openRW && len(pending) > 0 {
+		// Fold the replayed images in and start from an empty log.
+		if err := mgr.Sync(); err != nil {
+			closeAll(mgr)
+			return nil, fmt.Errorf("tsq: syncing replayed WAL records: %w", err)
+		}
+		if err := wlog.Checkpoint(); err != nil {
+			closeAll(mgr)
+			return nil, fmt.Errorf("tsq: checkpointing after replay: %w", err)
+		}
+		wal.NoteReplayed(int64(len(pending)))
+	}
 	buf := make([]byte, pageSize)
 	if err := mgr.Read(storage.PageID(1), buf); err != nil {
-		_ = mgr.Close()
+		closeAll(mgr)
 		return nil, fmt.Errorf("tsq: reading superblock: %w", err)
 	}
 	si, err := decodeSuper(buf)
 	if err != nil {
-		_ = mgr.Close()
+		closeAll(mgr)
 		return nil, err
 	}
 	if si.checksummed != checksummed {
-		_ = mgr.Close()
+		closeAll(mgr)
 		return nil, fmt.Errorf("tsq: corrupt file: header says checksums=%v but superblock says checksums=%v",
 			checksummed, si.checksummed)
 	}
@@ -557,7 +681,7 @@ func openShardFile(path string, wrap func(storage.Backend) storage.Backend) (*co
 		id   storage.PageID
 	}{{"tree meta", si.treeMeta}, {"heap directory", si.heapDir}} {
 		if ref.id >= firstUnallocated {
-			_ = mgr.Close()
+			closeAll(mgr)
 			return nil, fmt.Errorf("tsq: corrupt superblock: %s page %d outside file (%d pages)",
 				ref.name, ref.id, firstUnallocated)
 		}
@@ -568,8 +692,13 @@ func openShardFile(path string, wrap func(storage.Backend) storage.Backend) (*co
 		UseSymmetry: si.symmetry,
 	})
 	if err != nil {
-		_ = mgr.Close()
+		closeAll(mgr)
 		return nil, err
+	}
+	if mode == openRW {
+		ix.AttachWAL(wlog, staged)
+	} else {
+		ix.SetReadOnly()
 	}
 	return ix, nil
 }
@@ -644,4 +773,16 @@ func (db *DB) Delete(id int64) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return db.ix.Delete(id)
+}
+
+// Checkpoint folds outstanding write-ahead-log records into the main
+// file (every shard, for sharded databases) and truncates the logs.
+// Writes already checkpoint automatically when a log outgrows its
+// threshold, and Close checkpoints too; an explicit call is for tests
+// and operators that want the log empty at a known point. A no-op for
+// in-memory databases.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.ix.Checkpoint()
 }
